@@ -1,0 +1,2 @@
+//! (under construction)
+#![allow(dead_code)]

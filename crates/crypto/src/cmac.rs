@@ -1,0 +1,171 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//!
+//! The paper's best-performing replica-to-replica authentication scheme in
+//! Figure 8 is `CMAC+AES` (clients keep signing with Ed25519). CMAC is a
+//! block-cipher based MAC: subkeys K1/K2 are derived from `AES_K(0^128)` by
+//! GF(2^128) doubling, the message is CBC-MAC'd, and the final block is
+//! masked with K1 (complete block) or padded and masked with K2.
+
+use crate::aes::{Aes128, BLOCK_LEN};
+use crate::hmac::ct_eq;
+
+/// Length of an AES-CMAC tag in bytes.
+pub const CMAC_LEN: usize = BLOCK_LEN;
+
+/// A reusable AES-CMAC keyed instance.
+#[derive(Clone)]
+pub struct AesCmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+/// Left-shift a 128-bit value by one bit.
+fn shl_one(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    out
+}
+
+/// GF(2^128) doubling with the CMAC reduction polynomial (0x87).
+fn dbl(block: &[u8; 16]) -> [u8; 16] {
+    let msb = block[0] & 0x80;
+    let mut out = shl_one(block);
+    if msb != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+impl AesCmac {
+    /// Derives subkeys for `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        AesCmac { cipher, k1, k2 }
+    }
+
+    /// Computes the 16-byte tag over `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; CMAC_LEN] {
+        let n_blocks = msg.len().div_ceil(16).max(1);
+        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+
+        let mut x = [0u8; 16];
+        // All blocks but the last.
+        for i in 0..n_blocks - 1 {
+            for j in 0..16 {
+                x[j] ^= msg[i * 16 + j];
+            }
+            self.cipher.encrypt_block(&mut x);
+        }
+        // Last block: mask with K1 (complete) or pad 10* and mask with K2.
+        let mut last = [0u8; 16];
+        let tail = &msg[(n_blocks - 1) * 16..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for j in 0..16 {
+                last[j] ^= self.k1[j];
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for j in 0..16 {
+                last[j] ^= self.k2[j];
+            }
+        }
+        for j in 0..16 {
+            x[j] ^= last[j];
+        }
+        self.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    /// Verifies `tag` over `msg`.
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&self.tag(msg), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap()
+    }
+
+    // RFC 4493 test vectors.
+    #[test]
+    fn rfc4493_example1_empty() {
+        let mac = AesCmac::new(&rfc_key());
+        assert_eq!(mac.tag(b"").to_vec(), from_hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example2_16_bytes() {
+        let mac = AesCmac::new(&rfc_key());
+        let msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(mac.tag(&msg).to_vec(), from_hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_example3_40_bytes() {
+        let mac = AesCmac::new(&rfc_key());
+        let msg = from_hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+        );
+        assert_eq!(mac.tag(&msg).to_vec(), from_hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_example4_64_bytes() {
+        let mac = AesCmac::new(&rfc_key());
+        let msg = from_hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        assert_eq!(mac.tag(&msg).to_vec(), from_hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn subkey_generation_vectors() {
+        // RFC 4493 §4: K1/K2 for the example key.
+        let mac = AesCmac::new(&rfc_key());
+        assert_eq!(mac.k1.to_vec(), from_hex("fbeed618357133667c85e08f7236a8de"));
+        assert_eq!(mac.k2.to_vec(), from_hex("f7ddac306ae266ccf90bc11ee46d513b"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = AesCmac::new(&[3u8; 16]);
+        let tag = mac.tag(b"hello world");
+        assert!(mac.verify(b"hello world", &tag));
+        assert!(!mac.verify(b"hello worle", &tag));
+        let mut bad = tag;
+        bad[5] ^= 0x40;
+        assert!(!mac.verify(b"hello world", &bad));
+    }
+
+    #[test]
+    fn distinct_lengths_distinct_tags() {
+        let mac = AesCmac::new(&[9u8; 16]);
+        let t15 = mac.tag(&[0u8; 15]);
+        let t16 = mac.tag(&[0u8; 16]);
+        let t17 = mac.tag(&[0u8; 17]);
+        assert_ne!(t15, t16);
+        assert_ne!(t16, t17);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cryptographic cost model for the deterministic simulator.
+//!
+//! The paper's Figure 8 shows that the choice of signature scheme dominates
+//! replica CPU time, and its §IV-I simulation "skips any expensive
+//! computations" so that performance is determined purely by message
+//! exchange. Our simulator supports both regimes: a [`CostModel`] charges
+//! virtual nanoseconds per cryptographic operation, and
+//! [`CostModel::free`] reproduces the paper's computation-free simulation.
+//!
+//! The default numbers are calibrated to the order of magnitude of the
+//! paper's era (c2 VMs, 3.8 GHz Cascade Lake; BLS via threshold shares):
+//! MACs are tens-to-hundreds of nanoseconds, Ed25519 operations are tens of
+//! microseconds, threshold share/aggregate operations are hundreds of
+//! microseconds to milliseconds. Absolute values can be recalibrated from
+//! the criterion microbenches (`cargo bench -p poe-bench --bench crypto`).
+
+use crate::provider::CryptoMode;
+
+/// Virtual-time cost (nanoseconds) of each cryptographic operation class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Computing or verifying a pairwise MAC (per message).
+    pub mac_ns: u64,
+    /// Additional MAC cost per payload byte.
+    pub mac_per_byte_ns: u64,
+    /// Ed25519 signing.
+    pub ed_sign_ns: u64,
+    /// Ed25519 verification.
+    pub ed_verify_ns: u64,
+    /// Producing one threshold signature share.
+    pub ts_share_ns: u64,
+    /// Verifying one threshold signature share.
+    pub ts_verify_share_ns: u64,
+    /// Aggregating `threshold` shares into a certificate.
+    pub ts_aggregate_ns: u64,
+    /// Verifying an aggregated certificate.
+    pub ts_verify_cert_ns: u64,
+    /// Hashing, per byte.
+    pub hash_per_byte_ns: u64,
+}
+
+impl CostModel {
+    /// Calibrated to the paper's hardware era; see module docs.
+    pub fn paper_default() -> CostModel {
+        CostModel {
+            mac_ns: 250,
+            mac_per_byte_ns: 2,
+            ed_sign_ns: 25_000,
+            ed_verify_ns: 60_000,
+            ts_share_ns: 280_000,
+            ts_verify_share_ns: 400_000,
+            ts_aggregate_ns: 900_000,
+            ts_verify_cert_ns: 1_200_000,
+            hash_per_byte_ns: 3,
+        }
+    }
+
+    /// All operations free: the regime of the paper's §IV-I simulation,
+    /// where throughput is determined only by message delay.
+    pub fn free() -> CostModel {
+        CostModel {
+            mac_ns: 0,
+            mac_per_byte_ns: 0,
+            ed_sign_ns: 0,
+            ed_verify_ns: 0,
+            ts_share_ns: 0,
+            ts_verify_share_ns: 0,
+            ts_aggregate_ns: 0,
+            ts_verify_cert_ns: 0,
+            hash_per_byte_ns: 0,
+        }
+    }
+
+    /// Cost of authenticating one outgoing message of `len` bytes under
+    /// `mode`.
+    pub fn authenticate_ns(&self, mode: CryptoMode, len: usize) -> u64 {
+        match mode {
+            CryptoMode::None => 0,
+            CryptoMode::Hmac | CryptoMode::Cmac => {
+                self.mac_ns + self.mac_per_byte_ns * len as u64
+            }
+            CryptoMode::Ed25519 => self.ed_sign_ns + self.hash_per_byte_ns * len as u64,
+        }
+    }
+
+    /// Cost of checking one incoming message of `len` bytes under `mode`.
+    pub fn check_ns(&self, mode: CryptoMode, len: usize) -> u64 {
+        match mode {
+            CryptoMode::None => 0,
+            CryptoMode::Hmac | CryptoMode::Cmac => {
+                self.mac_ns + self.mac_per_byte_ns * len as u64
+            }
+            CryptoMode::Ed25519 => self.ed_verify_ns + self.hash_per_byte_ns * len as u64,
+        }
+    }
+
+    /// Cost of hashing `len` bytes.
+    pub fn hash_ns(&self, len: usize) -> u64 {
+        self.hash_per_byte_ns * len as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.authenticate_ns(CryptoMode::Ed25519, 5000), 0);
+        assert_eq!(m.check_ns(CryptoMode::Cmac, 5000), 0);
+        assert_eq!(m.hash_ns(1 << 20), 0);
+    }
+
+    #[test]
+    fn signatures_cost_more_than_macs() {
+        let m = CostModel::paper_default();
+        assert!(
+            m.authenticate_ns(CryptoMode::Ed25519, 100) > m.authenticate_ns(CryptoMode::Cmac, 100)
+        );
+        assert!(m.check_ns(CryptoMode::Ed25519, 100) > m.check_ns(CryptoMode::Hmac, 100));
+    }
+
+    #[test]
+    fn none_mode_is_free() {
+        let m = CostModel::paper_default();
+        assert_eq!(m.authenticate_ns(CryptoMode::None, 1000), 0);
+        assert_eq!(m.check_ns(CryptoMode::None, 1000), 0);
+    }
+
+    #[test]
+    fn payload_length_scales_mac_cost() {
+        let m = CostModel::paper_default();
+        assert!(m.authenticate_ns(CryptoMode::Cmac, 5400) > m.authenticate_ns(CryptoMode::Cmac, 250));
+    }
+}

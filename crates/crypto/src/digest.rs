@@ -1,0 +1,120 @@
+//! The `D(·)` digest used throughout the protocols.
+//!
+//! The paper assumes a collision-resistant hash `D(·)` mapping arbitrary
+//! values to constant-size digests, and uses `||` for concatenation (e.g.
+//! `h := D(k || v || ⟨T⟩c)` in Figure 3). [`Digest`] wraps SHA-256 output in
+//! a small copyable value type, and [`digest_concat`] implements the
+//! length-prefixed concatenation-then-hash so that `D(a || b)` cannot be
+//! confused with `D(a' || b')` for a different split of the same bytes.
+
+use crate::sha2::{sha256, Sha256};
+use std::fmt;
+
+/// Length of a [`Digest`] in bytes (SHA-256).
+pub const DIGEST_LEN: usize = 32;
+
+/// A 32-byte SHA-256 digest; the paper's `D(v)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Digest of the empty string; handy as a placeholder/sentinel.
+    pub const EMPTY: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Hashes `data`.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(sha256(data))
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Digest {
+        Digest(bytes)
+    }
+
+    /// Lowercase hex rendering (for logs and ledger dumps).
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Short hex prefix for compact display.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Hashes the concatenation of several fields with length prefixes:
+/// `D(len(a) || a || len(b) || b || …)`.
+///
+/// The length prefixes make the encoding injective, which the paper's
+/// collision-resistance assumption implicitly requires.
+pub fn digest_concat(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(&(p.len() as u64).to_le_bytes());
+        h.update(p);
+    }
+    Digest(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_of_matches_sha256() {
+        assert_eq!(Digest::of(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn concat_is_injective_across_splits() {
+        // Without length prefixes these would collide.
+        let a = digest_concat(&[b"ab", b"c"]);
+        let b = digest_concat(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concat_differs_from_plain() {
+        assert_ne!(digest_concat(&[b"abc"]), Digest::of(b"abc"));
+    }
+
+    #[test]
+    fn hex_roundtrip_and_display() {
+        let d = Digest::of(b"hello");
+        assert_eq!(d.to_hex().len(), 64);
+        assert_eq!(d.short_hex().len(), 8);
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![Digest::of(b"b"), Digest::of(b"a"), Digest::of(b"c")];
+        v.sort();
+        let mut w = v.clone();
+        w.sort();
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,1039 @@
+//! Ed25519 signatures (RFC 8032), from scratch.
+//!
+//! This is the paper's `ED` digital-signature configuration: clients always
+//! sign their requests with Ed25519 so byzantine primaries cannot forge
+//! transactions, and in the `ED` mode of Figure 8 replicas sign with it too.
+//!
+//! Layout:
+//! * [`Fe`] — field element of GF(2^255 − 19), five 51-bit limbs.
+//! * [`Point`] — extended twisted-Edwards coordinates (X : Y : Z : T).
+//! * scalar arithmetic modulo the group order `L` via a small
+//!   shift-subtract bignum (performance is adequate: reduction is a few
+//!   hundred 9-limb subtractions and runs once per hash).
+//! * [`SigningKey`] / [`VerifyingKey`] / [`Signature`] — the public API.
+//!
+//! Validated against the RFC 8032 test vectors in the unit tests.
+//! Not constant time; see the crate-level security note.
+
+use crate::sha2::Sha512;
+use std::fmt;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic: GF(2^255 - 19), 5 limbs x 51 bits.
+// ---------------------------------------------------------------------------
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+/// Field element of GF(2^255 − 19).
+#[derive(Clone, Copy)]
+pub(crate) struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        };
+        let l0 = load(&bytes[0..8]) & MASK51;
+        let l1 = (load(&bytes[6..14]) >> 3) & MASK51;
+        let l2 = (load(&bytes[12..20]) >> 6) & MASK51;
+        let l3 = (load(&bytes[19..27]) >> 1) & MASK51;
+        let l4 = (load(&bytes[24..32]) >> 12) & MASK51;
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.reduce_full();
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut bit = 0usize;
+        let mut idx = 0usize;
+        for limb in h.0.iter_mut() {
+            acc |= (*limb as u128) << bit;
+            bit += 51;
+            while bit >= 8 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                bit -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = (acc & 0xff) as u8;
+        }
+        out
+    }
+
+    /// Fully reduces into [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut h = self.carry();
+        // Now limbs < 2^52; subtract p if >= p, twice to be safe.
+        for _ in 0..2 {
+            let mut borrow: i128 = 0;
+            let p = [MASK51 - 18, MASK51, MASK51, MASK51, MASK51]; // 2^255-19 limbs
+            let mut out = [0u64; 5];
+            for i in 0..5 {
+                let d = h.0[i] as i128 - p[i] as i128 + borrow;
+                if d < 0 {
+                    out[i] = (d + (1i128 << 51)) as u64;
+                    borrow = -1;
+                } else {
+                    out[i] = d as u64;
+                    borrow = 0;
+                }
+            }
+            if borrow == 0 {
+                h = Fe(out);
+            }
+        }
+        h
+    }
+
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        for _ in 0..2 {
+            c = l[0] >> 51;
+            l[0] &= MASK51;
+            l[1] += c;
+            c = l[1] >> 51;
+            l[1] &= MASK51;
+            l[2] += c;
+            c = l[2] >> 51;
+            l[2] &= MASK51;
+            l[3] += c;
+            c = l[3] >> 51;
+            l[3] &= MASK51;
+            l[4] += c;
+            c = l[4] >> 51;
+            l[4] &= MASK51;
+            l[0] += c * 19;
+        }
+        Fe(l)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p to avoid underflow.
+        Fe([
+            self.0[0] + 2 * (MASK51 - 18) - rhs.0[0],
+            self.0[1] + 2 * MASK51 - rhs.0[1],
+            self.0[2] + 2 * MASK51 - rhs.0[2],
+            self.0[3] + 2 * MASK51 - rhs.0[3],
+            self.0[4] + 2 * MASK51 - rhs.0[4],
+        ])
+        .carry()
+    }
+
+    fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        Fe::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(mut c: [u128; 5]) -> Fe {
+        let mut out = [0u64; 5];
+        // Two rounds of carrying handle all products of reduced inputs.
+        for _ in 0..2 {
+            for i in 0..4 {
+                let carry = c[i] >> 51;
+                c[i] &= MASK51 as u128;
+                c[i + 1] += carry;
+            }
+            let carry = c[4] >> 51;
+            c[4] &= MASK51 as u128;
+            c[0] += carry * 19;
+        }
+        for i in 0..5 {
+            out[i] = c[i] as u64;
+        }
+        Fe(out).carry()
+    }
+
+    /// Raises to the power 2^255 − 21 (i.e. p − 2): the inverse.
+    fn invert(self) -> Fe {
+        // Addition chain from the curve25519 reference implementation.
+        let z2 = self.square();
+        let z8 = z2.square().square();
+        let z9 = self.mul(z8);
+        let z11 = z2.mul(z9);
+        let z22 = z11.square();
+        let z_5_0 = z9.mul(z22); // 2^5 - 2^0
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0);
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11)
+    }
+
+    /// Raises to the power (p − 5) / 8 = 2^252 − 3; used for square roots.
+    fn pow_p58(self) -> Fe {
+        let z2 = self.square();
+        let z9 = self.mul(z2.square().square());
+        let z11 = z2.mul(z9);
+        let z22 = z11.square();
+        let z_5_0 = z9.mul(z22);
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0);
+        t = z_250_0;
+        for _ in 0..2 {
+            t = t.square();
+        }
+        t.mul(self)
+    }
+
+    fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    fn eq(self, other: Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+fn fe_d() -> Fe {
+    // d = -121665/121666 mod p, computed once from the definition.
+    static D: OnceLock<Fe> = OnceLock::new();
+    *D.get_or_init(|| {
+        let mut n = [0u8; 32];
+        n[..3].copy_from_slice(&[0x41, 0xdb, 0x01]); // 121665
+        let mut m = [0u8; 32];
+        m[..3].copy_from_slice(&[0x42, 0xdb, 0x01]); // 121666
+        Fe::from_bytes(&n).neg().mul(Fe::from_bytes(&m).invert())
+    })
+}
+
+fn fe_sqrt_m1() -> Fe {
+    // sqrt(-1) = 2^((p-1)/4) mod p
+    Fe::from_bytes(&[
+        0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4, 0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18, 0x43,
+        0x2f, 0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b, 0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24,
+        0x83, 0x2b,
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Point arithmetic: extended twisted Edwards coordinates.
+// ---------------------------------------------------------------------------
+
+/// A curve point in extended coordinates (X : Y : Z : T), with x = X/Z,
+/// y = Y/Z, and T = XY/Z.
+#[derive(Clone, Copy)]
+pub(crate) struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// Unified addition for a = −1 twisted Edwards (RFC 8032 §5.1.4).
+    fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(fe_d()).mul(other.t).add(self.t.mul(fe_d()).mul(other.t)); // 2dT1T2
+        let d = self.z.mul(other.z).add(self.z.mul(other.z)); // 2Z1Z2
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(self.z.square());
+        let h = a.add(b);
+        let e = h.sub(self.x.add(self.y).square());
+        let g = a.sub(b);
+        let f = c.add(g);
+        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+    }
+
+    fn neg(&self) -> Point {
+        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Variable-time scalar multiplication with a fixed 4-bit window.
+    fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
+        // Precompute 0P..15P.
+        let mut table = [Point::identity(); 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = table[i - 1].add(self);
+        }
+        let mut acc = Point::identity();
+        // Process nibbles most-significant first.
+        for i in (0..64).rev() {
+            acc = acc.double().double().double().double();
+            let byte = scalar[i / 2];
+            let nibble = if i % 2 == 1 { byte >> 4 } else { byte & 0x0f };
+            if nibble != 0 {
+                acc = acc.add(&table[nibble as usize]);
+            }
+        }
+        acc
+    }
+
+    fn compress(&self) -> [u8; 32] {
+        let zi = self.z.invert();
+        let x = self.x.mul(zi);
+        let y = self.y.mul(zi);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a point encoding; `None` if not on the curve.
+    fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = bytes[31] >> 7;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&y_bytes);
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = y2.mul(fe_d()).add(Fe::ONE);
+        // Candidate root: x = u v^3 (u v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vx2 = v.mul(x.square());
+        if !vx2.eq(u) {
+            if vx2.eq(u.neg()) {
+                x = x.mul(fe_sqrt_m1());
+            } else {
+                return None;
+            }
+        }
+        if x.is_zero() && sign == 1 {
+            // -0 is not a valid encoding.
+            return None;
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(Point { x, y, z: Fe::ONE, t: x.mul(y) })
+    }
+}
+
+fn base_point() -> &'static Point {
+    static B: OnceLock<Point> = OnceLock::new();
+    B.get_or_init(|| {
+        // Standard compressed encoding of the base point (y = 4/5, x even).
+        let mut enc = [0x66u8; 32];
+        enc[0] = 0x58;
+        Point::decompress(&enc).expect("base point decodes")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// ---------------------------------------------------------------------------
+
+/// L as nine little-endian u64 limbs (fits in four; padded for the 512-bit
+/// reduction).
+const L_LIMBS: [u64; 9] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0,
+    0x1000000000000000,
+    0,
+    0,
+    0,
+    0,
+    0,
+];
+
+fn limbs_from_le_bytes(bytes: &[u8]) -> [u64; 9] {
+    let mut limbs = [0u64; 9];
+    for (i, b) in bytes.iter().enumerate() {
+        limbs[i / 8] |= (*b as u64) << ((i % 8) * 8);
+    }
+    limbs
+}
+
+fn limbs_cmp(a: &[u64; 9], b: &[u64; 9]) -> std::cmp::Ordering {
+    for i in (0..9).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn limbs_sub(a: &mut [u64; 9], b: &[u64; 9]) {
+    let mut borrow = 0u64;
+    for i in 0..9 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 | b2) as u64;
+    }
+}
+
+fn limbs_shl(a: &[u64; 9], shift: usize) -> [u64; 9] {
+    let word = shift / 64;
+    let bit = shift % 64;
+    let mut out = [0u64; 9];
+    for i in (0..9).rev() {
+        if i >= word {
+            let mut v = a[i - word] << bit;
+            if bit > 0 && i > word {
+                v |= a[i - word - 1] >> (64 - bit);
+            }
+            out[i] = v;
+        }
+    }
+    out
+}
+
+/// Reduces a little-endian value (up to 512 bits) modulo L via
+/// shift-subtract division.
+fn reduce_mod_l(bytes: &[u8]) -> [u8; 32] {
+    debug_assert!(bytes.len() <= 64);
+    let mut x = limbs_from_le_bytes(bytes);
+    // L has 253 bits; input has at most 512 bits.
+    for shift in (0..=(512 - 253)).rev() {
+        let shifted = limbs_shl(&L_LIMBS, shift);
+        if limbs_cmp(&x, &shifted) != std::cmp::Ordering::Less {
+            limbs_sub(&mut x, &shifted);
+        }
+    }
+    let mut out = [0u8; 32];
+    for i in 0..32 {
+        out[i] = (x[i / 8] >> ((i % 8) * 8)) as u8;
+    }
+    out
+}
+
+/// Computes (a * b + c) mod L. Inputs are little-endian 32-byte scalars.
+fn sc_muladd(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    // Schoolbook 32x32-byte multiply into 64 bytes, then add c, then reduce.
+    let mut prod = [0u64; 9]; // 512-bit accumulate as 8 limbs + carry room
+    let al = limbs_from_le_bytes(a);
+    let bl = limbs_from_le_bytes(b);
+    // 4x4 limb multiply (only the first four limbs are nonzero).
+    let mut wide = [0u128; 9];
+    for i in 0..4 {
+        for j in 0..4 {
+            let idx = i + j;
+            let p = (al[i] as u128) * (bl[j] as u128);
+            wide[idx] += p & 0xffff_ffff_ffff_ffff;
+            wide[idx + 1] += p >> 64;
+        }
+    }
+    // Propagate.
+    let mut carry: u128 = 0;
+    for i in 0..9 {
+        let v = wide[i] + carry;
+        prod[i] = v as u64;
+        carry = v >> 64;
+    }
+    // Add c.
+    let cl = limbs_from_le_bytes(c);
+    let mut carry2 = 0u64;
+    for i in 0..9 {
+        let (s1, o1) = prod[i].overflowing_add(cl[i]);
+        let (s2, o2) = s1.overflowing_add(carry2);
+        prod[i] = s2;
+        carry2 = (o1 | o2) as u64;
+    }
+    let mut bytes = [0u8; 72];
+    for i in 0..72 {
+        bytes[i] = (prod[i / 8] >> ((i % 8) * 8)) as u8;
+    }
+    reduce_mod_l(&bytes[..64])
+}
+
+/// True if `s` (little-endian) is in canonical range [0, L).
+fn scalar_is_canonical(s: &[u8; 32]) -> bool {
+    let sl = limbs_from_le_bytes(s);
+    limbs_cmp(&sl, &L_LIMBS) == std::cmp::Ordering::Less
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of a secret seed in bytes.
+pub const SEED_LEN: usize = 32;
+
+/// An Ed25519 signature (R ‖ S).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature({}…)",
+            self.0[..4].iter().map(|b| format!("{b:02x}")).collect::<String>()
+        )
+    }
+}
+
+impl Signature {
+    /// Builds a signature from raw bytes.
+    pub fn from_bytes(bytes: [u8; SIGNATURE_LEN]) -> Signature {
+        Signature(bytes)
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.0
+    }
+}
+
+/// An Ed25519 verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub [u8; PUBLIC_KEY_LEN]);
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VerifyingKey({}…)",
+            self.0[..4].iter().map(|b| format!("{b:02x}")).collect::<String>()
+        )
+    }
+}
+
+impl VerifyingKey {
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; PUBLIC_KEY_LEN]) -> VerifyingKey {
+        VerifyingKey(bytes)
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Verifies `sig` over `msg`.
+    ///
+    /// Uses the cofactorless equation `S·B = R + k·A` with canonical-S
+    /// rejection (malleability defence).
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let r_bytes: [u8; 32] = sig.0[..32].try_into().expect("split");
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().expect("split");
+        if !scalar_is_canonical(&s_bytes) {
+            return false;
+        }
+        let a = match Point::decompress(&self.0) {
+            Some(p) => p,
+            None => return false,
+        };
+        let r = match Point::decompress(&r_bytes) {
+            Some(p) => p,
+            None => return false,
+        };
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(msg);
+        let k = reduce_mod_l(&h.finalize());
+
+        let lhs = base_point().scalar_mul(&s_bytes);
+        let rhs = r.add(&a.scalar_mul(&k));
+        lhs.compress() == rhs.compress()
+    }
+}
+
+/// An Ed25519 signing (secret) key, expanded from a 32-byte seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; SEED_LEN],
+    scalar: [u8; 32],
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SigningKey(pub={:?})", self.public)
+    }
+}
+
+impl SigningKey {
+    /// Derives the key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: &[u8; SEED_LEN]) -> SigningKey {
+        let h = {
+            let mut hh = Sha512::new();
+            hh.update(seed);
+            hh.finalize()
+        };
+        let mut scalar: [u8; 32] = h[..32].try_into().expect("split");
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let prefix: [u8; 32] = h[32..].try_into().expect("split");
+        let a = base_point().scalar_mul(&scalar);
+        let public = VerifyingKey(a.compress());
+        SigningKey { seed: *seed, scalar, prefix, public }
+    }
+
+    /// Deterministically derives a signing key from an arbitrary label
+    /// (used by test/cluster setup to give each replica a key).
+    pub fn from_label(label: &[u8]) -> SigningKey {
+        let mut h = Sha512::new();
+        h.update(b"poe-ed25519-keygen/");
+        h.update(label);
+        let d = h.finalize();
+        let seed: [u8; 32] = d[..32].try_into().expect("split");
+        SigningKey::from_seed(&seed)
+    }
+
+    /// The public half.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// The original seed.
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
+    }
+
+    /// Signs `msg` (RFC 8032 §5.1.6).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let r_scalar = {
+            let mut h = Sha512::new();
+            h.update(&self.prefix);
+            h.update(msg);
+            reduce_mod_l(&h.finalize())
+        };
+        let r_point = base_point().scalar_mul(&r_scalar);
+        let r_bytes = r_point.compress();
+        let k = {
+            let mut h = Sha512::new();
+            h.update(&r_bytes);
+            h.update(&self.public.0);
+            h.update(msg);
+            reduce_mod_l(&h.finalize())
+        };
+        let s = sc_muladd(&k, &self.scalar, &r_scalar);
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig[..32].copy_from_slice(&r_bytes);
+        sig[32..].copy_from_slice(&s);
+        Signature(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn seed(hex: &str) -> [u8; 32] {
+        from_hex(hex).try_into().unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1.
+    #[test]
+    fn rfc8032_test1_empty_message() {
+        let sk = SigningKey::from_seed(&seed(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(sk.verifying_key().verify(b"", &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 2.
+    #[test]
+    fn rfc8032_test2_one_byte() {
+        let sk = SigningKey::from_seed(&seed(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let msg = [0x72u8];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                 085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 3.
+    #[test]
+    fn rfc8032_test3_two_bytes() {
+        let sk = SigningKey::from_seed(&seed(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025")
+        );
+        let msg = from_hex("af82");
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                 18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 1024 (long message).
+    #[test]
+    fn rfc8032_test_1024_byte_message() {
+        let sk = SigningKey::from_seed(&seed(
+            "f5e5767cf153319517630f226876b86c8160cc583bc013744c6bf255f5cc0ee5",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("278117fc144c72340f67d0f2316e8386ceffbf2b2428c9c51fef7c597f1d426e")
+        );
+        // The 1023-byte message from the RFC, constructed deterministically
+        // is long; use a shortened self-consistency check instead plus the
+        // known-signature prefix check for the first 64 bytes of the message.
+        let msg: Vec<u8> = from_hex(
+            "08b8b2b733424243760fe426a4b54908632110a66c2f6591eabd3345e3e4eb98\
+             fa6e264bf09efe12ee50f8f54e9f77b1e355f6c50544e23fb1433ddf73be84d8\
+             79de7c0046dc4996d9e773f4bc9efe5738829adb26c81b37c93a1b270b20329d\
+             658675fc6ea534e0810a4432826bf58c941efb65d57a338bbd2e26640f89ffbc\
+             1a858efcb8550ee3a5e1998bd177e93a7363c344fe6b199ee5d02e82d522c4fe\
+             ba15452f80288a821a579116ec6dad2b3b310da903401aa62100ab5d1a36553e\
+             06203b33890cc9b832f79ef80560ccb9a39ce767967ed628c6ad573cb116dbef\
+             efd75499da96bd68a8a97b928a8bbc103b6621fcde2beca1231d206be6cd9ec7\
+             aff6f6c94fcd7204ed3455c68c83f4a41da4af2b74ef5c53f1d8ac70bdcb7ed1\
+             85ce81bd84359d44254d95629e9855a94a7c1958d1f8ada5d0532ed8a5aa3fb2\
+             d17ba70eb6248e594e1a2297acbbb39d502f1a8c6eb6f1ce22b3de1a1f40cc24\
+             554119a831a9aad6079cad88425de6bde1a9187ebb6092cf67bf2b13fd65f270\
+             88d78b7e883c8759d2c4f5c65adb7553878ad575f9fad878e80a0c9ba63bcbcc\
+             2732e69485bbc9c90bfbd62481d9089beccf80cfe2df16a2cf65bd92dd597b07\
+             07e0917af48bbb75fed413d238f5555a7a569d80c3414a8d0859dc65a46128ba\
+             b27af87a71314f318c782b23ebfe808b82b0ce26401d2e22f04d83d1255dc51a\
+             ddd3b75a2b1ae0784504df543af8969be3ea7082ff7fc9888c144da2af58429e\
+             c96031dbcad3dad9af0dcbaaaf268cb8fcffead94f3c7ca495e056a9b47acdb7\
+             51fb73e666c6c655ade8297297d07ad1ba5e43f1bca32301651339e22904cc8c\
+             42f58c30c04aafdb038dda0847dd988dcda6f3bfd15c4b4c4525004aa06eeff8\
+             ca61783aacec57fb3d1f92b0fe2fd1a85f6724517b65e614ad6808d6f6ee34df\
+             f7310fdc82aebfd904b01e1dc54b2927094b2db68d6f903b68401adebf5a7e08\
+             d78ff4ef5d63653a65040cf9bfd4aca7984a74d37145986780fc0b16ac451649\
+             de6188a7dbdf191f64b5fc5e2ab47b57f7f7276cd419c17a3ca8e1b939ae49e4\
+             88acba6b965610b5480109c8b17b80e1b7b750dfc7598d5d5011fd2dcc5600a3\
+             2ef5b52a1ecc820e308aa342721aac0943bf6686b64b2579376504ccc493d97e\
+             6aed3fb0f9cd71a43dd497f01f17c0e2cb3797aa2a2f256656168e6c496afc5f\
+             b93246f6b1116398a346f1a641f3b041e989f7914f90cc2c7fff357876e506b5\
+             0d334ba77c225bc307ba537152f3f1610e4eafe595f6d9d90d11faa933a15ef1\
+             369546868a7f3a45a96768d40fd9d03412c091c6315cf4fde7cb68606937380d\
+             b2eaaa707b4c4185c32eddcdd306705e4dc1ffc872eeee475a64dfac86aba41c\
+             0618983f8741c5ef68d3a101e8a3b8cac60c905c15fc910840b94c00a0b9d0",
+        );
+        let expect_sig = from_hex(
+            "0aab4c900501b3e24d7cdf4663326a3a87df5e4843b2cbdb67cbf6e460fec350\
+             aa5371b1508f9f4528ecea23c436d94b5e8fcd4f681e30a6ac00a9704a188a03",
+        );
+        let sig = sk.sign(&msg);
+        assert_eq!(sig.as_bytes().to_vec(), expect_sig);
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_label(b"replica-0");
+        let sig = sk.sign(b"hello");
+        assert!(sk.verifying_key().verify(b"hello", &sig));
+        assert!(!sk.verifying_key().verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_label(b"replica-1");
+        let sig = sk.sign(b"payload");
+        for i in [0usize, 31, 32, 63] {
+            let mut bad = *sig.as_bytes();
+            bad[i] ^= 0x01;
+            assert!(
+                !sk.verifying_key().verify(b"payload", &Signature::from_bytes(bad)),
+                "flip at {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_label(b"a");
+        let sk2 = SigningKey::from_label(b"b");
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // Construct S = L (non-canonical encoding of 0 + L).
+        let sk = SigningKey::from_label(b"c");
+        let sig = sk.sign(b"msg");
+        let mut forged = *sig.as_bytes();
+        // Overwrite S with L itself (little endian).
+        let l_bytes: [u8; 32] = {
+            let mut b = [0u8; 32];
+            for i in 0..32 {
+                b[i] = (L_LIMBS[i / 8] >> ((i % 8) * 8)) as u8;
+            }
+            b
+        };
+        forged[32..].copy_from_slice(&l_bytes);
+        assert!(!sk.verifying_key().verify(b"msg", &Signature::from_bytes(forged)));
+    }
+
+    #[test]
+    fn from_label_is_deterministic_and_distinct() {
+        let a1 = SigningKey::from_label(b"x");
+        let a2 = SigningKey::from_label(b"x");
+        let b = SigningKey::from_label(b"y");
+        assert_eq!(a1.verifying_key(), a2.verifying_key());
+        assert_ne!(a1.verifying_key(), b.verifying_key());
+    }
+
+    #[test]
+    fn fe_d_matches_canonical_hex() {
+        // d = 0x52036cee2b6ffe738cc740797779e89800700a4d4141d8ab75eb4dca135978a3
+        let expect: Vec<u8> = from_hex(
+            "52036cee2b6ffe738cc740797779e89800700a4d4141d8ab75eb4dca135978a3",
+        )
+        .into_iter()
+        .rev()
+        .collect();
+        assert_eq!(fe_d().to_bytes().to_vec(), expect);
+    }
+
+    #[test]
+    fn base_point_x_matches_canonical() {
+        let b = base_point();
+        let zi = b.z.invert();
+        let x = b.x.mul(zi);
+        let expect: [u8; 32] = [
+            0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7,
+            0x2c, 0x69, 0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd,
+            0xd3, 0x36, 0x69, 0x21,
+        ];
+        assert_eq!(x.to_bytes(), expect);
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = base_point();
+        assert_eq!(b.double().compress(), b.add(b).compress());
+    }
+
+    #[test]
+    fn field_invert_roundtrip() {
+        let x = Fe::from_bytes(&[7u8; 32]);
+        let xi = x.invert();
+        assert!(x.mul(xi).eq(Fe::ONE));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = fe_sqrt_m1();
+        assert!(i.square().eq(Fe::ONE.neg()));
+    }
+
+    #[test]
+    fn base_point_has_order_l() {
+        // L * B = identity.
+        let mut l_bytes = [0u8; 32];
+        for i in 0..32 {
+            l_bytes[i] = (L_LIMBS[i / 8] >> ((i % 8) * 8)) as u8;
+        }
+        let p = base_point().scalar_mul(&l_bytes);
+        assert_eq!(p.compress(), Point::identity().compress());
+    }
+
+    #[test]
+    fn point_add_neg_is_identity() {
+        let b = base_point();
+        let sum = b.add(&b.neg());
+        assert_eq!(sum.compress(), Point::identity().compress());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let b = base_point();
+        let mut acc = Point::identity();
+        for _ in 0..17 {
+            acc = acc.add(b);
+        }
+        let mut k = [0u8; 32];
+        k[0] = 17;
+        assert_eq!(b.scalar_mul(&k).compress(), acc.compress());
+    }
+
+    #[test]
+    fn reduce_mod_l_small_values_unchanged() {
+        let mut v = [0u8; 64];
+        v[0] = 42;
+        let r = reduce_mod_l(&v);
+        assert_eq!(r[0], 42);
+        assert!(r[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn reduce_mod_l_l_is_zero() {
+        let mut v = [0u8; 64];
+        for i in 0..32 {
+            v[i] = (L_LIMBS[i / 8] >> ((i % 8) * 8)) as u8;
+        }
+        let r = reduce_mod_l(&v);
+        assert_eq!(r, [0u8; 32]);
+    }
+
+    #[test]
+    fn sc_muladd_small() {
+        // 3 * 4 + 5 = 17
+        let mut a = [0u8; 32];
+        a[0] = 3;
+        let mut b = [0u8; 32];
+        b[0] = 4;
+        let mut c = [0u8; 32];
+        c[0] = 5;
+        let r = sc_muladd(&a, &b, &c);
+        assert_eq!(r[0], 17);
+        assert!(r[1..].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,156 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! HMAC is the default pairwise message-authentication code between
+//! replicas: the paper's "MAC" configuration authenticates every
+//! non-forwarded message (PROPOSE, SUPPORT, INFORM, NV-PROPOSE) with
+//! symmetric cryptography.
+
+use crate::sha2::{Sha256, SHA256_LEN};
+
+/// Length of an HMAC-SHA256 tag in bytes.
+pub const HMAC_LEN: usize = SHA256_LEN;
+
+const BLOCK: usize = 64;
+
+/// A reusable HMAC-SHA256 keyed instance.
+///
+/// Precomputes the inner/outer padded keys so repeated tagging with the same
+/// key only costs the message hashing.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    ipad_state: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates an instance for `key` (any length; longer keys are hashed
+    /// first, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha2::sha256(key);
+            k[..SHA256_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut ipad_state = Sha256::new();
+        ipad_state.update(&ipad);
+        HmacSha256 { ipad_state, opad_key: opad }
+    }
+
+    /// Computes the tag over `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; HMAC_LEN] {
+        let mut inner = self.ipad_state.clone();
+        inner.update(msg);
+        let inner_hash = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+
+    /// Verifies `tag` over `msg` in constant time with respect to the tag
+    /// contents.
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        let expect = self.tag(msg);
+        ct_eq(&expect, tag)
+    }
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; HMAC_LEN] {
+    HmacSha256::new(key).tag(msg)
+}
+
+/// Constant-time byte-slice equality (length leak is fine).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = HmacSha256::new(b"secret");
+        let tag = mac.tag(b"message");
+        assert!(mac.verify(b"message", &tag));
+        assert!(!mac.verify(b"message2", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!mac.verify(b"message", &bad));
+        assert!(!mac.verify(b"message", &tag[..16]));
+    }
+
+    #[test]
+    fn reusable_instance_matches_oneshot() {
+        let mac = HmacSha256::new(b"k");
+        for msg in [&b"a"[..], b"bb", b"ccc", &[0u8; 1000]] {
+            assert_eq!(mac.tag(msg), hmac_sha256(b"k", msg));
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,432 @@
+//! Per-node cryptographic facade.
+//!
+//! [`KeyMaterial`] holds the key setup for an entire cluster (replicas and
+//! clients); [`CryptoProvider`] is the per-node view used by protocol code.
+//! The [`CryptoMode`] selects between the configurations the paper compares
+//! in Figure 8: no authentication, Ed25519 everywhere, or MACs between
+//! replicas with Ed25519-signing clients.
+//!
+//! Node indexing convention: replicas occupy global indices
+//! `0..n_replicas`, clients occupy `n_replicas..n_replicas+n_clients`.
+
+use crate::cmac::AesCmac;
+use crate::ed25519::{Signature, SigningKey, VerifyingKey};
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::threshold::{CertScheme, SignatureShare, ThresholdCert, ThresholdError, ThresholdSigner};
+use std::sync::Arc;
+
+/// Global node index (replicas first, then clients).
+pub type NodeIndex = u32;
+
+/// Replica/client authentication configuration (paper Figure 8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CryptoMode {
+    /// No signatures or MACs at all ("None" in Fig. 8). Unsafe; upper-bound
+    /// measurements only.
+    None,
+    /// Everyone signs everything with Ed25519 ("ED" in Fig. 8).
+    Ed25519,
+    /// Replicas use HMAC-SHA256 pairwise MACs; clients sign with Ed25519.
+    Hmac,
+    /// Replicas use AES-CMAC pairwise MACs; clients sign with Ed25519
+    /// ("CMAC" in Fig. 8, the paper's recommended configuration).
+    #[default]
+    Cmac,
+}
+
+/// An authenticator attached to a message, produced by
+/// [`CryptoProvider::authenticate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AuthTag {
+    /// No authentication (CryptoMode::None).
+    None,
+    /// HMAC-SHA256 tag.
+    Hmac([u8; 32]),
+    /// AES-CMAC tag.
+    Cmac([u8; 16]),
+    /// Ed25519 signature.
+    Sig(Signature),
+}
+
+impl AuthTag {
+    /// Serialized size in bytes (for the bandwidth model).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            AuthTag::None => 1,
+            AuthTag::Hmac(_) => 33,
+            AuthTag::Cmac(_) => 17,
+            AuthTag::Sig(_) => 65,
+        }
+    }
+
+    /// Manual wire encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AuthTag::None => out.push(0),
+            AuthTag::Hmac(t) => {
+                out.push(1);
+                out.extend_from_slice(t);
+            }
+            AuthTag::Cmac(t) => {
+                out.push(2);
+                out.extend_from_slice(t);
+            }
+            AuthTag::Sig(s) => {
+                out.push(3);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decodes a tag, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(AuthTag, usize)> {
+        match *buf.first()? {
+            0 => Some((AuthTag::None, 1)),
+            1 => {
+                let raw: [u8; 32] = buf.get(1..33)?.try_into().ok()?;
+                Some((AuthTag::Hmac(raw), 33))
+            }
+            2 => {
+                let raw: [u8; 16] = buf.get(1..17)?.try_into().ok()?;
+                Some((AuthTag::Cmac(raw), 17))
+            }
+            3 => {
+                let raw: [u8; 64] = buf.get(1..65)?.try_into().ok()?;
+                Some((AuthTag::Sig(Signature::from_bytes(raw)), 65))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Cluster-wide key material: the trusted-setup output distributed to every
+/// node before the system starts (standard assumption in the BFT
+/// literature).
+pub struct KeyMaterial {
+    n_replicas: usize,
+    n_clients: usize,
+    mode: CryptoMode,
+    cert_scheme: CertScheme,
+    threshold: usize,
+    mac_master: [u8; 32],
+    sim_master: [u8; 32],
+    signing_keys: Vec<SigningKey>,
+    verifying_keys: Vec<VerifyingKey>,
+}
+
+impl KeyMaterial {
+    /// Generates deterministic key material for a cluster from a seed.
+    ///
+    /// `threshold` is the number of signature shares needed for a
+    /// certificate (the paper's `nf = n - f`).
+    pub fn generate(
+        n_replicas: usize,
+        n_clients: usize,
+        threshold: usize,
+        mode: CryptoMode,
+        cert_scheme: CertScheme,
+        seed: u64,
+    ) -> Arc<KeyMaterial> {
+        let total = n_replicas + n_clients;
+        let signing_keys: Vec<SigningKey> = (0..total)
+            .map(|i| {
+                SigningKey::from_label(format!("poe/seed={seed}/node={i}").as_bytes())
+            })
+            .collect();
+        let verifying_keys = signing_keys.iter().map(|k| k.verifying_key()).collect();
+        let mac_master = hmac_sha256(&seed.to_le_bytes(), b"mac-master");
+        let sim_master = hmac_sha256(&seed.to_le_bytes(), b"sim-ts-master");
+        Arc::new(KeyMaterial {
+            n_replicas,
+            n_clients,
+            mode,
+            cert_scheme,
+            threshold,
+            mac_master,
+            sim_master,
+            signing_keys,
+            verifying_keys,
+        })
+    }
+
+    /// Number of replicas in the setup.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// Number of clients in the setup.
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// The configured authentication mode.
+    pub fn mode(&self) -> CryptoMode {
+        self.mode
+    }
+
+    /// Provider for replica `i`.
+    pub fn replica(self: &Arc<Self>, i: usize) -> CryptoProvider {
+        assert!(i < self.n_replicas, "replica index {i} out of range");
+        CryptoProvider::new(Arc::clone(self), i as NodeIndex)
+    }
+
+    /// Provider for client `c` (0-based client index).
+    pub fn client(self: &Arc<Self>, c: usize) -> CryptoProvider {
+        assert!(c < self.n_clients, "client index {c} out of range");
+        CryptoProvider::new(Arc::clone(self), (self.n_replicas + c) as NodeIndex)
+    }
+
+    fn pair_key(&self, a: NodeIndex, b: NodeIndex) -> [u8; 32] {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut label = [0u8; 8];
+        label[..4].copy_from_slice(&lo.to_le_bytes());
+        label[4..].copy_from_slice(&hi.to_le_bytes());
+        hmac_sha256(&self.mac_master, &label)
+    }
+}
+
+/// The per-node cryptographic interface protocol code talks to.
+#[derive(Clone)]
+pub struct CryptoProvider {
+    material: Arc<KeyMaterial>,
+    me: NodeIndex,
+    threshold_signer: ThresholdSigner,
+}
+
+impl CryptoProvider {
+    fn new(material: Arc<KeyMaterial>, me: NodeIndex) -> Self {
+        let is_replica = (me as usize) < material.n_replicas;
+        let ed_key = is_replica.then(|| material.signing_keys[me as usize].clone());
+        let threshold_signer = ThresholdSigner::new(
+            material.cert_scheme,
+            material.threshold,
+            me,
+            ed_key,
+            material.verifying_keys[..material.n_replicas].to_vec(),
+            material.sim_master,
+        );
+        CryptoProvider { material, me, threshold_signer }
+    }
+
+    /// This node's global index.
+    pub fn index(&self) -> NodeIndex {
+        self.me
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> CryptoMode {
+        self.material.mode
+    }
+
+    /// The digest function `D(·)`.
+    pub fn digest(&self, data: &[u8]) -> crate::digest::Digest {
+        crate::digest::Digest::of(data)
+    }
+
+    // -- Point-to-point authentication ------------------------------------
+
+    /// Authenticates `msg` for transmission to `peer` under the configured
+    /// mode.
+    pub fn authenticate(&self, peer: NodeIndex, msg: &[u8]) -> AuthTag {
+        match self.material.mode {
+            CryptoMode::None => AuthTag::None,
+            CryptoMode::Ed25519 => AuthTag::Sig(self.sign(msg)),
+            CryptoMode::Hmac => {
+                AuthTag::Hmac(HmacSha256::new(&self.material.pair_key(self.me, peer)).tag(msg))
+            }
+            CryptoMode::Cmac => {
+                let key = self.material.pair_key(self.me, peer);
+                let k16: [u8; 16] = key[..16].try_into().expect("split");
+                AuthTag::Cmac(AesCmac::new(&k16).tag(msg))
+            }
+        }
+    }
+
+    /// Checks an authenticator on `msg` received from `peer`.
+    pub fn check(&self, peer: NodeIndex, msg: &[u8], tag: &AuthTag) -> bool {
+        match (tag, self.material.mode) {
+            (AuthTag::None, CryptoMode::None) => true,
+            (AuthTag::Sig(sig), CryptoMode::Ed25519) => self.verify_from(peer, msg, sig),
+            (AuthTag::Hmac(t), CryptoMode::Hmac) => {
+                HmacSha256::new(&self.material.pair_key(self.me, peer)).verify(msg, t)
+            }
+            (AuthTag::Cmac(t), CryptoMode::Cmac) => {
+                let key = self.material.pair_key(self.me, peer);
+                let k16: [u8; 16] = key[..16].try_into().expect("split");
+                AesCmac::new(&k16).verify(msg, t)
+            }
+            _ => false,
+        }
+    }
+
+    // -- Digital signatures (always available: clients sign requests) -----
+
+    /// Signs `msg` with this node's Ed25519 key.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        self.material.signing_keys[self.me as usize].sign(msg)
+    }
+
+    /// Verifies a signature allegedly from node `from`.
+    pub fn verify_from(&self, from: NodeIndex, msg: &[u8], sig: &Signature) -> bool {
+        self.material
+            .verifying_keys
+            .get(from as usize)
+            .is_some_and(|pk| pk.verify(msg, sig))
+    }
+
+    /// The verifying key of node `i` (e.g. for genesis-block construction).
+    pub fn verifying_key_of(&self, i: NodeIndex) -> Option<&VerifyingKey> {
+        self.material.verifying_keys.get(i as usize)
+    }
+
+    // -- Threshold certificates --------------------------------------------
+
+    /// Produces this replica's signature share over `msg`.
+    pub fn ts_share(&self, msg: &[u8]) -> SignatureShare {
+        self.threshold_signer.share(msg)
+    }
+
+    /// Verifies a single signature share.
+    pub fn ts_verify_share(&self, msg: &[u8], share: &SignatureShare) -> bool {
+        self.threshold_signer.verify_share(msg, share)
+    }
+
+    /// Aggregates shares into a certificate.
+    pub fn ts_aggregate(
+        &self,
+        msg: &[u8],
+        shares: &[SignatureShare],
+    ) -> Result<ThresholdCert, ThresholdError> {
+        self.threshold_signer.aggregate(msg, shares)
+    }
+
+    /// Verifies an aggregated certificate.
+    pub fn ts_verify_cert(&self, msg: &[u8], cert: &ThresholdCert) -> bool {
+        self.threshold_signer.verify_cert(msg, cert)
+    }
+
+    /// Number of shares a certificate requires.
+    pub fn ts_threshold(&self) -> usize {
+        self.threshold_signer.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(mode: CryptoMode) -> Arc<KeyMaterial> {
+        KeyMaterial::generate(4, 2, 3, mode, CertScheme::MultiSig, 42)
+    }
+
+    #[test]
+    fn replica_client_indexing() {
+        let km = setup(CryptoMode::Cmac);
+        assert_eq!(km.replica(0).index(), 0);
+        assert_eq!(km.replica(3).index(), 3);
+        assert_eq!(km.client(0).index(), 4);
+        assert_eq!(km.client(1).index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replica_index_bounds_checked() {
+        let km = setup(CryptoMode::Cmac);
+        let _ = km.replica(4);
+    }
+
+    #[test]
+    fn mac_roundtrip_all_modes() {
+        for mode in [CryptoMode::None, CryptoMode::Ed25519, CryptoMode::Hmac, CryptoMode::Cmac] {
+            let km = setup(mode);
+            let a = km.replica(0);
+            let b = km.replica(1);
+            let tag = a.authenticate(1, b"payload");
+            assert!(b.check(0, b"payload", &tag), "mode {mode:?}");
+            if mode != CryptoMode::None {
+                assert!(!b.check(0, b"tampered", &tag), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_is_pairwise() {
+        // A tag made for peer 1 must not verify as coming over the (0,2) link.
+        let km = setup(CryptoMode::Cmac);
+        let a = km.replica(0);
+        let c = km.replica(2);
+        let tag = a.authenticate(1, b"m");
+        assert!(!c.check(0, b"m", &tag));
+    }
+
+    #[test]
+    fn wrong_mode_tag_rejected() {
+        let km = setup(CryptoMode::Cmac);
+        let a = km.replica(0);
+        let b = km.replica(1);
+        let tag = AuthTag::Hmac([0u8; 32]);
+        assert!(!b.check(0, b"m", &tag));
+        let _ = a;
+    }
+
+    #[test]
+    fn client_signatures_verify_at_replicas() {
+        let km = setup(CryptoMode::Cmac);
+        let client = km.client(0);
+        let replica = km.replica(2);
+        let sig = client.sign(b"request");
+        assert!(replica.verify_from(client.index(), b"request", &sig));
+        assert!(!replica.verify_from(client.index(), b"forged", &sig));
+        // Not attributable to another client.
+        assert!(!replica.verify_from(km.client(1).index(), b"request", &sig));
+    }
+
+    #[test]
+    fn threshold_via_provider() {
+        let km = setup(CryptoMode::Cmac);
+        let providers: Vec<_> = (0..4).map(|i| km.replica(i)).collect();
+        let msg = b"h";
+        let shares: Vec<_> = providers.iter().map(|p| p.ts_share(msg)).collect();
+        let cert = providers[0].ts_aggregate(msg, &shares).expect("agg");
+        for p in &providers {
+            assert!(p.ts_verify_cert(msg, &cert));
+        }
+    }
+
+    #[test]
+    fn auth_tag_codec_roundtrip() {
+        let km = setup(CryptoMode::Ed25519);
+        let a = km.replica(0);
+        for tag in [
+            AuthTag::None,
+            AuthTag::Hmac([7u8; 32]),
+            AuthTag::Cmac([8u8; 16]),
+            AuthTag::Sig(a.sign(b"x")),
+        ] {
+            let mut buf = Vec::new();
+            tag.encode(&mut buf);
+            assert_eq!(buf.len(), tag.encoded_len());
+            let (decoded, used) = AuthTag::decode(&buf).expect("decode");
+            assert_eq!(used, buf.len());
+            assert_eq!(decoded, tag);
+        }
+        assert!(AuthTag::decode(&[]).is_none());
+        assert!(AuthTag::decode(&[1, 2, 3]).is_none());
+        assert!(AuthTag::decode(&[9]).is_none());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 7);
+        let b = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 7);
+        let c = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 8);
+        assert_eq!(
+            a.replica(0).sign(b"m").as_bytes(),
+            b.replica(0).sign(b"m").as_bytes()
+        );
+        assert_ne!(
+            a.replica(0).sign(b"m").as_bytes(),
+            c.replica(0).sign(b"m").as_bytes()
+        );
+    }
+}

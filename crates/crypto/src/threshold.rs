@@ -1,0 +1,552 @@
+//! Threshold certificates: the paper's `⟨v⟩` aggregated signatures.
+//!
+//! In PoE's threshold-signature mode, each replica sends a *signature share*
+//! `s⟨h⟩i` to the primary, which aggregates `nf` shares into a single
+//! certificate `⟨h⟩` broadcast in the CERTIFY message. The paper instantiates
+//! this with BLS. Pairing-based BLS is out of scope for a from-scratch
+//! no-dependency build, so this module offers two schemes with the same
+//! quorum semantics (see DESIGN.md §4):
+//!
+//! * [`CertScheme::MultiSig`] — a *multi-signature certificate*: the share is
+//!   a real Ed25519 signature and the certificate is the vector of `nf`
+//!   signatures from distinct replicas. Unforgeable with ≤ f byzantine
+//!   replicas, publicly verifiable, identical message/phase counts to BLS;
+//!   only the certificate is O(n)·64 bytes instead of constant-size (the
+//!   simulator's bandwidth model accounts for this).
+//! * [`CertScheme::Simulated`] — a dealer-keyed scheme for simulation runs:
+//!   shares and certificates are HMAC tags under keys derived from a master
+//!   secret known to the (single-process) simulation environment. It has
+//!   BLS-like constant-size certificates and a configurable cost model, but
+//!   offers no real asymmetric security — byzantine *scripted* behaviour in
+//!   the simulator never forges tags, and adversarial unit tests use
+//!   `MultiSig`.
+
+use crate::ed25519::{Signature, SigningKey, VerifyingKey, SIGNATURE_LEN};
+use crate::hmac::{hmac_sha256, HmacSha256};
+use std::fmt;
+
+/// Which certificate scheme a cluster runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CertScheme {
+    /// Vector-of-Ed25519-signatures certificate (real cryptography).
+    #[default]
+    MultiSig,
+    /// Dealer-keyed HMAC certificate (simulation only).
+    Simulated,
+}
+
+/// A signature share `s⟨h⟩i` produced by replica `signer`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SignatureShare {
+    /// Index of the replica that produced the share.
+    pub signer: u32,
+    /// Scheme-specific share payload.
+    pub payload: SharePayload,
+}
+
+/// Scheme-specific share payload.
+#[derive(Clone, PartialEq, Eq)]
+pub enum SharePayload {
+    /// An Ed25519 signature over the message.
+    Ed(Signature),
+    /// An HMAC tag under the signer's dealer-derived share key.
+    Sim([u8; 32]),
+}
+
+impl fmt::Debug for SignatureShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            SharePayload::Ed(_) => write!(f, "Share(ed, signer={})", self.signer),
+            SharePayload::Sim(_) => write!(f, "Share(sim, signer={})", self.signer),
+        }
+    }
+}
+
+impl SignatureShare {
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match &self.payload {
+            SharePayload::Ed(_) => 5 + SIGNATURE_LEN,
+            SharePayload::Sim(_) => 5 + 32,
+        }
+    }
+
+    /// Manual wire encoding (tag, signer, payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match &self.payload {
+            SharePayload::Ed(sig) => {
+                out.push(0);
+                out.extend_from_slice(&self.signer.to_le_bytes());
+                out.extend_from_slice(sig.as_bytes());
+            }
+            SharePayload::Sim(tag) => {
+                out.push(1);
+                out.extend_from_slice(&self.signer.to_le_bytes());
+                out.extend_from_slice(tag);
+            }
+        }
+    }
+
+    /// Decodes a share, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(SignatureShare, usize)> {
+        let tag = *buf.first()?;
+        let signer = u32::from_le_bytes(buf.get(1..5)?.try_into().ok()?);
+        match tag {
+            0 => {
+                let raw: [u8; SIGNATURE_LEN] =
+                    buf.get(5..5 + SIGNATURE_LEN)?.try_into().ok()?;
+                Some((
+                    SignatureShare { signer, payload: SharePayload::Ed(Signature::from_bytes(raw)) },
+                    5 + SIGNATURE_LEN,
+                ))
+            }
+            1 => {
+                let raw: [u8; 32] = buf.get(5..37)?.try_into().ok()?;
+                Some((SignatureShare { signer, payload: SharePayload::Sim(raw) }, 37))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An aggregated threshold certificate `⟨h⟩`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ThresholdCert {
+    /// Sorted indices of contributing replicas (length = threshold).
+    pub signers: Vec<u32>,
+    /// Scheme-specific proof.
+    pub proof: CertProof,
+}
+
+/// Scheme-specific certificate proof.
+#[derive(Clone, PartialEq, Eq)]
+pub enum CertProof {
+    /// One Ed25519 signature per signer, in `signers` order.
+    Multi(Vec<Signature>),
+    /// A single dealer-keyed HMAC tag binding message and signer set.
+    Sim([u8; 32]),
+}
+
+impl fmt::Debug for ThresholdCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThresholdCert({} signers)", self.signers.len())
+    }
+}
+
+impl ThresholdCert {
+    /// Serialized size in bytes (used by the bandwidth model).
+    pub fn encoded_len(&self) -> usize {
+        match &self.proof {
+            CertProof::Multi(sigs) => 1 + 2 + self.signers.len() * 4 + sigs.len() * SIGNATURE_LEN,
+            CertProof::Sim(_) => 1 + 2 + self.signers.len() * 4 + 32,
+        }
+    }
+
+    /// Manual wire encoding (tag, count, signers, proof).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match &self.proof {
+            CertProof::Multi(sigs) => {
+                out.push(0);
+                out.extend_from_slice(&(self.signers.len() as u16).to_le_bytes());
+                for s in &self.signers {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                for sig in sigs {
+                    out.extend_from_slice(sig.as_bytes());
+                }
+            }
+            CertProof::Sim(tag) => {
+                out.push(1);
+                out.extend_from_slice(&(self.signers.len() as u16).to_le_bytes());
+                for s in &self.signers {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                out.extend_from_slice(tag);
+            }
+        }
+    }
+
+    /// Decodes a certificate, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(ThresholdCert, usize)> {
+        let tag = *buf.first()?;
+        if buf.len() < 3 {
+            return None;
+        }
+        let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+        let mut off = 3;
+        let mut signers = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.len() < off + 4 {
+                return None;
+            }
+            signers.push(u32::from_le_bytes(buf[off..off + 4].try_into().ok()?));
+            off += 4;
+        }
+        let proof = match tag {
+            0 => {
+                let mut sigs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if buf.len() < off + SIGNATURE_LEN {
+                        return None;
+                    }
+                    let raw: [u8; SIGNATURE_LEN] = buf[off..off + SIGNATURE_LEN].try_into().ok()?;
+                    sigs.push(Signature::from_bytes(raw));
+                    off += SIGNATURE_LEN;
+                }
+                CertProof::Multi(sigs)
+            }
+            1 => {
+                if buf.len() < off + 32 {
+                    return None;
+                }
+                let raw: [u8; 32] = buf[off..off + 32].try_into().ok()?;
+                off += 32;
+                CertProof::Sim(raw)
+            }
+            _ => return None,
+        };
+        Some((ThresholdCert { signers, proof }, off))
+    }
+}
+
+/// Errors from certificate aggregation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThresholdError {
+    /// Fewer than `threshold` distinct valid shares were supplied.
+    NotEnoughShares,
+    /// A share failed verification.
+    InvalidShare(u32),
+    /// A share used the wrong scheme.
+    SchemeMismatch,
+    /// The same signer contributed twice.
+    DuplicateSigner(u32),
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::NotEnoughShares => write!(f, "not enough valid signature shares"),
+            ThresholdError::InvalidShare(i) => write!(f, "invalid signature share from {i}"),
+            ThresholdError::SchemeMismatch => write!(f, "signature share scheme mismatch"),
+            ThresholdError::DuplicateSigner(i) => write!(f, "duplicate signature share from {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+/// Cluster-wide threshold signing context for one replica.
+///
+/// Holds whatever key material the selected scheme needs. Constructed by
+/// [`crate::provider::KeyMaterial`].
+#[derive(Clone)]
+pub struct ThresholdSigner {
+    scheme: CertScheme,
+    threshold: usize,
+    my_index: u32,
+    /// MultiSig: this replica's Ed25519 key.
+    ed_key: Option<SigningKey>,
+    /// MultiSig: everyone's verifying keys, indexed by replica.
+    ed_public: Vec<VerifyingKey>,
+    /// Simulated: dealer master secret (shared by the simulation process).
+    sim_master: [u8; 32],
+}
+
+impl ThresholdSigner {
+    /// Builds a signer context.
+    pub fn new(
+        scheme: CertScheme,
+        threshold: usize,
+        my_index: u32,
+        ed_key: Option<SigningKey>,
+        ed_public: Vec<VerifyingKey>,
+        sim_master: [u8; 32],
+    ) -> Self {
+        ThresholdSigner { scheme, threshold, my_index, ed_key, ed_public, sim_master }
+    }
+
+    /// The number of shares required for a certificate (the paper's `nf`).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> CertScheme {
+        self.scheme
+    }
+
+    fn sim_share_key(&self, signer: u32) -> [u8; 32] {
+        let mut label = [0u8; 8];
+        label[..4].copy_from_slice(&signer.to_le_bytes());
+        hmac_sha256(&self.sim_master, &label)
+    }
+
+    /// Produces this replica's share `s⟨msg⟩i`.
+    pub fn share(&self, msg: &[u8]) -> SignatureShare {
+        let payload = match self.scheme {
+            CertScheme::MultiSig => {
+                let key = self.ed_key.as_ref().expect("multisig signer needs an Ed25519 key");
+                SharePayload::Ed(key.sign(msg))
+            }
+            CertScheme::Simulated => {
+                SharePayload::Sim(hmac_sha256(&self.sim_share_key(self.my_index), msg))
+            }
+        };
+        SignatureShare { signer: self.my_index, payload }
+    }
+
+    /// Verifies a share claimed to come from `share.signer`.
+    pub fn verify_share(&self, msg: &[u8], share: &SignatureShare) -> bool {
+        match (&share.payload, self.scheme) {
+            (SharePayload::Ed(sig), CertScheme::MultiSig) => self
+                .ed_public
+                .get(share.signer as usize)
+                .is_some_and(|pk| pk.verify(msg, sig)),
+            (SharePayload::Sim(tag), CertScheme::Simulated) => {
+                HmacSha256::new(&self.sim_share_key(share.signer)).verify(msg, tag)
+            }
+            _ => false,
+        }
+    }
+
+    /// Aggregates at least `threshold` valid shares from distinct signers
+    /// into a certificate.
+    pub fn aggregate(
+        &self,
+        msg: &[u8],
+        shares: &[SignatureShare],
+    ) -> Result<ThresholdCert, ThresholdError> {
+        let mut seen = std::collections::BTreeMap::new();
+        for share in shares {
+            if seen.contains_key(&share.signer) {
+                return Err(ThresholdError::DuplicateSigner(share.signer));
+            }
+            if !self.verify_share(msg, share) {
+                return Err(ThresholdError::InvalidShare(share.signer));
+            }
+            seen.insert(share.signer, share.clone());
+            if seen.len() == self.threshold {
+                break;
+            }
+        }
+        if seen.len() < self.threshold {
+            return Err(ThresholdError::NotEnoughShares);
+        }
+        let signers: Vec<u32> = seen.keys().copied().collect();
+        let proof = match self.scheme {
+            CertScheme::MultiSig => CertProof::Multi(
+                seen.values()
+                    .map(|s| match &s.payload {
+                        SharePayload::Ed(sig) => *sig,
+                        SharePayload::Sim(_) => unreachable!("verified scheme above"),
+                    })
+                    .collect(),
+            ),
+            CertScheme::Simulated => CertProof::Sim(self.sim_cert_tag(msg, &signers)),
+        };
+        Ok(ThresholdCert { signers, proof })
+    }
+
+    fn sim_cert_tag(&self, msg: &[u8], signers: &[u32]) -> [u8; 32] {
+        let mut data = Vec::with_capacity(msg.len() + signers.len() * 4 + 4);
+        data.extend_from_slice(b"cert");
+        data.extend_from_slice(msg);
+        for s in signers {
+            data.extend_from_slice(&s.to_le_bytes());
+        }
+        hmac_sha256(&self.sim_master, &data)
+    }
+
+    /// Verifies an aggregated certificate over `msg`.
+    pub fn verify_cert(&self, msg: &[u8], cert: &ThresholdCert) -> bool {
+        if cert.signers.len() < self.threshold {
+            return false;
+        }
+        // Signers must be distinct (sorted ascending enforces it cheaply).
+        if cert.signers.windows(2).any(|w| w[0] >= w[1]) {
+            return false;
+        }
+        match (&cert.proof, self.scheme) {
+            (CertProof::Multi(sigs), CertScheme::MultiSig) => {
+                if sigs.len() != cert.signers.len() {
+                    return false;
+                }
+                cert.signers.iter().zip(sigs).all(|(signer, sig)| {
+                    self.ed_public
+                        .get(*signer as usize)
+                        .is_some_and(|pk| pk.verify(msg, sig))
+                })
+            }
+            (CertProof::Sim(tag), CertScheme::Simulated) => {
+                let expect = self.sim_cert_tag(msg, &cert.signers);
+                crate::hmac::ct_eq(&expect, tag)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(scheme: CertScheme, n: usize, threshold: usize) -> Vec<ThresholdSigner> {
+        let keys: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_label(format!("replica-{i}").as_bytes()))
+            .collect();
+        let publics: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
+        (0..n)
+            .map(|i| {
+                ThresholdSigner::new(
+                    scheme,
+                    threshold,
+                    i as u32,
+                    Some(keys[i].clone()),
+                    publics.clone(),
+                    [9u8; 32],
+                )
+            })
+            .collect()
+    }
+
+    fn roundtrip(scheme: CertScheme) {
+        let n = 4;
+        let t = 3;
+        let signers = cluster(scheme, n, t);
+        let msg = b"propose:view=0,k=7";
+        let shares: Vec<SignatureShare> = signers.iter().map(|s| s.share(msg)).collect();
+        // Every replica can verify every share.
+        for s in &signers {
+            for share in &shares {
+                assert!(s.verify_share(msg, share));
+            }
+        }
+        let cert = signers[0].aggregate(msg, &shares[..t]).expect("aggregate");
+        assert_eq!(cert.signers.len(), t);
+        for s in &signers {
+            assert!(s.verify_cert(msg, &cert));
+        }
+        // Wrong message rejected.
+        assert!(!signers[1].verify_cert(b"other", &cert));
+    }
+
+    #[test]
+    fn multisig_roundtrip() {
+        roundtrip(CertScheme::MultiSig);
+    }
+
+    #[test]
+    fn simulated_roundtrip() {
+        roundtrip(CertScheme::Simulated);
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let signers = cluster(CertScheme::MultiSig, 4, 3);
+        let msg = b"m";
+        let shares: Vec<_> = signers.iter().take(2).map(|s| s.share(msg)).collect();
+        assert_eq!(
+            signers[0].aggregate(msg, &shares),
+            Err(ThresholdError::NotEnoughShares)
+        );
+    }
+
+    #[test]
+    fn duplicate_signer_rejected() {
+        let signers = cluster(CertScheme::MultiSig, 4, 3);
+        let msg = b"m";
+        let s0 = signers[0].share(msg);
+        let shares = vec![s0.clone(), s0, signers[1].share(msg)];
+        assert_eq!(
+            signers[0].aggregate(msg, &shares),
+            Err(ThresholdError::DuplicateSigner(0))
+        );
+    }
+
+    #[test]
+    fn forged_share_rejected() {
+        let signers = cluster(CertScheme::MultiSig, 4, 3);
+        let msg = b"m";
+        // Replica 3 forges a share claiming to be replica 0.
+        let mut forged = signers[3].share(msg);
+        forged.signer = 0;
+        assert!(!signers[1].verify_share(msg, &forged));
+        let shares = vec![forged, signers[1].share(msg), signers[2].share(msg)];
+        assert_eq!(
+            signers[0].aggregate(msg, &shares),
+            Err(ThresholdError::InvalidShare(0))
+        );
+    }
+
+    #[test]
+    fn undersized_cert_rejected() {
+        let signers = cluster(CertScheme::MultiSig, 4, 3);
+        let msg = b"m";
+        let shares: Vec<_> = signers.iter().map(|s| s.share(msg)).collect();
+        let cert = signers[0].aggregate(msg, &shares).unwrap();
+        let small = ThresholdCert {
+            signers: cert.signers[..2].to_vec(),
+            proof: match &cert.proof {
+                CertProof::Multi(sigs) => CertProof::Multi(sigs[..2].to_vec()),
+                CertProof::Sim(t) => CertProof::Sim(*t),
+            },
+        };
+        assert!(!signers[1].verify_cert(msg, &small));
+    }
+
+    #[test]
+    fn unsorted_or_duplicated_signers_rejected() {
+        let signers = cluster(CertScheme::Simulated, 4, 3);
+        let msg = b"m";
+        let shares: Vec<_> = signers.iter().map(|s| s.share(msg)).collect();
+        let mut cert = signers[0].aggregate(msg, &shares[..3]).unwrap();
+        cert.signers = vec![2, 1, 0];
+        assert!(!signers[1].verify_cert(msg, &cert));
+        cert.signers = vec![1, 1, 2];
+        assert!(!signers[1].verify_cert(msg, &cert));
+    }
+
+    #[test]
+    fn cert_encode_decode_roundtrip() {
+        for scheme in [CertScheme::MultiSig, CertScheme::Simulated] {
+            let signers = cluster(scheme, 4, 3);
+            let msg = b"roundtrip";
+            let shares: Vec<_> = signers.iter().map(|s| s.share(msg)).collect();
+            let cert = signers[0].aggregate(msg, &shares[..3]).unwrap();
+            let mut buf = Vec::new();
+            cert.encode(&mut buf);
+            assert_eq!(buf.len(), cert.encoded_len());
+            let (decoded, used) = ThresholdCert::decode(&buf).expect("decode");
+            assert_eq!(used, buf.len());
+            assert_eq!(decoded, cert);
+            assert!(signers[2].verify_cert(msg, &decoded));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let signers = cluster(CertScheme::MultiSig, 4, 3);
+        let msg = b"x";
+        let shares: Vec<_> = signers.iter().map(|s| s.share(msg)).collect();
+        let cert = signers[0].aggregate(msg, &shares[..3]).unwrap();
+        let mut buf = Vec::new();
+        cert.encode(&mut buf);
+        for cut in [0, 1, 2, 5, buf.len() - 1] {
+            assert!(ThresholdCert::decode(&buf[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn sim_scheme_smaller_cert_than_multisig() {
+        let ms = cluster(CertScheme::MultiSig, 4, 3);
+        let sim = cluster(CertScheme::Simulated, 4, 3);
+        let msg = b"size";
+        let ms_cert = ms[0]
+            .aggregate(msg, &ms.iter().map(|s| s.share(msg)).collect::<Vec<_>>()[..3])
+            .unwrap();
+        let sim_cert = sim[0]
+            .aggregate(msg, &sim.iter().map(|s| s.share(msg)).collect::<Vec<_>>()[..3])
+            .unwrap();
+        assert!(sim_cert.encoded_len() < ms_cert.encoded_len());
+    }
+}

@@ -1,0 +1,1013 @@
+//! Hand-written binary wire format.
+//!
+//! The offline dependency set has no serde *format* crate, so the wire
+//! format is written by hand: little-endian fixed-width integers,
+//! u32-length-prefixed sequences, one tag byte per enum variant. The same
+//! writer is generic over a [`Sink`] so messages can be *measured*
+//! (`encoded_len`) without allocating — the simulator's bandwidth model
+//! uses that path on every send.
+//!
+//! Signed view-change payloads (`PoeVcRequest`, `PbftViewChange`) expose
+//! `*_signing_bytes` helpers producing the exact byte string covered by
+//! their embedded Ed25519 signatures.
+
+use crate::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
+use crate::messages::{
+    ClientReply, Envelope, ExecEntry, HsBlock, HsQuorumCert, PbftPreparedEntry, PbftViewChange,
+    PoeVcRequest, ProtocolMsg, ReplyKind, ZyzCommitCert,
+};
+use crate::request::{Batch, ClientRequest};
+use poe_crypto::digest::{Digest, DIGEST_LEN};
+use poe_crypto::ed25519::Signature;
+use poe_crypto::provider::AuthTag;
+use poe_crypto::threshold::{SignatureShare, ThresholdCert};
+use std::sync::Arc;
+
+/// Byte sink abstraction: either a real buffer or a length counter.
+pub trait Sink {
+    /// Appends raw bytes.
+    fn put(&mut self, bytes: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put(&[b]);
+    }
+}
+
+impl Sink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// A sink that only counts bytes.
+#[derive(Default)]
+pub struct LenCounter(pub usize);
+
+impl Sink for LenCounter {
+    fn put(&mut self, bytes: &[u8]) {
+        self.0 += bytes.len();
+    }
+}
+
+/// Decoding error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire message")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("len 8")))
+    }
+
+    fn digest(&mut self) -> Option<Digest> {
+        self.take(DIGEST_LEN)
+            .map(|s| Digest::from_bytes(s.try_into().expect("digest len")))
+    }
+
+    fn signature(&mut self) -> Option<Signature> {
+        self.take(64).map(|s| Signature::from_bytes(s.try_into().expect("sig len")))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.take(len).map(|s| s.to_vec())
+    }
+
+    fn remainder(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// --------------------------------------------------------------- writers
+
+fn put_view<S: Sink>(out: &mut S, v: View) {
+    out.put(&v.0.to_le_bytes());
+}
+
+fn put_seq<S: Sink>(out: &mut S, k: SeqNum) {
+    out.put(&k.0.to_le_bytes());
+}
+
+fn put_digest<S: Sink>(out: &mut S, d: &Digest) {
+    out.put(d.as_bytes());
+}
+
+fn put_bytes<S: Sink>(out: &mut S, b: &[u8]) {
+    out.put(&(b.len() as u32).to_le_bytes());
+    out.put(b);
+}
+
+fn put_opt_seq<S: Sink>(out: &mut S, s: Option<SeqNum>) {
+    match s {
+        None => out.put_u8(0),
+        Some(k) => {
+            out.put_u8(1);
+            put_seq(out, k);
+        }
+    }
+}
+
+fn put_request<S: Sink>(out: &mut S, req: &ClientRequest) {
+    out.put(&req.client.0.to_le_bytes());
+    out.put(&req.req_id.to_le_bytes());
+    put_bytes(out, &req.op);
+    match &req.signature {
+        None => out.put_u8(0),
+        Some(sig) => {
+            out.put_u8(1);
+            out.put(sig.as_bytes());
+        }
+    }
+}
+
+fn put_batch<S: Sink>(out: &mut S, batch: &Batch) {
+    out.put(&(batch.requests.len() as u32).to_le_bytes());
+    for req in &batch.requests {
+        put_request(out, req);
+    }
+}
+
+fn put_share<S: Sink>(out: &mut S, share: &SignatureShare) {
+    let mut tmp = Vec::with_capacity(share.encoded_len());
+    share.encode(&mut tmp);
+    out.put(&tmp);
+}
+
+fn put_cert<S: Sink>(out: &mut S, cert: &ThresholdCert) {
+    let mut tmp = Vec::with_capacity(cert.encoded_len());
+    cert.encode(&mut tmp);
+    put_bytes(out, &tmp);
+}
+
+fn put_exec_entry<S: Sink>(out: &mut S, e: &ExecEntry) {
+    put_view(out, e.view);
+    put_seq(out, e.seq);
+    put_cert(out, &e.cert);
+    put_batch(out, &e.batch);
+}
+
+fn put_vc_request_body<S: Sink>(out: &mut S, vc: &PoeVcRequest) {
+    out.put(&vc.from.0.to_le_bytes());
+    put_view(out, vc.view);
+    put_opt_seq(out, vc.stable_seq);
+    out.put(&(vc.entries.len() as u32).to_le_bytes());
+    for e in &vc.entries {
+        put_exec_entry(out, e);
+    }
+}
+
+fn put_vc_request<S: Sink>(out: &mut S, vc: &PoeVcRequest) {
+    put_vc_request_body(out, vc);
+    out.put(vc.signature.as_bytes());
+}
+
+fn put_pbft_prepared<S: Sink>(out: &mut S, p: &PbftPreparedEntry) {
+    put_view(out, p.view);
+    put_seq(out, p.seq);
+    put_digest(out, &p.digest);
+    put_batch(out, &p.batch);
+}
+
+fn put_pbft_view_change_body<S: Sink>(out: &mut S, vc: &PbftViewChange) {
+    out.put(&vc.from.0.to_le_bytes());
+    put_view(out, vc.new_view);
+    put_opt_seq(out, vc.stable_seq);
+    out.put(&(vc.prepared.len() as u32).to_le_bytes());
+    for p in &vc.prepared {
+        put_pbft_prepared(out, p);
+    }
+}
+
+fn put_pbft_view_change<S: Sink>(out: &mut S, vc: &PbftViewChange) {
+    put_pbft_view_change_body(out, vc);
+    out.put(vc.signature.as_bytes());
+}
+
+fn put_qc<S: Sink>(out: &mut S, qc: &HsQuorumCert) {
+    out.put(&qc.height.to_le_bytes());
+    put_digest(out, &qc.block);
+    put_cert(out, &qc.cert);
+}
+
+fn put_opt_qc<S: Sink>(out: &mut S, qc: &Option<HsQuorumCert>) {
+    match qc {
+        None => out.put_u8(0),
+        Some(q) => {
+            out.put_u8(1);
+            put_qc(out, q);
+        }
+    }
+}
+
+fn put_block<S: Sink>(out: &mut S, b: &HsBlock) {
+    out.put(&b.height.to_le_bytes());
+    put_digest(out, &b.parent);
+    put_opt_qc(out, &b.justify);
+    put_batch(out, &b.batch);
+}
+
+fn put_reply<S: Sink>(out: &mut S, r: &ClientReply) {
+    out.put_u8(match r.kind {
+        ReplyKind::PoeInform => 0,
+        ReplyKind::PbftReply => 1,
+        ReplyKind::ZyzSpecResponse => 2,
+        ReplyKind::ZyzLocalCommit => 3,
+        ReplyKind::SbftExecuteAck => 4,
+        ReplyKind::HsReply => 5,
+    });
+    put_view(out, r.view);
+    put_seq(out, r.seq);
+    put_digest(out, &r.req_digest);
+    out.put(&r.req_id.to_le_bytes());
+    put_bytes(out, &r.result);
+    out.put(&r.replica.0.to_le_bytes());
+    match &r.history {
+        None => out.put_u8(0),
+        Some(h) => {
+            out.put_u8(1);
+            put_digest(out, h);
+        }
+    }
+}
+
+/// Writes `msg` into `out`.
+pub fn write_msg<S: Sink>(out: &mut S, msg: &ProtocolMsg) {
+    match msg {
+        ProtocolMsg::Request(req) => {
+            out.put_u8(0);
+            put_request(out, req);
+        }
+        ProtocolMsg::RequestBroadcast(req) => {
+            out.put_u8(1);
+            put_request(out, req);
+        }
+        ProtocolMsg::Forward(req) => {
+            out.put_u8(2);
+            put_request(out, req);
+        }
+        ProtocolMsg::Reply(r) => {
+            out.put_u8(3);
+            put_reply(out, r);
+        }
+        ProtocolMsg::PoePropose { view, seq, batch } => {
+            out.put_u8(10);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_batch(out, batch);
+        }
+        ProtocolMsg::PoeSupport { view, seq, share } => {
+            out.put_u8(11);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_share(out, share);
+        }
+        ProtocolMsg::PoeSupportMac { view, seq, digest } => {
+            out.put_u8(12);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_digest(out, digest);
+        }
+        ProtocolMsg::PoeCertify { view, seq, cert } => {
+            out.put_u8(13);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_cert(out, cert);
+        }
+        ProtocolMsg::PoeVcRequest(vc) => {
+            out.put_u8(14);
+            put_vc_request(out, vc);
+        }
+        ProtocolMsg::PoeNvPropose { new_view, requests } => {
+            out.put_u8(15);
+            put_view(out, *new_view);
+            out.put(&(requests.len() as u32).to_le_bytes());
+            for vc in requests {
+                put_vc_request(out, vc);
+            }
+        }
+        ProtocolMsg::PbftPrePrepare { view, seq, batch } => {
+            out.put_u8(20);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_batch(out, batch);
+        }
+        ProtocolMsg::PbftPrepare { view, seq, digest } => {
+            out.put_u8(21);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_digest(out, digest);
+        }
+        ProtocolMsg::PbftCommit { view, seq, digest } => {
+            out.put_u8(22);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_digest(out, digest);
+        }
+        ProtocolMsg::PbftViewChangeMsg(vc) => {
+            out.put_u8(23);
+            put_pbft_view_change(out, vc);
+        }
+        ProtocolMsg::PbftNewView { new_view, view_changes, pre_prepares } => {
+            out.put_u8(24);
+            put_view(out, *new_view);
+            out.put(&(view_changes.len() as u32).to_le_bytes());
+            for vc in view_changes {
+                put_pbft_view_change(out, vc);
+            }
+            out.put(&(pre_prepares.len() as u32).to_le_bytes());
+            for (seq, batch) in pre_prepares {
+                put_seq(out, *seq);
+                put_batch(out, batch);
+            }
+        }
+        ProtocolMsg::ZyzOrderReq { view, seq, history, batch } => {
+            out.put_u8(30);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_digest(out, history);
+            put_batch(out, batch);
+        }
+        ProtocolMsg::ZyzCommit(cc) => {
+            out.put_u8(31);
+            put_view(out, cc.view);
+            put_seq(out, cc.seq);
+            put_digest(out, &cc.history);
+            out.put(&(cc.replicas.len() as u32).to_le_bytes());
+            for r in &cc.replicas {
+                out.put(&r.0.to_le_bytes());
+            }
+        }
+        ProtocolMsg::SbftPrePrepare { view, seq, batch } => {
+            out.put_u8(40);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_batch(out, batch);
+        }
+        ProtocolMsg::SbftSignShare { view, seq, share } => {
+            out.put_u8(41);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_share(out, share);
+        }
+        ProtocolMsg::SbftFullCommitProof { view, seq, cert } => {
+            out.put_u8(42);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_cert(out, cert);
+        }
+        ProtocolMsg::SbftSignState { view, seq, share } => {
+            out.put_u8(43);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_share(out, share);
+        }
+        ProtocolMsg::SbftExecuteAck { view, seq, cert } => {
+            out.put_u8(44);
+            put_view(out, *view);
+            put_seq(out, *seq);
+            put_cert(out, cert);
+        }
+        ProtocolMsg::HsProposal { block } => {
+            out.put_u8(50);
+            put_block(out, block);
+        }
+        ProtocolMsg::HsVote { height, block, share } => {
+            out.put_u8(51);
+            out.put(&height.to_le_bytes());
+            put_digest(out, block);
+            put_share(out, share);
+        }
+        ProtocolMsg::HsNewView { height, high_qc } => {
+            out.put_u8(52);
+            out.put(&height.to_le_bytes());
+            put_opt_qc(out, high_qc);
+        }
+        ProtocolMsg::Checkpoint { seq, state_digest } => {
+            out.put_u8(60);
+            put_seq(out, *seq);
+            put_digest(out, state_digest);
+        }
+    }
+}
+
+/// Encodes a message into a fresh buffer.
+pub fn encode_msg(msg: &ProtocolMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    write_msg(&mut out, msg);
+    out
+}
+
+/// Exact encoded size of `msg`, without allocating the buffer.
+pub fn encoded_len(msg: &ProtocolMsg) -> usize {
+    let mut counter = LenCounter::default();
+    write_msg(&mut counter, msg);
+    counter.0
+}
+
+/// The byte string a PoE VC-REQUEST signature covers (everything except
+/// the signature itself).
+pub fn poe_vc_signing_bytes(vc: &PoeVcRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    put_vc_request_body(&mut out, vc);
+    out
+}
+
+/// The byte string a PBFT VIEW-CHANGE signature covers.
+pub fn pbft_vc_signing_bytes(vc: &PbftViewChange) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    put_pbft_view_change_body(&mut out, vc);
+    out
+}
+
+// --------------------------------------------------------------- readers
+
+fn get_request(r: &mut Reader<'_>) -> Option<ClientRequest> {
+    let client = ClientId(r.u32()?);
+    let req_id = r.u64()?;
+    let op = Arc::new(r.bytes()?);
+    let signature = match r.u8()? {
+        0 => None,
+        1 => Some(r.signature()?),
+        _ => return None,
+    };
+    Some(ClientRequest { client, req_id, op, signature })
+}
+
+fn get_batch(r: &mut Reader<'_>) -> Option<Arc<Batch>> {
+    let count = r.u32()? as usize;
+    // Guard against absurd allocations from corrupt input.
+    if count > r.remainder() {
+        return None;
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        requests.push(get_request(r)?);
+    }
+    Some(Batch::new(requests))
+}
+
+fn get_share(r: &mut Reader<'_>) -> Option<SignatureShare> {
+    let (share, used) = SignatureShare::decode(&r.buf[r.pos..])?;
+    r.pos += used;
+    Some(share)
+}
+
+fn get_cert(r: &mut Reader<'_>) -> Option<ThresholdCert> {
+    let raw = r.bytes()?;
+    let (cert, used) = ThresholdCert::decode(&raw)?;
+    (used == raw.len()).then_some(cert)
+}
+
+fn get_exec_entry(r: &mut Reader<'_>) -> Option<ExecEntry> {
+    Some(ExecEntry {
+        view: View(r.u64()?),
+        seq: SeqNum(r.u64()?),
+        cert: get_cert(r)?,
+        batch: get_batch(r)?,
+    })
+}
+
+fn get_opt_seq(r: &mut Reader<'_>) -> Option<Option<SeqNum>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(SeqNum(r.u64()?))),
+        _ => None,
+    }
+}
+
+fn get_vc_request(r: &mut Reader<'_>) -> Option<PoeVcRequest> {
+    let from = ReplicaId(r.u32()?);
+    let view = View(r.u64()?);
+    let stable_seq = get_opt_seq(r)?;
+    let count = r.u32()? as usize;
+    if count > r.remainder() {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(get_exec_entry(r)?);
+    }
+    let signature = r.signature()?;
+    Some(PoeVcRequest { from, view, stable_seq, entries, signature })
+}
+
+fn get_pbft_prepared(r: &mut Reader<'_>) -> Option<PbftPreparedEntry> {
+    Some(PbftPreparedEntry {
+        view: View(r.u64()?),
+        seq: SeqNum(r.u64()?),
+        digest: r.digest()?,
+        batch: get_batch(r)?,
+    })
+}
+
+fn get_pbft_view_change(r: &mut Reader<'_>) -> Option<PbftViewChange> {
+    let from = ReplicaId(r.u32()?);
+    let new_view = View(r.u64()?);
+    let stable_seq = get_opt_seq(r)?;
+    let count = r.u32()? as usize;
+    if count > r.remainder() {
+        return None;
+    }
+    let mut prepared = Vec::with_capacity(count);
+    for _ in 0..count {
+        prepared.push(get_pbft_prepared(r)?);
+    }
+    let signature = r.signature()?;
+    Some(PbftViewChange { from, new_view, stable_seq, prepared, signature })
+}
+
+fn get_qc(r: &mut Reader<'_>) -> Option<HsQuorumCert> {
+    Some(HsQuorumCert { height: r.u64()?, block: r.digest()?, cert: get_cert(r)? })
+}
+
+fn get_opt_qc(r: &mut Reader<'_>) -> Option<Option<HsQuorumCert>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(get_qc(r)?)),
+        _ => None,
+    }
+}
+
+fn get_block(r: &mut Reader<'_>) -> Option<Arc<HsBlock>> {
+    Some(Arc::new(HsBlock {
+        height: r.u64()?,
+        parent: r.digest()?,
+        justify: get_opt_qc(r)?,
+        batch: get_batch(r)?,
+    }))
+}
+
+fn get_reply(r: &mut Reader<'_>) -> Option<ClientReply> {
+    let kind = match r.u8()? {
+        0 => ReplyKind::PoeInform,
+        1 => ReplyKind::PbftReply,
+        2 => ReplyKind::ZyzSpecResponse,
+        3 => ReplyKind::ZyzLocalCommit,
+        4 => ReplyKind::SbftExecuteAck,
+        5 => ReplyKind::HsReply,
+        _ => return None,
+    };
+    Some(ClientReply {
+        kind,
+        view: View(r.u64()?),
+        seq: SeqNum(r.u64()?),
+        req_digest: r.digest()?,
+        req_id: r.u64()?,
+        result: r.bytes()?,
+        replica: ReplicaId(r.u32()?),
+        history: match r.u8()? {
+            0 => None,
+            1 => Some(r.digest()?),
+            _ => return None,
+        },
+    })
+}
+
+/// Decodes one message from `buf` (must consume the entire buffer).
+pub fn decode_msg(buf: &[u8]) -> Result<ProtocolMsg, DecodeError> {
+    let mut r = Reader::new(buf);
+    let msg = decode_inner(&mut r).ok_or(DecodeError)?;
+    if r.remainder() != 0 {
+        return Err(DecodeError);
+    }
+    Ok(msg)
+}
+
+fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
+    Some(match r.u8()? {
+        0 => ProtocolMsg::Request(get_request(r)?),
+        1 => ProtocolMsg::RequestBroadcast(get_request(r)?),
+        2 => ProtocolMsg::Forward(get_request(r)?),
+        3 => ProtocolMsg::Reply(get_reply(r)?),
+        10 => ProtocolMsg::PoePropose {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            batch: get_batch(r)?,
+        },
+        11 => ProtocolMsg::PoeSupport {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            share: get_share(r)?,
+        },
+        12 => ProtocolMsg::PoeSupportMac {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            digest: r.digest()?,
+        },
+        13 => ProtocolMsg::PoeCertify {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            cert: get_cert(r)?,
+        },
+        14 => ProtocolMsg::PoeVcRequest(get_vc_request(r)?),
+        15 => {
+            let new_view = View(r.u64()?);
+            let count = r.u32()? as usize;
+            if count > r.remainder() {
+                return None;
+            }
+            let mut requests = Vec::with_capacity(count);
+            for _ in 0..count {
+                requests.push(get_vc_request(r)?);
+            }
+            ProtocolMsg::PoeNvPropose { new_view, requests }
+        }
+        20 => ProtocolMsg::PbftPrePrepare {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            batch: get_batch(r)?,
+        },
+        21 => ProtocolMsg::PbftPrepare {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            digest: r.digest()?,
+        },
+        22 => ProtocolMsg::PbftCommit {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            digest: r.digest()?,
+        },
+        23 => ProtocolMsg::PbftViewChangeMsg(get_pbft_view_change(r)?),
+        24 => {
+            let new_view = View(r.u64()?);
+            let vc_count = r.u32()? as usize;
+            if vc_count > r.remainder() {
+                return None;
+            }
+            let mut view_changes = Vec::with_capacity(vc_count);
+            for _ in 0..vc_count {
+                view_changes.push(get_pbft_view_change(r)?);
+            }
+            let pp_count = r.u32()? as usize;
+            if pp_count > r.remainder() {
+                return None;
+            }
+            let mut pre_prepares = Vec::with_capacity(pp_count);
+            for _ in 0..pp_count {
+                let seq = SeqNum(r.u64()?);
+                let batch = get_batch(r)?;
+                pre_prepares.push((seq, batch));
+            }
+            ProtocolMsg::PbftNewView { new_view, view_changes, pre_prepares }
+        }
+        30 => ProtocolMsg::ZyzOrderReq {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            history: r.digest()?,
+            batch: get_batch(r)?,
+        },
+        31 => {
+            let view = View(r.u64()?);
+            let seq = SeqNum(r.u64()?);
+            let history = r.digest()?;
+            let count = r.u32()? as usize;
+            if count > r.remainder() {
+                return None;
+            }
+            let mut replicas = Vec::with_capacity(count);
+            for _ in 0..count {
+                replicas.push(ReplicaId(r.u32()?));
+            }
+            ProtocolMsg::ZyzCommit(ZyzCommitCert { view, seq, history, replicas })
+        }
+        40 => ProtocolMsg::SbftPrePrepare {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            batch: get_batch(r)?,
+        },
+        41 => ProtocolMsg::SbftSignShare {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            share: get_share(r)?,
+        },
+        42 => ProtocolMsg::SbftFullCommitProof {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            cert: get_cert(r)?,
+        },
+        43 => ProtocolMsg::SbftSignState {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            share: get_share(r)?,
+        },
+        44 => ProtocolMsg::SbftExecuteAck {
+            view: View(r.u64()?),
+            seq: SeqNum(r.u64()?),
+            cert: get_cert(r)?,
+        },
+        50 => ProtocolMsg::HsProposal { block: get_block(r)? },
+        51 => ProtocolMsg::HsVote {
+            height: r.u64()?,
+            block: r.digest()?,
+            share: get_share(r)?,
+        },
+        52 => ProtocolMsg::HsNewView { height: r.u64()?, high_qc: get_opt_qc(r)? },
+        60 => ProtocolMsg::Checkpoint { seq: SeqNum(r.u64()?), state_digest: r.digest()? },
+        _ => return None,
+    })
+}
+
+// -------------------------------------------------------------- envelope
+
+/// Encodes an envelope (sender, auth, message).
+pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(160);
+    match env.from {
+        NodeId::Replica(r) => {
+            out.put_u8(0);
+            out.put(&r.0.to_le_bytes());
+        }
+        NodeId::Client(c) => {
+            out.put_u8(1);
+            out.put(&c.0.to_le_bytes());
+        }
+    }
+    let mut auth_buf = Vec::with_capacity(env.auth.encoded_len());
+    env.auth.encode(&mut auth_buf);
+    put_bytes(&mut out, &auth_buf);
+    write_msg(&mut out, &env.msg);
+    out
+}
+
+/// Decodes an envelope.
+pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, DecodeError> {
+    let mut r = Reader::new(buf);
+    let from = match r.u8().ok_or(DecodeError)? {
+        0 => NodeId::Replica(ReplicaId(r.u32().ok_or(DecodeError)?)),
+        1 => NodeId::Client(ClientId(r.u32().ok_or(DecodeError)?)),
+        _ => return Err(DecodeError),
+    };
+    let auth_raw = r.bytes().ok_or(DecodeError)?;
+    let (auth, used) = AuthTag::decode(&auth_raw).ok_or(DecodeError)?;
+    if used != auth_raw.len() {
+        return Err(DecodeError);
+    }
+    let msg = decode_inner(&mut r).ok_or(DecodeError)?;
+    if r.remainder() != 0 {
+        return Err(DecodeError);
+    }
+    Ok(Envelope { from, msg, auth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+
+    fn km() -> std::sync::Arc<KeyMaterial> {
+        KeyMaterial::generate(4, 2, 3, CryptoMode::Cmac, CertScheme::MultiSig, 1)
+    }
+
+    fn sample_request(signed: bool) -> ClientRequest {
+        let sig = signed.then(|| km().client(0).sign(b"x"));
+        ClientRequest {
+            client: ClientId(0),
+            req_id: 7,
+            op: Arc::new(vec![1, 2, 3, 4, 5]),
+            signature: sig,
+        }
+    }
+
+    fn sample_batch() -> Arc<Batch> {
+        Batch::new(vec![sample_request(true), sample_request(false)])
+    }
+
+    fn sample_cert() -> ThresholdCert {
+        let km = km();
+        let providers: Vec<_> = (0..4).map(|i| km.replica(i)).collect();
+        let shares: Vec<_> = providers.iter().map(|p| p.ts_share(b"m")).collect();
+        providers[0].ts_aggregate(b"m", &shares).unwrap()
+    }
+
+    fn sample_vc() -> PoeVcRequest {
+        PoeVcRequest {
+            from: ReplicaId(2),
+            view: View(3),
+            stable_seq: Some(SeqNum(10)),
+            entries: vec![ExecEntry {
+                view: View(3),
+                seq: SeqNum(11),
+                cert: sample_cert(),
+                batch: sample_batch(),
+            }],
+            signature: km().replica(2).sign(b"vc"),
+        }
+    }
+
+    fn all_sample_messages() -> Vec<ProtocolMsg> {
+        let b = sample_batch();
+        let cert = sample_cert();
+        let share = km().replica(1).ts_share(b"m");
+        let d = Digest::of(b"d");
+        let reply = ClientReply {
+            kind: ReplyKind::ZyzSpecResponse,
+            view: View(1),
+            seq: SeqNum(2),
+            req_digest: d,
+            req_id: 9,
+            result: vec![4, 5],
+            replica: ReplicaId(3),
+            history: Some(Digest::of(b"h")),
+        };
+        let pbft_vc = PbftViewChange {
+            from: ReplicaId(1),
+            new_view: View(4),
+            stable_seq: None,
+            prepared: vec![PbftPreparedEntry {
+                view: View(3),
+                seq: SeqNum(12),
+                digest: d,
+                batch: b.clone(),
+            }],
+            signature: km().replica(1).sign(b"pbft-vc"),
+        };
+        let block = Arc::new(HsBlock {
+            height: 5,
+            parent: d,
+            justify: Some(HsQuorumCert { height: 4, block: d, cert: cert.clone() }),
+            batch: b.clone(),
+        });
+        vec![
+            ProtocolMsg::Request(sample_request(true)),
+            ProtocolMsg::RequestBroadcast(sample_request(false)),
+            ProtocolMsg::Forward(sample_request(true)),
+            ProtocolMsg::Reply(reply),
+            ProtocolMsg::PoePropose { view: View(1), seq: SeqNum(2), batch: b.clone() },
+            ProtocolMsg::PoeSupport { view: View(1), seq: SeqNum(2), share: share.clone() },
+            ProtocolMsg::PoeSupportMac { view: View(1), seq: SeqNum(2), digest: d },
+            ProtocolMsg::PoeCertify { view: View(1), seq: SeqNum(2), cert: cert.clone() },
+            ProtocolMsg::PoeVcRequest(sample_vc()),
+            ProtocolMsg::PoeNvPropose { new_view: View(4), requests: vec![sample_vc()] },
+            ProtocolMsg::PbftPrePrepare { view: View(1), seq: SeqNum(2), batch: b.clone() },
+            ProtocolMsg::PbftPrepare { view: View(1), seq: SeqNum(2), digest: d },
+            ProtocolMsg::PbftCommit { view: View(1), seq: SeqNum(2), digest: d },
+            ProtocolMsg::PbftViewChangeMsg(pbft_vc.clone()),
+            ProtocolMsg::PbftNewView {
+                new_view: View(4),
+                view_changes: vec![pbft_vc],
+                pre_prepares: vec![(SeqNum(13), b.clone())],
+            },
+            ProtocolMsg::ZyzOrderReq {
+                view: View(1),
+                seq: SeqNum(2),
+                history: d,
+                batch: b.clone(),
+            },
+            ProtocolMsg::ZyzCommit(ZyzCommitCert {
+                view: View(1),
+                seq: SeqNum(2),
+                history: d,
+                replicas: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            }),
+            ProtocolMsg::SbftPrePrepare { view: View(1), seq: SeqNum(2), batch: b.clone() },
+            ProtocolMsg::SbftSignShare { view: View(1), seq: SeqNum(2), share: share.clone() },
+            ProtocolMsg::SbftFullCommitProof {
+                view: View(1),
+                seq: SeqNum(2),
+                cert: cert.clone(),
+            },
+            ProtocolMsg::SbftSignState { view: View(1), seq: SeqNum(2), share: share.clone() },
+            ProtocolMsg::SbftExecuteAck { view: View(1), seq: SeqNum(2), cert: cert.clone() },
+            ProtocolMsg::HsProposal { block },
+            ProtocolMsg::HsVote { height: 5, block: d, share },
+            ProtocolMsg::HsNewView { height: 5, high_qc: None },
+            ProtocolMsg::Checkpoint { seq: SeqNum(100), state_digest: d },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in all_sample_messages() {
+            let bytes = encode_msg(&msg);
+            let decoded = decode_msg(&bytes).unwrap_or_else(|_| panic!("{}", msg.label()));
+            assert_eq!(decoded, msg, "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_buffer() {
+        for msg in all_sample_messages() {
+            assert_eq!(encoded_len(&msg), encode_msg(&msg).len(), "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        for msg in all_sample_messages() {
+            let bytes = encode_msg(&msg);
+            for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    decode_msg(&bytes[..cut]).is_err(),
+                    "variant {} accepted truncation at {cut}",
+                    msg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let msg = ProtocolMsg::Checkpoint { seq: SeqNum(1), state_digest: Digest::of(b"s") };
+        let mut bytes = encode_msg(&msg);
+        bytes.push(0);
+        assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(decode_msg(&[200]).is_err());
+        assert!(decode_msg(&[]).is_err());
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let km = km();
+        let provider = km.replica(0);
+        let msg = ProtocolMsg::PoeSupportMac {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::of(b"q"),
+        };
+        let body = encode_msg(&msg);
+        let env = Envelope {
+            from: NodeId::Replica(ReplicaId(0)),
+            auth: provider.authenticate(1, &body),
+            msg,
+        };
+        let bytes = encode_envelope(&env);
+        let decoded = decode_envelope(&bytes).expect("envelope");
+        assert_eq!(decoded, env);
+        // And the receiving replica can verify the link tag.
+        let receiver = km.replica(1);
+        let rebody = encode_msg(&decoded.msg);
+        assert!(receiver.check(0, &rebody, &decoded.auth));
+    }
+
+    #[test]
+    fn envelope_client_sender_roundtrip() {
+        let env = Envelope {
+            from: NodeId::Client(ClientId(9)),
+            auth: AuthTag::None,
+            msg: ProtocolMsg::Request(sample_request(false)),
+        };
+        let bytes = encode_envelope(&env);
+        assert_eq!(decode_envelope(&bytes).expect("envelope"), env);
+    }
+
+    #[test]
+    fn vc_signing_bytes_exclude_signature() {
+        let mut vc = sample_vc();
+        let before = poe_vc_signing_bytes(&vc);
+        vc.signature = km().replica(2).sign(b"different");
+        assert_eq!(poe_vc_signing_bytes(&vc), before);
+    }
+
+    #[test]
+    fn propose_size_scales_with_batch() {
+        let small = ProtocolMsg::PoePropose {
+            view: View(0),
+            seq: SeqNum(0),
+            batch: Batch::new(vec![sample_request(true)]),
+        };
+        let large = ProtocolMsg::PoePropose {
+            view: View(0),
+            seq: SeqNum(0),
+            batch: Batch::new((0..100).map(|i| {
+                let mut r = sample_request(true);
+                r.req_id = i;
+                r
+            }).collect()),
+        };
+        assert!(encoded_len(&large) > 50 * encoded_len(&small));
+    }
+}

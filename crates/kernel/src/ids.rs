@@ -1,0 +1,243 @@
+//! Identifiers: replicas, clients, nodes, views, and sequence numbers.
+//!
+//! The paper's system model assigns each replica `R` a unique identifier
+//! `id(R)` with `0 ≤ id(R) < |R|`, elects the primary of view `v` as the
+//! replica with `id = v mod n`, and numbers transactions with consecutive
+//! sequence numbers `k`.
+
+use std::fmt;
+
+/// A replica identifier in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// The integer id.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Index form for slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A client identifier (0-based, disjoint numbering from replicas).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// The integer id.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Index form for slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A node on the network: either a replica or a client.
+///
+/// The global index convention matches `poe-crypto`: replicas occupy
+/// `0..n`, clients occupy `n..n+m`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// A consensus replica.
+    Replica(ReplicaId),
+    /// A client.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Global index given the number of replicas `n`.
+    pub fn global_index(self, n: usize) -> u32 {
+        match self {
+            NodeId::Replica(r) => r.0,
+            NodeId::Client(c) => n as u32 + c.0,
+        }
+    }
+
+    /// Inverse of [`NodeId::global_index`].
+    pub fn from_global_index(idx: u32, n: usize) -> NodeId {
+        if (idx as usize) < n {
+            NodeId::Replica(ReplicaId(idx))
+        } else {
+            NodeId::Client(ClientId(idx - n as u32))
+        }
+    }
+
+    /// The replica id, if this is a replica.
+    pub fn as_replica(self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// The client id, if this is a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(c),
+            NodeId::Replica(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "{r:?}"),
+            NodeId::Client(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+impl From<ReplicaId> for NodeId {
+    fn from(r: ReplicaId) -> NodeId {
+        NodeId::Replica(r)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(c: ClientId) -> NodeId {
+        NodeId::Client(c)
+    }
+}
+
+/// A view number `v`; the primary of view `v` is replica `v mod n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct View(pub u64);
+
+impl View {
+    /// The genesis view.
+    pub const ZERO: View = View(0);
+
+    /// The primary of this view in a cluster of `n` replicas.
+    pub fn primary(self, n: usize) -> ReplicaId {
+        ReplicaId((self.0 % n as u64) as u32)
+    }
+
+    /// The next view.
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A sequence number `k` assigned by the primary to a batch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The first sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// The next sequence number.
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// The previous sequence number, if any.
+    pub fn prev(self) -> Option<SeqNum> {
+        self.0.checked_sub(1).map(SeqNum)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_rotation_wraps() {
+        assert_eq!(View(0).primary(4), ReplicaId(0));
+        assert_eq!(View(3).primary(4), ReplicaId(3));
+        assert_eq!(View(4).primary(4), ReplicaId(0));
+        assert_eq!(View(9).primary(4), ReplicaId(1));
+    }
+
+    #[test]
+    fn global_index_roundtrip() {
+        let n = 7;
+        for idx in 0..20u32 {
+            let node = NodeId::from_global_index(idx, n);
+            assert_eq!(node.global_index(n), idx);
+        }
+        assert_eq!(NodeId::from_global_index(6, n), NodeId::Replica(ReplicaId(6)));
+        assert_eq!(NodeId::from_global_index(7, n), NodeId::Client(ClientId(0)));
+    }
+
+    #[test]
+    fn as_replica_and_client() {
+        let r: NodeId = ReplicaId(3).into();
+        let c: NodeId = ClientId(5).into();
+        assert_eq!(r.as_replica(), Some(ReplicaId(3)));
+        assert_eq!(r.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId(5)));
+        assert_eq!(c.as_replica(), None);
+    }
+
+    #[test]
+    fn seqnum_navigation() {
+        assert_eq!(SeqNum(0).next(), SeqNum(1));
+        assert_eq!(SeqNum(1).prev(), Some(SeqNum(0)));
+        assert_eq!(SeqNum(0).prev(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ReplicaId(2)), "R2");
+        assert_eq!(format!("{}", ClientId(9)), "C9");
+        assert_eq!(format!("{}", View(4)), "v4");
+        assert_eq!(format!("{}", SeqNum(8)), "k8");
+    }
+}

@@ -1,0 +1,493 @@
+//! The message vocabulary of all five protocols.
+//!
+//! One flat [`ProtocolMsg`] enum carries every message of PoE, PBFT,
+//! Zyzzyva, SBFT, and HotStuff, plus the shared checkpoint protocol and
+//! client traffic. A single enum keeps the network substrate, codec, and
+//! simulator protocol-agnostic.
+//!
+//! Message names follow the paper: PoE's normal case is
+//! PROPOSE → SUPPORT → CERTIFY → INFORM (Figure 3); its view change is
+//! VC-REQUEST → NV-PROPOSE (Figure 5).
+
+use crate::ids::{ReplicaId, SeqNum, View};
+use crate::request::{Batch, ClientRequest};
+use poe_crypto::digest::Digest;
+use poe_crypto::ed25519::Signature;
+use poe_crypto::provider::AuthTag;
+use poe_crypto::threshold::{SignatureShare, ThresholdCert};
+use std::sync::Arc;
+
+/// One executed transaction in a PoE VC-REQUEST: the pair
+/// `(CERTIFY(⟨h⟩, w, k), ⟨T⟩c)` of Figure 5 Line 4.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExecEntry {
+    /// The view in which the batch was certified.
+    pub view: View,
+    /// The sequence number.
+    pub seq: SeqNum,
+    /// The CERTIFY certificate proving `nf` replicas supported it.
+    pub cert: ThresholdCert,
+    /// The batch itself.
+    pub batch: Arc<Batch>,
+}
+
+/// PoE view-change request: `VC-REQUEST(v, E)` (Figure 5).
+///
+/// Carried both standalone and inside NV-PROPOSE, so it is signed with the
+/// sender's digital signature ("The VC-REQUEST messages need to be signed,
+/// as they need to be forwarded without tampering", §II-E).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PoeVcRequest {
+    /// The requesting replica.
+    pub from: ReplicaId,
+    /// The view being abandoned.
+    pub view: View,
+    /// Stable checkpoint this summary starts after.
+    pub stable_seq: Option<SeqNum>,
+    /// Consecutive executed transactions after the stable checkpoint.
+    pub entries: Vec<ExecEntry>,
+    /// Ed25519 signature over the encoding of the fields above.
+    pub signature: Signature,
+}
+
+/// A prepared-batch proof inside a PBFT VIEW-CHANGE message.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PbftPreparedEntry {
+    /// View in which the batch prepared.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Batch digest.
+    pub digest: Digest,
+    /// The batch (real PBFT fetches bodies separately; we inline them).
+    pub batch: Arc<Batch>,
+}
+
+/// PBFT VIEW-CHANGE message (signed, forwardable).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PbftViewChange {
+    /// The requesting replica.
+    pub from: ReplicaId,
+    /// The view being entered.
+    pub new_view: View,
+    /// Last stable checkpoint sequence.
+    pub stable_seq: Option<SeqNum>,
+    /// Batches prepared above the stable checkpoint.
+    pub prepared: Vec<PbftPreparedEntry>,
+    /// Ed25519 signature over the fields above.
+    pub signature: Signature,
+}
+
+/// Zyzzyva commit certificate: `2f+1` matching speculative responses
+/// collected by the client.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ZyzCommitCert {
+    /// View of the speculative responses.
+    pub view: View,
+    /// Sequence number being committed.
+    pub seq: SeqNum,
+    /// History digest the responses agreed on.
+    pub history: Digest,
+    /// The `2f+1` replicas whose responses matched.
+    pub replicas: Vec<ReplicaId>,
+}
+
+/// A HotStuff block (chained variant): one block per consensus round.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HsBlock {
+    /// Round/height of the block.
+    pub height: u64,
+    /// Digest of the parent block.
+    pub parent: Digest,
+    /// Quorum certificate justifying the parent (None only for genesis).
+    pub justify: Option<HsQuorumCert>,
+    /// The proposed batch.
+    pub batch: Arc<Batch>,
+}
+
+impl HsBlock {
+    /// Digest identifying this block.
+    pub fn digest(&self) -> Digest {
+        let justify_digest = self
+            .justify
+            .as_ref()
+            .map(|qc| qc.block)
+            .unwrap_or(Digest::EMPTY);
+        poe_crypto::digest_concat(&[
+            &self.height.to_le_bytes(),
+            self.parent.as_bytes(),
+            justify_digest.as_bytes(),
+            self.batch.digest.as_bytes(),
+        ])
+    }
+}
+
+/// A HotStuff quorum certificate over a block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HsQuorumCert {
+    /// Height of the certified block.
+    pub height: u64,
+    /// Digest of the certified block.
+    pub block: Digest,
+    /// Aggregated threshold certificate from `n - f` votes.
+    pub cert: ThresholdCert,
+}
+
+/// Which protocol/phase a client reply belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplyKind {
+    /// PoE INFORM (Figure 3 Line 23).
+    PoeInform,
+    /// PBFT REPLY after commit.
+    PbftReply,
+    /// Zyzzyva speculative response (fast path).
+    ZyzSpecResponse,
+    /// Zyzzyva local-commit (after the client distributed a commit cert).
+    ZyzLocalCommit,
+    /// SBFT execute-ack relayed by the executor.
+    SbftExecuteAck,
+    /// HotStuff reply after a block becomes committed.
+    HsReply,
+}
+
+/// A reply sent by a replica to a client.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClientReply {
+    /// Reply kind (protocol/phase).
+    pub kind: ReplyKind,
+    /// View (or HotStuff height) in which the request executed.
+    pub view: View,
+    /// Sequence number under which the request's batch executed.
+    pub seq: SeqNum,
+    /// Digest of the client request this reply answers.
+    pub req_digest: Digest,
+    /// Client-local request id (for matching).
+    pub req_id: u64,
+    /// Execution result bytes (empty when not executed yet, e.g. SBFT
+    /// collector acks).
+    pub result: Vec<u8>,
+    /// The replying replica.
+    pub replica: ReplicaId,
+    /// Zyzzyva: the replica's history digest up to and including `seq`.
+    pub history: Option<Digest>,
+}
+
+/// Every message that can travel between nodes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProtocolMsg {
+    // ------------------------------------------------------ client traffic
+    /// Client → primary: a fresh request.
+    Request(ClientRequest),
+    /// Client → all replicas (retransmission fallback); replicas forward
+    /// to the primary and start a progress timer.
+    RequestBroadcast(ClientRequest),
+    /// Replica → primary: forwarded client request.
+    Forward(ClientRequest),
+    /// Replica → client.
+    Reply(ClientReply),
+
+    // ------------------------------------------------------------ PoE (TS)
+    /// Primary → all: `PROPOSE(⟨T⟩c, v, k)`.
+    PoePropose {
+        /// Current view.
+        view: View,
+        /// Assigned sequence number.
+        seq: SeqNum,
+        /// Proposed batch.
+        batch: Arc<Batch>,
+    },
+    /// Backup → primary: `SUPPORT(s⟨h⟩i, v, k)` (threshold-signature mode).
+    PoeSupport {
+        /// Current view.
+        view: View,
+        /// Sequence number being supported.
+        seq: SeqNum,
+        /// This replica's signature share over `h = D(k‖v‖batch)`.
+        share: SignatureShare,
+    },
+    /// Backup → all: `SUPPORT(D(⟨T⟩c), v, k)` (MAC mode, Appendix A).
+    PoeSupportMac {
+        /// Current view.
+        view: View,
+        /// Sequence number being supported.
+        seq: SeqNum,
+        /// Digest of the supported proposal.
+        digest: Digest,
+    },
+    /// Primary → all: `CERTIFY(⟨h⟩, v, k)`.
+    PoeCertify {
+        /// Current view.
+        view: View,
+        /// Certified sequence number.
+        seq: SeqNum,
+        /// Aggregated threshold certificate.
+        cert: ThresholdCert,
+    },
+    /// Replica → all: `VC-REQUEST(v, E)`.
+    PoeVcRequest(PoeVcRequest),
+    /// New primary → all: `NV-PROPOSE(v+1, m1…m_nf)`.
+    PoeNvPropose {
+        /// The view being proposed.
+        new_view: View,
+        /// The `nf` VC-REQUEST messages justifying the new view.
+        requests: Vec<PoeVcRequest>,
+    },
+
+    // ---------------------------------------------------------------- PBFT
+    /// Primary → all: PRE-PREPARE.
+    PbftPrePrepare {
+        /// Current view.
+        view: View,
+        /// Assigned sequence number.
+        seq: SeqNum,
+        /// Proposed batch.
+        batch: Arc<Batch>,
+    },
+    /// All → all: PREPARE.
+    PbftPrepare {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// All → all: COMMIT.
+    PbftCommit {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Batch digest.
+        digest: Digest,
+    },
+    /// Replica → all: VIEW-CHANGE.
+    PbftViewChangeMsg(PbftViewChange),
+    /// New primary → all: NEW-VIEW.
+    PbftNewView {
+        /// The view being entered.
+        new_view: View,
+        /// The `2f+1` VIEW-CHANGE messages justifying it.
+        view_changes: Vec<PbftViewChange>,
+        /// Re-issued PRE-PREPAREs for in-flight sequence numbers.
+        pre_prepares: Vec<(SeqNum, Arc<Batch>)>,
+    },
+
+    // ------------------------------------------------------------- Zyzzyva
+    /// Primary → all: ORDER-REQ with history digest.
+    ZyzOrderReq {
+        /// Current view.
+        view: View,
+        /// Assigned sequence number.
+        seq: SeqNum,
+        /// Digest chain over all previous orderings.
+        history: Digest,
+        /// Ordered batch.
+        batch: Arc<Batch>,
+    },
+    /// Client → all replicas: a commit certificate from `2f+1` matching
+    /// speculative responses (slow path).
+    ZyzCommit(ZyzCommitCert),
+
+    // ---------------------------------------------------------------- SBFT
+    /// Primary → all: PRE-PREPARE.
+    SbftPrePrepare {
+        /// Current view.
+        view: View,
+        /// Assigned sequence number.
+        seq: SeqNum,
+        /// Proposed batch.
+        batch: Arc<Batch>,
+    },
+    /// Replica → collector: signature share over the proposal.
+    SbftSignShare {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Share over the commit digest.
+        share: SignatureShare,
+    },
+    /// Collector → all: full-commit-proof (aggregated certificate).
+    SbftFullCommitProof {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Aggregated commit certificate.
+        cert: ThresholdCert,
+    },
+    /// Replica → executor: signature share over the execution result.
+    SbftSignState {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Share over the result digest.
+        share: SignatureShare,
+    },
+    /// Executor → all replicas: aggregated execution certificate.
+    SbftExecuteAck {
+        /// Current view.
+        view: View,
+        /// Sequence number.
+        seq: SeqNum,
+        /// Aggregated execution certificate.
+        cert: ThresholdCert,
+    },
+
+    // ------------------------------------------------------------ HotStuff
+    /// Leader → all: a proposal extending the chain.
+    HsProposal {
+        /// The proposed block.
+        block: Arc<HsBlock>,
+    },
+    /// Replica → next leader: a vote (signature share) on a block.
+    HsVote {
+        /// Height of the voted block.
+        height: u64,
+        /// Digest of the voted block.
+        block: Digest,
+        /// Signature share forming the QC.
+        share: SignatureShare,
+    },
+    /// Replica → next leader: new-view on timeout, carrying the highest
+    /// known QC.
+    HsNewView {
+        /// The height being abandoned.
+        height: u64,
+        /// The sender's highest quorum certificate.
+        high_qc: Option<HsQuorumCert>,
+    },
+
+    // ----------------------------------------------------------- check-
+    /// Periodic checkpoint vote (all → all).
+    Checkpoint {
+        /// Sequence number of the checkpoint.
+        seq: SeqNum,
+        /// Application state digest at that point.
+        state_digest: Digest,
+    },
+}
+
+impl ProtocolMsg {
+    /// Short label for metrics and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolMsg::Request(_) => "REQUEST",
+            ProtocolMsg::RequestBroadcast(_) => "REQUEST-BCAST",
+            ProtocolMsg::Forward(_) => "FORWARD",
+            ProtocolMsg::Reply(r) => match r.kind {
+                ReplyKind::PoeInform => "INFORM",
+                ReplyKind::PbftReply => "PBFT-REPLY",
+                ReplyKind::ZyzSpecResponse => "ZYZ-SPEC-RESPONSE",
+                ReplyKind::ZyzLocalCommit => "ZYZ-LOCAL-COMMIT",
+                ReplyKind::SbftExecuteAck => "SBFT-EXECUTE-ACK",
+                ReplyKind::HsReply => "HS-REPLY",
+            },
+            ProtocolMsg::PoePropose { .. } => "PROPOSE",
+            ProtocolMsg::PoeSupport { .. } => "SUPPORT",
+            ProtocolMsg::PoeSupportMac { .. } => "SUPPORT-MAC",
+            ProtocolMsg::PoeCertify { .. } => "CERTIFY",
+            ProtocolMsg::PoeVcRequest(_) => "VC-REQUEST",
+            ProtocolMsg::PoeNvPropose { .. } => "NV-PROPOSE",
+            ProtocolMsg::PbftPrePrepare { .. } => "PRE-PREPARE",
+            ProtocolMsg::PbftPrepare { .. } => "PREPARE",
+            ProtocolMsg::PbftCommit { .. } => "COMMIT",
+            ProtocolMsg::PbftViewChangeMsg(_) => "VIEW-CHANGE",
+            ProtocolMsg::PbftNewView { .. } => "NEW-VIEW",
+            ProtocolMsg::ZyzOrderReq { .. } => "ORDER-REQ",
+            ProtocolMsg::ZyzCommit(_) => "ZYZ-COMMIT",
+            ProtocolMsg::SbftPrePrepare { .. } => "SBFT-PRE-PREPARE",
+            ProtocolMsg::SbftSignShare { .. } => "SBFT-SIGN-SHARE",
+            ProtocolMsg::SbftFullCommitProof { .. } => "SBFT-FULL-COMMIT-PROOF",
+            ProtocolMsg::SbftSignState { .. } => "SBFT-SIGN-STATE",
+            ProtocolMsg::SbftExecuteAck { .. } => "SBFT-EXECUTE-ACK",
+            ProtocolMsg::HsProposal { .. } => "HS-PROPOSAL",
+            ProtocolMsg::HsVote { .. } => "HS-VOTE",
+            ProtocolMsg::HsNewView { .. } => "HS-NEW-VIEW",
+            ProtocolMsg::Checkpoint { .. } => "CHECKPOINT",
+        }
+    }
+
+    /// True for messages carrying full batches (the bandwidth-dominant
+    /// messages; paper §IV-E).
+    pub fn carries_batch(&self) -> bool {
+        matches!(
+            self,
+            ProtocolMsg::PoePropose { .. }
+                | ProtocolMsg::PbftPrePrepare { .. }
+                | ProtocolMsg::ZyzOrderReq { .. }
+                | ProtocolMsg::SbftPrePrepare { .. }
+                | ProtocolMsg::HsProposal { .. }
+        )
+    }
+}
+
+/// A message wrapped with sender identity and link authentication,
+/// as it travels on the network.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Envelope {
+    /// The sending node.
+    pub from: crate::ids::NodeId,
+    /// The message.
+    pub msg: ProtocolMsg,
+    /// Link authenticator (MAC, signature, or none; see
+    /// [`poe_crypto::CryptoMode`]).
+    pub auth: AuthTag,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use std::sync::Arc as StdArc;
+
+    fn sample_batch() -> StdArc<Batch> {
+        Batch::new(vec![ClientRequest {
+            client: ClientId(1),
+            req_id: 1,
+            op: StdArc::new(vec![1, 2, 3]),
+            signature: None,
+        }])
+    }
+
+    #[test]
+    fn labels_are_paper_names() {
+        let b = sample_batch();
+        assert_eq!(
+            ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(0), batch: b.clone() }.label(),
+            "PROPOSE"
+        );
+        assert_eq!(
+            ProtocolMsg::PoeSupportMac { view: View(0), seq: SeqNum(0), digest: b.digest }
+                .label(),
+            "SUPPORT-MAC"
+        );
+        assert_eq!(
+            ProtocolMsg::Checkpoint { seq: SeqNum(0), state_digest: Digest::EMPTY }.label(),
+            "CHECKPOINT"
+        );
+    }
+
+    #[test]
+    fn batch_carriers_identified() {
+        let b = sample_batch();
+        assert!(ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(0), batch: b.clone() }
+            .carries_batch());
+        assert!(!ProtocolMsg::PbftPrepare { view: View(0), seq: SeqNum(0), digest: b.digest }
+            .carries_batch());
+    }
+
+    #[test]
+    fn hs_block_digest_depends_on_fields() {
+        let b = sample_batch();
+        let block = HsBlock { height: 1, parent: Digest::EMPTY, justify: None, batch: b.clone() };
+        let mut other = block.clone();
+        other.height = 2;
+        assert_ne!(block.digest(), other.digest());
+        let mut other2 = block.clone();
+        other2.parent = Digest::of(b"x");
+        assert_ne!(block.digest(), other2.digest());
+    }
+}

@@ -1,0 +1,176 @@
+//! Quorum tracking.
+//!
+//! BFT protocols repeatedly answer the question "have `q` *distinct*
+//! replicas said this?" — for PREPARE/COMMIT quorums, matching SUPPORT
+//! digests, view-change joins (`f+1`), checkpoint stability (`2f+1`), and
+//! client reply collection (`nf` identical INFORMs). The trackers here
+//! centralize the distinct-sender and matching-value bookkeeping.
+
+use crate::ids::ReplicaId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+/// Counts distinct voters toward a single threshold.
+#[derive(Clone, Debug, Default)]
+pub struct VoteSet {
+    voters: BTreeSet<ReplicaId>,
+}
+
+impl VoteSet {
+    /// An empty vote set.
+    pub fn new() -> VoteSet {
+        VoteSet::default()
+    }
+
+    /// Records a vote; returns true if it was new.
+    pub fn insert(&mut self, from: ReplicaId) -> bool {
+        self.voters.insert(from)
+    }
+
+    /// Whether `from` has voted.
+    pub fn contains(&self, from: ReplicaId) -> bool {
+        self.voters.contains(&from)
+    }
+
+    /// Number of distinct voters.
+    pub fn len(&self) -> usize {
+        self.voters.len()
+    }
+
+    /// True when no votes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.voters.is_empty()
+    }
+
+    /// True when at least `q` distinct replicas voted.
+    pub fn reached(&self, q: usize) -> bool {
+        self.voters.len() >= q
+    }
+
+    /// Iterates over the voters in id order.
+    pub fn voters(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.voters.iter().copied()
+    }
+}
+
+/// Counts votes *per value* (e.g. per digest) from distinct senders, and
+/// reports when some value reaches a quorum.
+///
+/// A replica may only vote once: a second vote for a *different* value from
+/// the same sender is rejected (byzantine equivocation does not double
+/// count), mirroring the paper's "non-faulty replicas only send a single
+/// SUPPORT message" argument in Proposition 2.
+#[derive(Clone, Debug)]
+pub struct MatchingVotes<V> {
+    by_voter: BTreeMap<ReplicaId, V>,
+    counts: BTreeMap<V, usize>,
+}
+
+impl<V: Clone + Ord + Hash> Default for MatchingVotes<V> {
+    fn default() -> Self {
+        MatchingVotes { by_voter: BTreeMap::new(), counts: BTreeMap::new() }
+    }
+}
+
+impl<V: Clone + Ord + Hash> MatchingVotes<V> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `from` voting for `value`. Returns `false` if `from`
+    /// already voted (for any value).
+    pub fn insert(&mut self, from: ReplicaId, value: V) -> bool {
+        if self.by_voter.contains_key(&from) {
+            return false;
+        }
+        self.by_voter.insert(from, value.clone());
+        *self.counts.entry(value).or_insert(0) += 1;
+        true
+    }
+
+    /// The number of votes for `value`.
+    pub fn count_for(&self, value: &V) -> usize {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of voters.
+    pub fn total(&self) -> usize {
+        self.by_voter.len()
+    }
+
+    /// Some value that reached quorum `q`, if any.
+    pub fn quorum_value(&self, q: usize) -> Option<&V> {
+        self.counts.iter().find(|(_, c)| **c >= q).map(|(v, _)| v)
+    }
+
+    /// The voters who voted for `value`.
+    pub fn voters_for<'a>(&'a self, value: &'a V) -> impl Iterator<Item = ReplicaId> + 'a {
+        self.by_voter
+            .iter()
+            .filter(move |(_, v)| *v == value)
+            .map(|(r, _)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_set_counts_distinct() {
+        let mut vs = VoteSet::new();
+        assert!(vs.is_empty());
+        assert!(vs.insert(ReplicaId(0)));
+        assert!(!vs.insert(ReplicaId(0)));
+        assert!(vs.insert(ReplicaId(1)));
+        assert_eq!(vs.len(), 2);
+        assert!(vs.reached(2));
+        assert!(!vs.reached(3));
+        assert!(vs.contains(ReplicaId(1)));
+        assert_eq!(vs.voters().collect::<Vec<_>>(), vec![ReplicaId(0), ReplicaId(1)]);
+    }
+
+    #[test]
+    fn matching_votes_reach_quorum() {
+        let mut mv = MatchingVotes::new();
+        mv.insert(ReplicaId(0), "a");
+        mv.insert(ReplicaId(1), "a");
+        assert_eq!(mv.quorum_value(3), None);
+        mv.insert(ReplicaId(2), "a");
+        assert_eq!(mv.quorum_value(3), Some(&"a"));
+        assert_eq!(mv.count_for(&"a"), 3);
+        assert_eq!(mv.count_for(&"b"), 0);
+    }
+
+    #[test]
+    fn equivocation_does_not_double_count() {
+        let mut mv = MatchingVotes::new();
+        assert!(mv.insert(ReplicaId(0), "a"));
+        // Same replica tries to vote differently: rejected.
+        assert!(!mv.insert(ReplicaId(0), "b"));
+        assert_eq!(mv.count_for(&"a"), 1);
+        assert_eq!(mv.count_for(&"b"), 0);
+        assert_eq!(mv.total(), 1);
+    }
+
+    #[test]
+    fn split_votes_no_quorum() {
+        let mut mv = MatchingVotes::new();
+        mv.insert(ReplicaId(0), "a");
+        mv.insert(ReplicaId(1), "b");
+        mv.insert(ReplicaId(2), "c");
+        assert_eq!(mv.quorum_value(2), None);
+        assert_eq!(mv.total(), 3);
+    }
+
+    #[test]
+    fn voters_for_value() {
+        let mut mv = MatchingVotes::new();
+        mv.insert(ReplicaId(0), "a");
+        mv.insert(ReplicaId(1), "b");
+        mv.insert(ReplicaId(2), "a");
+        let voters: Vec<_> = mv.voters_for(&"a").collect();
+        assert_eq!(voters, vec![ReplicaId(0), ReplicaId(2)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Client requests and batches.
+//!
+//! A client `c` signs its transaction `T` and sends `⟨T⟩c` to the primary;
+//! the primary aggregates requests into batches (paper §III "Batching")
+//! and proposes whole batches under a single sequence number.
+
+use crate::ids::ClientId;
+use poe_crypto::digest::{digest_concat, Digest};
+use poe_crypto::ed25519::Signature;
+use std::sync::Arc;
+
+/// A signed client request `⟨T⟩c`.
+///
+/// The transaction body is opaque bytes at this layer; the replicated
+/// state machine (`poe-store`) interprets them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClientRequest {
+    /// The issuing client.
+    pub client: ClientId,
+    /// Client-local request number (monotonically increasing; also used
+    /// for reply matching and retransmission de-duplication).
+    pub req_id: u64,
+    /// Serialized transaction `T`.
+    pub op: Arc<Vec<u8>>,
+    /// The client's Ed25519 signature over `(client, req_id, op)`, absent
+    /// only in `CryptoMode::None` runs.
+    pub signature: Option<Signature>,
+}
+
+impl ClientRequest {
+    /// The byte string a client signs (and replicas verify).
+    pub fn signing_bytes(client: ClientId, req_id: u64, op: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(op.len() + 16);
+        out.extend_from_slice(&client.0.to_le_bytes());
+        out.extend_from_slice(&req_id.to_le_bytes());
+        out.extend_from_slice(op);
+        out
+    }
+
+    /// Digest `D(⟨T⟩c)` identifying the request.
+    pub fn digest(&self) -> Digest {
+        digest_concat(&[
+            &self.client.0.to_le_bytes(),
+            &self.req_id.to_le_bytes(),
+            &self.op,
+        ])
+    }
+
+    /// Approximate wire size in bytes (payload + ids + signature).
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.op.len() + 1 + if self.signature.is_some() { 64 } else { 0 }
+    }
+}
+
+/// A batch of client requests proposed under one sequence number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Batch {
+    /// The requests, in proposal order.
+    pub requests: Vec<ClientRequest>,
+    /// Digest committing to the whole batch.
+    pub digest: Digest,
+}
+
+impl Batch {
+    /// Builds a batch and computes its digest.
+    pub fn new(requests: Vec<ClientRequest>) -> Arc<Batch> {
+        let digest = Self::digest_of(&requests);
+        Arc::new(Batch { requests, digest })
+    }
+
+    /// An empty batch (used by no-op proposals during view change).
+    pub fn empty() -> Arc<Batch> {
+        Self::new(Vec::new())
+    }
+
+    /// Digest over the request digests (order-sensitive).
+    pub fn digest_of(requests: &[ClientRequest]) -> Digest {
+        let digests: Vec<[u8; 32]> = requests.iter().map(|r| r.digest().0).collect();
+        let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
+        digest_concat(&parts)
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Approximate wire size of the batch payload.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.requests.iter().map(ClientRequest::encoded_len).sum::<usize>() + 32
+    }
+}
+
+/// Accumulates incoming requests and cuts batches of the configured size
+/// (the primary's batch-threads in the paper's Figure 6 pipeline).
+#[derive(Debug)]
+pub struct Batcher {
+    pending: Vec<ClientRequest>,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// A batcher cutting batches of `batch_size` requests.
+    pub fn new(batch_size: usize) -> Batcher {
+        assert!(batch_size >= 1);
+        Batcher { pending: Vec::with_capacity(batch_size), batch_size }
+    }
+
+    /// Adds a request; returns a full batch when one is ready.
+    pub fn push(&mut self, req: ClientRequest) -> Option<Arc<Batch>> {
+        self.pending.push(req);
+        (self.pending.len() >= self.batch_size).then(|| self.cut())
+    }
+
+    /// Cuts whatever is pending into a batch (possibly smaller than
+    /// `batch_size`); `None` if nothing is pending.
+    pub fn flush(&mut self) -> Option<Arc<Batch>> {
+        (!self.pending.is_empty()).then(|| self.cut())
+    }
+
+    /// Number of requests waiting for the next cut.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn cut(&mut self) -> Arc<Batch> {
+        let reqs = std::mem::replace(&mut self.pending, Vec::with_capacity(self.batch_size));
+        Batch::new(reqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(client: u32, req_id: u64, op: &[u8]) -> ClientRequest {
+        ClientRequest {
+            client: ClientId(client),
+            req_id,
+            op: Arc::new(op.to_vec()),
+            signature: None,
+        }
+    }
+
+    #[test]
+    fn request_digest_distinguishes_fields() {
+        let base = req(1, 1, b"op");
+        assert_ne!(base.digest(), req(2, 1, b"op").digest());
+        assert_ne!(base.digest(), req(1, 2, b"op").digest());
+        assert_ne!(base.digest(), req(1, 1, b"oq").digest());
+        assert_eq!(base.digest(), req(1, 1, b"op").digest());
+    }
+
+    #[test]
+    fn batch_digest_is_order_sensitive() {
+        let a = req(1, 1, b"a");
+        let b = req(1, 2, b"b");
+        let d1 = Batch::new(vec![a.clone(), b.clone()]).digest;
+        let d2 = Batch::new(vec![b, a]).digest;
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn batcher_cuts_at_size() {
+        let mut batcher = Batcher::new(3);
+        assert!(batcher.push(req(0, 1, b"x")).is_none());
+        assert!(batcher.push(req(0, 2, b"x")).is_none());
+        let batch = batcher.push(req(0, 3, b"x")).expect("full batch");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    #[test]
+    fn batcher_flush_partial() {
+        let mut batcher = Batcher::new(10);
+        assert!(batcher.flush().is_none());
+        batcher.push(req(0, 1, b"x"));
+        batcher.push(req(0, 2, b"x"));
+        let batch = batcher.flush().expect("partial batch");
+        assert_eq!(batch.len(), 2);
+        assert!(batcher.flush().is_none());
+    }
+
+    #[test]
+    fn signing_bytes_roundtrip_layout() {
+        let bytes = ClientRequest::signing_bytes(ClientId(7), 9, b"payload");
+        assert_eq!(&bytes[..4], &7u32.to_le_bytes());
+        assert_eq!(&bytes[4..12], &9u64.to_le_bytes());
+        assert_eq!(&bytes[12..], b"payload");
+    }
+
+    #[test]
+    fn encoded_len_counts_signature() {
+        let unsigned = req(1, 1, b"12345");
+        let mut signed = unsigned.clone();
+        signed.signature = Some(poe_crypto::ed25519::Signature::from_bytes([0u8; 64]));
+        assert_eq!(signed.encoded_len(), unsigned.encoded_len() + 64);
+    }
+}

@@ -1,0 +1,168 @@
+//! Virtual time.
+//!
+//! The simulator runs on a deterministic virtual clock; the fabric maps
+//! these types onto the wall clock. Nanosecond-granularity `u64`s cover
+//! ~584 years of simulated time, ample for any experiment.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// As nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating multiplication (for exponential back-off).
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+
+    /// Conversion to the standard library type (used by the fabric).
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+/// An absolute instant on the virtual clock (nanoseconds since start).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The clock origin.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since `earlier` (saturating at zero).
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_consistent() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1000));
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + Duration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t - Time::ZERO, Duration::from_millis(5));
+        assert_eq!(Time(3).since(Time(10)), Duration::ZERO); // saturating
+    }
+
+    #[test]
+    fn backoff_mul() {
+        let d = Duration::from_millis(100);
+        assert_eq!(d.saturating_mul(2), Duration::from_millis(200));
+        assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{:?}", Duration::from_micros(3)), "3.000µs");
+        assert_eq!(format!("{:?}", Duration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{:?}", Duration::from_secs(2)), "2.000s");
+    }
+}

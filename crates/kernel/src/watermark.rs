@@ -1,0 +1,223 @@
+//! Sequence-number watermarks: the out-of-order window.
+//!
+//! Paper §II-F: single-primary protocols pipeline consensus instances by
+//! letting the primary propose sequence number `k+1` before `k` finishes,
+//! bounded by an *active set* of sequence numbers between a low and high
+//! watermark. The low watermark advances as instances commit (or as
+//! checkpoints stabilize); the window size caps how far ahead the primary
+//! may run. Disabling out-of-order processing (window = 1) reproduces the
+//! paper's Figure 9(k,l), where throughput collapses by ~200×.
+
+use crate::ids::SeqNum;
+
+/// A sliding window `[low, low + size)` of sequence numbers a replica is
+/// willing to work on concurrently.
+#[derive(Clone, Debug)]
+pub struct Watermarks {
+    low: SeqNum,
+    size: usize,
+}
+
+impl Watermarks {
+    /// A window of `size` slots starting at sequence number 0.
+    pub fn new(size: usize) -> Watermarks {
+        assert!(size >= 1, "window must hold at least one slot");
+        Watermarks { low: SeqNum::ZERO, size }
+    }
+
+    /// The low watermark: the lowest sequence number still in flight.
+    pub fn low(&self) -> SeqNum {
+        self.low
+    }
+
+    /// The high watermark (exclusive).
+    pub fn high(&self) -> SeqNum {
+        SeqNum(self.low.0 + self.size as u64)
+    }
+
+    /// Window capacity.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether `seq` is inside the active window.
+    pub fn in_window(&self, seq: SeqNum) -> bool {
+        seq >= self.low && seq < self.high()
+    }
+
+    /// Advances the low watermark to `new_low` (no-op if behind).
+    pub fn advance_to(&mut self, new_low: SeqNum) {
+        if new_low > self.low {
+            self.low = new_low;
+        }
+    }
+
+    /// Number of slots the primary may still open given the next
+    /// unassigned sequence number `next`.
+    pub fn headroom(&self, next: SeqNum) -> usize {
+        if next >= self.high() {
+            0
+        } else {
+            (self.high().0 - next.0.max(self.low.0)) as usize
+        }
+    }
+}
+
+/// Tracks contiguous completion: feed it out-of-order completions, it
+/// reports how far the consecutive prefix extends (the execution frontier
+/// that Figure 3 Line 20 enforces: execute `k` only after `k−1`).
+#[derive(Clone, Debug, Default)]
+pub struct ContiguousTracker {
+    next: u64,
+    done: std::collections::BTreeSet<u64>,
+}
+
+impl ContiguousTracker {
+    /// A tracker expecting sequence number 0 first.
+    pub fn new() -> ContiguousTracker {
+        ContiguousTracker::default()
+    }
+
+    /// A tracker expecting `next` as the first completion.
+    pub fn starting_at(next: SeqNum) -> ContiguousTracker {
+        ContiguousTracker { next: next.0, done: Default::default() }
+    }
+
+    /// Marks `seq` complete; returns the sequence numbers that have just
+    /// become part of the contiguous prefix (in order).
+    pub fn complete(&mut self, seq: SeqNum) -> Vec<SeqNum> {
+        if seq.0 >= self.next {
+            self.done.insert(seq.0);
+        }
+        let mut newly = Vec::new();
+        while self.done.remove(&self.next) {
+            newly.push(SeqNum(self.next));
+            self.next += 1;
+        }
+        newly
+    }
+
+    /// The next sequence number the contiguous prefix is waiting for.
+    pub fn frontier(&self) -> SeqNum {
+        SeqNum(self.next)
+    }
+
+    /// Whether `seq` is already part of the contiguous prefix.
+    pub fn is_complete(&self, seq: SeqNum) -> bool {
+        seq.0 < self.next
+    }
+
+    /// Jumps the frontier forward (view change / state transfer), dropping
+    /// stale out-of-order completions.
+    pub fn reset_to(&mut self, next: SeqNum) {
+        self.next = next.0;
+        self.done.retain(|s| *s >= next.0);
+    }
+
+    /// Count of completions parked above the frontier.
+    pub fn parked(&self) -> usize {
+        self.done.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_bounds() {
+        let w = Watermarks::new(4);
+        assert!(w.in_window(SeqNum(0)));
+        assert!(w.in_window(SeqNum(3)));
+        assert!(!w.in_window(SeqNum(4)));
+        assert_eq!(w.low(), SeqNum(0));
+        assert_eq!(w.high(), SeqNum(4));
+    }
+
+    #[test]
+    fn window_advance() {
+        let mut w = Watermarks::new(4);
+        w.advance_to(SeqNum(10));
+        assert!(!w.in_window(SeqNum(9)));
+        assert!(w.in_window(SeqNum(10)));
+        assert!(w.in_window(SeqNum(13)));
+        assert!(!w.in_window(SeqNum(14)));
+        // Does not move backwards.
+        w.advance_to(SeqNum(5));
+        assert_eq!(w.low(), SeqNum(10));
+    }
+
+    #[test]
+    fn headroom_counts_open_slots() {
+        let w = Watermarks::new(4);
+        assert_eq!(w.headroom(SeqNum(0)), 4);
+        assert_eq!(w.headroom(SeqNum(3)), 1);
+        assert_eq!(w.headroom(SeqNum(4)), 0);
+        assert_eq!(w.headroom(SeqNum(100)), 0);
+    }
+
+    #[test]
+    fn sequential_window_has_single_slot() {
+        let w = Watermarks::new(1);
+        assert!(w.in_window(SeqNum(0)));
+        assert!(!w.in_window(SeqNum(1)));
+        assert_eq!(w.headroom(SeqNum(0)), 1);
+    }
+
+    #[test]
+    fn contiguous_in_order() {
+        let mut t = ContiguousTracker::new();
+        assert_eq!(t.complete(SeqNum(0)), vec![SeqNum(0)]);
+        assert_eq!(t.complete(SeqNum(1)), vec![SeqNum(1)]);
+        assert_eq!(t.frontier(), SeqNum(2));
+    }
+
+    #[test]
+    fn contiguous_out_of_order() {
+        let mut t = ContiguousTracker::new();
+        assert_eq!(t.complete(SeqNum(2)), vec![]);
+        assert_eq!(t.complete(SeqNum(1)), vec![]);
+        assert_eq!(t.parked(), 2);
+        assert_eq!(
+            t.complete(SeqNum(0)),
+            vec![SeqNum(0), SeqNum(1), SeqNum(2)]
+        );
+        assert_eq!(t.parked(), 0);
+        assert!(t.is_complete(SeqNum(2)));
+        assert!(!t.is_complete(SeqNum(3)));
+    }
+
+    #[test]
+    fn contiguous_duplicate_and_stale() {
+        let mut t = ContiguousTracker::new();
+        t.complete(SeqNum(0));
+        // Duplicate completion of an already-contiguous seq is ignored.
+        assert_eq!(t.complete(SeqNum(0)), vec![]);
+        assert_eq!(t.frontier(), SeqNum(1));
+    }
+
+    #[test]
+    fn reset_drops_stale() {
+        let mut t = ContiguousTracker::new();
+        t.complete(SeqNum(5));
+        t.complete(SeqNum(12));
+        t.reset_to(SeqNum(10));
+        assert_eq!(t.frontier(), SeqNum(10));
+        assert_eq!(t.parked(), 1); // 12 kept, 5 dropped
+        assert_eq!(t.complete(SeqNum(10)), vec![SeqNum(10)]);
+        assert_eq!(t.complete(SeqNum(11)), vec![SeqNum(11), SeqNum(12)]);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let mut t = ContiguousTracker::starting_at(SeqNum(100));
+        assert_eq!(t.complete(SeqNum(99)), vec![]); // below frontier: ignored
+        assert_eq!(t.complete(SeqNum(100)), vec![SeqNum(100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_window_rejected() {
+        let _ = Watermarks::new(0);
+    }
+}

@@ -1,0 +1,127 @@
+//! In-process transport: crossbeam channels between fabric threads.
+//!
+//! Each node (replica or client) registers once and receives a consumer
+//! endpoint; anyone holding the hub can send encoded envelopes to any
+//! registered node. This plays the role of the datacenter network for the
+//! multi-threaded fabric runtime, while keeping everything in one process
+//! so experiments are self-contained.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use poe_kernel::ids::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared message hub connecting all nodes of one cluster.
+#[derive(Clone, Default)]
+pub struct InprocHub {
+    inner: Arc<RwLock<HashMap<NodeId, Sender<Vec<u8>>>>>,
+}
+
+impl InprocHub {
+    /// An empty hub.
+    pub fn new() -> InprocHub {
+        InprocHub::default()
+    }
+
+    /// Registers `node`, returning its inbound queue. Re-registering
+    /// replaces the previous endpoint (the old receiver starves).
+    pub fn register(&self, node: NodeId) -> Receiver<Vec<u8>> {
+        let (tx, rx) = unbounded();
+        self.inner.write().insert(node, tx);
+        rx
+    }
+
+    /// Removes a node (subsequent sends to it fail).
+    pub fn deregister(&self, node: NodeId) {
+        self.inner.write().remove(&node);
+    }
+
+    /// Sends encoded bytes to `to`. Returns false if the node is unknown
+    /// or its receiver was dropped.
+    pub fn send(&self, to: NodeId, bytes: Vec<u8>) -> bool {
+        let guard = self.inner.read();
+        match guard.get(&to) {
+            Some(tx) => tx.send(bytes).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_kernel::ids::{ClientId, ReplicaId};
+
+    fn r(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(i))
+    }
+
+    #[test]
+    fn register_send_receive() {
+        let hub = InprocHub::new();
+        let rx = hub.register(r(0));
+        assert!(hub.send(r(0), vec![1, 2, 3]));
+        assert_eq!(rx.recv().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_destination_fails() {
+        let hub = InprocHub::new();
+        assert!(!hub.send(r(9), vec![0]));
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let hub = InprocHub::new();
+        let _rx = hub.register(r(0));
+        hub.deregister(r(0));
+        assert!(!hub.send(r(0), vec![0]));
+        assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn dropped_receiver_reports_failure() {
+        let hub = InprocHub::new();
+        let rx = hub.register(r(1));
+        drop(rx);
+        assert!(!hub.send(r(1), vec![0]));
+    }
+
+    #[test]
+    fn multiple_nodes_are_independent() {
+        let hub = InprocHub::new();
+        let rx0 = hub.register(r(0));
+        let rx1 = hub.register(NodeId::Client(ClientId(0)));
+        hub.send(r(0), vec![0]);
+        hub.send(NodeId::Client(ClientId(0)), vec![1]);
+        assert_eq!(rx0.recv().unwrap(), vec![0]);
+        assert_eq!(rx1.recv().unwrap(), vec![1]);
+        assert_eq!(hub.len(), 2);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let hub = InprocHub::new();
+        let rx = hub.register(r(0));
+        let hub2 = hub.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u8 {
+                assert!(hub2.send(r(0), vec![i]));
+            }
+        });
+        handle.join().unwrap();
+        let received: Vec<u8> = (0..100).map(|_| rx.recv().unwrap()[0]).collect();
+        assert_eq!(received, (0..100).collect::<Vec<u8>>());
+    }
+}

@@ -1,0 +1,23 @@
+//! # poe-net
+//!
+//! Network substrates for the two runtimes:
+//!
+//! * [`model`] — the *simulated* network: per-link delay distributions,
+//!   probabilistic drops, directed link blocking and group partitions.
+//!   The discrete-event simulator samples a delivery delay (or a drop)
+//!   for every message; unreliable-network scenarios in the paper
+//!   (§II-B: "when the network is unreliable and messages do not get
+//!   delivered…") are expressed through this model.
+//! * [`inproc`] — the *in-process* transport: crossbeam channels carrying
+//!   encoded envelopes between the threads of the fabric runtime
+//!   (paper §III's multi-threaded pipelined architecture), exercising the
+//!   real wire codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inproc;
+pub mod model;
+
+pub use inproc::InprocHub;
+pub use model::{DelayModel, NetworkModel};

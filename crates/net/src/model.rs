@@ -1,0 +1,227 @@
+//! The simulated network model.
+//!
+//! Determines, per message, whether it is delivered and after how long.
+//! The paper's §IV-I simulation "delays the arrival of messages by a
+//! pre-determined message delay" — [`DelayModel::Constant`] reproduces
+//! exactly that; the jittered models make the other experiments more
+//! realistic without hurting determinism (sampling uses the simulator's
+//! seeded RNG).
+
+use poe_kernel::ids::NodeId;
+use poe_kernel::time::Duration;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Per-link delay distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Fixed delay (the paper's Fig. 11 setting: 10/20/40 ms).
+    Constant(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+    /// `base` plus an exponentially distributed tail of mean
+    /// `tail_mean` (a common LAN/WAN latency shape).
+    ExponentialTail {
+        /// Deterministic propagation floor.
+        base: Duration,
+        /// Mean of the exponential tail.
+        tail_mean: Duration,
+    },
+}
+
+impl DelayModel {
+    /// A typical intra-datacenter link (~0.5 ms ± tail), the scale of the
+    /// paper's Google Cloud deployment.
+    pub fn lan() -> DelayModel {
+        DelayModel::ExponentialTail {
+            base: Duration::from_micros(300),
+            tail_mean: Duration::from_micros(200),
+        }
+    }
+
+    /// Samples one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { min, max } => {
+                debug_assert!(min <= max);
+                Duration(rng.gen_range(min.0..=max.0))
+            }
+            DelayModel::ExponentialTail { base, tail_mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let tail = (-u.ln()) * tail_mean.0 as f64;
+                base + Duration(tail as u64)
+            }
+        }
+    }
+}
+
+/// The cluster-wide network model.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    delay: DelayModel,
+    drop_prob: f64,
+    /// Directed blocked links.
+    blocked: HashSet<(NodeId, NodeId)>,
+    /// Nodes cut off entirely (crashed or partitioned away).
+    isolated: HashSet<NodeId>,
+}
+
+impl NetworkModel {
+    /// A reliable network with the given delay model.
+    pub fn new(delay: DelayModel) -> NetworkModel {
+        NetworkModel { delay, drop_prob: 0.0, blocked: HashSet::new(), isolated: HashSet::new() }
+    }
+
+    /// Sets an i.i.d. message drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> NetworkModel {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+        self
+    }
+
+    /// The delay model in use.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay
+    }
+
+    /// Blocks the directed link `from → to`.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Unblocks the directed link.
+    pub fn unblock_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Isolates a node: nothing in or out (models a crashed or
+    /// partitioned-away node at the network layer).
+    pub fn isolate(&mut self, node: NodeId) {
+        self.isolated.insert(node);
+    }
+
+    /// Reconnects an isolated node.
+    pub fn reconnect(&mut self, node: NodeId) {
+        self.isolated.remove(&node);
+    }
+
+    /// Whether the node is currently isolated.
+    pub fn is_isolated(&self, node: NodeId) -> bool {
+        self.isolated.contains(&node)
+    }
+
+    /// Decides the fate of one message: `Some(delay)` to deliver after
+    /// `delay`, `None` to drop.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut R,
+    ) -> Option<Duration> {
+        if self.isolated.contains(&from) || self.isolated.contains(&to) {
+            return None;
+        }
+        if self.blocked.contains(&(from, to)) {
+            return None;
+        }
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            return None;
+        }
+        Some(self.delay.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_kernel::ids::{ClientId, ReplicaId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(i))
+    }
+
+    #[test]
+    fn constant_delay_is_exact() {
+        let m = NetworkModel::new(DelayModel::Constant(Duration::from_millis(10)));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(m.route(r(0), r(1), &mut rng), Some(Duration::from_millis(10)));
+        }
+    }
+
+    #[test]
+    fn uniform_delay_in_bounds() {
+        let model = DelayModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(5),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = model.sample(&mut rng);
+            assert!(d >= Duration::from_millis(1) && d <= Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn exponential_tail_has_floor() {
+        let model = DelayModel::ExponentialTail {
+            base: Duration::from_millis(2),
+            tail_mean: Duration::from_micros(500),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng) >= Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn drops_follow_probability() {
+        let m = NetworkModel::new(DelayModel::Constant(Duration::ZERO)).with_drop_prob(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let delivered = (0..10_000)
+            .filter(|_| m.route(r(0), r(1), &mut rng).is_some())
+            .count();
+        assert!((4_000..6_000).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn blocked_links_are_directional() {
+        let mut m = NetworkModel::new(DelayModel::Constant(Duration::ZERO));
+        m.block_link(r(0), r(1));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(m.route(r(0), r(1), &mut rng).is_none());
+        assert!(m.route(r(1), r(0), &mut rng).is_some());
+        m.unblock_link(r(0), r(1));
+        assert!(m.route(r(0), r(1), &mut rng).is_some());
+    }
+
+    #[test]
+    fn isolation_cuts_both_directions() {
+        let mut m = NetworkModel::new(DelayModel::Constant(Duration::ZERO));
+        m.isolate(r(2));
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(m.route(r(0), r(2), &mut rng).is_none());
+        assert!(m.route(r(2), r(0), &mut rng).is_none());
+        assert!(m.route(r(0), r(1), &mut rng).is_some());
+        assert!(m.is_isolated(r(2)));
+        m.reconnect(r(2));
+        assert!(m.route(r(0), r(2), &mut rng).is_some());
+    }
+
+    #[test]
+    fn clients_and_replicas_are_distinct_nodes() {
+        let mut m = NetworkModel::new(DelayModel::Constant(Duration::ZERO));
+        m.isolate(NodeId::Client(ClientId(0)));
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(m.route(r(0), NodeId::Client(ClientId(0)), &mut rng).is_none());
+        assert!(m.route(r(0), r(0), &mut rng).is_some());
+    }
+}

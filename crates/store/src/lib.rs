@@ -1,0 +1,29 @@
+//! # poe-store
+//!
+//! The replicated application substrate: a YCSB-style in-memory key-value
+//! table with **speculative execution support**.
+//!
+//! PoE executes batches *before* consensus finishes (ingredient I1 of the
+//! paper) and must be able to revert them if a view change shows they did
+//! not survive (ingredient I2). [`SpeculativeStore`] therefore keeps an
+//! undo log per applied batch and implements
+//! [`poe_kernel::StateMachine::rollback_to`] exactly; undo information is
+//! garbage-collected when checkpoints declare prefixes stable.
+//!
+//! * [`op`] — the transaction language (GET/PUT/DELETE/READ-MODIFY-WRITE)
+//!   and its byte encoding (client requests carry serialized
+//!   [`op::Transaction`]s).
+//! * [`table`] — the hash table with an incrementally maintained set-hash
+//!   state digest (O(1) per write, deterministic across replicas).
+//! * [`speculative`] — the [`SpeculativeStore`] state machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod op;
+pub mod speculative;
+pub mod table;
+
+pub use op::{Op, Transaction};
+pub use speculative::SpeculativeStore;
+pub use table::KvTable;

@@ -1,0 +1,234 @@
+//! The transaction language and its wire encoding.
+//!
+//! Client requests carry a serialized [`Transaction`]: a short sequence of
+//! key-value operations. The YCSB workload of the paper issues
+//! single-operation transactions (90% writes, Zipfian-skewed keys); the
+//! richer multi-op form is exercised by the banking example and tests.
+
+use std::fmt;
+
+/// One key-value operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Read a key; result is the value (empty if absent).
+    Get {
+        /// Key to read.
+        key: Vec<u8>,
+    },
+    /// Write a key; result is empty.
+    Put {
+        /// Key to write.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Remove a key; result is empty.
+    Delete {
+        /// Key to remove.
+        key: Vec<u8>,
+    },
+    /// Read a key and overwrite it; result is the *previous* value.
+    ReadModifyWrite {
+        /// Key to update.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Op::Get { key }
+            | Op::Put { key, .. }
+            | Op::Delete { key }
+            | Op::ReadModifyWrite { key, .. } => key,
+        }
+    }
+
+    /// Whether the operation mutates state.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Op::Get { .. })
+    }
+}
+
+/// A transaction `T`: an ordered list of operations executed atomically.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Transaction {
+    /// The operations, applied in order.
+    pub ops: Vec<Op>,
+}
+
+/// Error decoding a transaction from request bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TxnDecodeError;
+
+impl fmt::Display for TxnDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed transaction bytes")
+    }
+}
+
+impl std::error::Error for TxnDecodeError {}
+
+impl Transaction {
+    /// A transaction of a single operation.
+    pub fn single(op: Op) -> Transaction {
+        Transaction { ops: vec![op] }
+    }
+
+    /// Convenience: `GET key`.
+    pub fn get(key: impl Into<Vec<u8>>) -> Transaction {
+        Transaction::single(Op::Get { key: key.into() })
+    }
+
+    /// Convenience: `PUT key value`.
+    pub fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Transaction {
+        Transaction::single(Op::Put { key: key.into(), value: value.into() })
+    }
+
+    /// Serializes to the byte form carried in [`poe_kernel::ClientRequest`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.ops.len() * 24);
+        out.extend_from_slice(&(self.ops.len() as u16).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                Op::Get { key } => {
+                    out.push(0);
+                    put_slice16(&mut out, key);
+                }
+                Op::Put { key, value } => {
+                    out.push(1);
+                    put_slice16(&mut out, key);
+                    put_slice32(&mut out, value);
+                }
+                Op::Delete { key } => {
+                    out.push(2);
+                    put_slice16(&mut out, key);
+                }
+                Op::ReadModifyWrite { key, value } => {
+                    out.push(3);
+                    put_slice16(&mut out, key);
+                    put_slice32(&mut out, value);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the byte form.
+    pub fn decode(buf: &[u8]) -> Result<Transaction, TxnDecodeError> {
+        let mut pos = 0usize;
+        let count = take(buf, &mut pos, 2).map(|s| u16::from_le_bytes([s[0], s[1]]))? as usize;
+        let mut ops = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let tag = take(buf, &mut pos, 1)?[0];
+            let op = match tag {
+                0 => Op::Get { key: get_slice16(buf, &mut pos)? },
+                1 => Op::Put {
+                    key: get_slice16(buf, &mut pos)?,
+                    value: get_slice32(buf, &mut pos)?,
+                },
+                2 => Op::Delete { key: get_slice16(buf, &mut pos)? },
+                3 => Op::ReadModifyWrite {
+                    key: get_slice16(buf, &mut pos)?,
+                    value: get_slice32(buf, &mut pos)?,
+                },
+                _ => return Err(TxnDecodeError),
+            };
+            ops.push(op);
+        }
+        if pos != buf.len() {
+            return Err(TxnDecodeError);
+        }
+        Ok(Transaction { ops })
+    }
+}
+
+fn put_slice16(out: &mut Vec<u8>, s: &[u8]) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s);
+}
+
+fn put_slice32(out: &mut Vec<u8>, s: &[u8]) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s);
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], TxnDecodeError> {
+    let slice = buf.get(*pos..*pos + n).ok_or(TxnDecodeError)?;
+    *pos += n;
+    Ok(slice)
+}
+
+fn get_slice16(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, TxnDecodeError> {
+    let len = take(buf, pos, 2).map(|s| u16::from_le_bytes([s[0], s[1]]))? as usize;
+    take(buf, pos, len).map(|s| s.to_vec())
+}
+
+fn get_slice32(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, TxnDecodeError> {
+    let len = take(buf, pos, 4).map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))? as usize;
+    take(buf, pos, len).map(|s| s.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transaction {
+        Transaction {
+            ops: vec![
+                Op::Get { key: b"user1".to_vec() },
+                Op::Put { key: b"user2".to_vec(), value: vec![9; 100] },
+                Op::Delete { key: b"user3".to_vec() },
+                Op::ReadModifyWrite { key: b"user4".to_vec(), value: b"new".to_vec() },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let txn = sample();
+        let bytes = txn.encode();
+        assert_eq!(Transaction::decode(&bytes).unwrap(), txn);
+    }
+
+    #[test]
+    fn empty_transaction_roundtrip() {
+        let txn = Transaction::default();
+        assert_eq!(Transaction::decode(&txn.encode()).unwrap(), txn);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Transaction::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(Transaction::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut bytes = Transaction::get("k").encode();
+        bytes[2] = 42; // op tag
+        assert!(Transaction::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn helpers() {
+        let g = Transaction::get("k");
+        assert_eq!(g.ops.len(), 1);
+        assert!(!g.ops[0].is_write());
+        assert_eq!(g.ops[0].key(), b"k");
+        let p = Transaction::put("k", "v");
+        assert!(p.ops[0].is_write());
+    }
+}

@@ -1,0 +1,326 @@
+//! The speculative state machine: execute now, maybe revert later.
+//!
+//! PoE replicas execute a batch as soon as it view-commits (Figure 3,
+//! Line 20) — before global consensus is certain. If a view change later
+//! installs a different history, replicas "rollback any executed
+//! transactions not in NV-PROPOSE" (Figure 5, Line 14). This module
+//! provides exactly that: each applied batch records an undo log; rollback
+//! unwinds logs above the surviving sequence number in reverse order.
+//!
+//! Undo information for a prefix is discarded once a checkpoint makes it
+//! stable — mirroring the paper's use of checkpoints to bound view-change
+//! message size and state kept for recovery.
+
+use crate::op::{Op, Transaction};
+use crate::table::KvTable;
+use poe_kernel::ids::SeqNum;
+use poe_kernel::request::Batch;
+use poe_kernel::statemachine::{ExecOutcome, StateMachine};
+use poe_crypto::Digest;
+
+/// One reversible effect of an executed operation.
+#[derive(Clone, Debug)]
+enum UndoRecord {
+    /// Key had this previous value (Some) or was absent (None).
+    Restore { key: Vec<u8>, prior: Option<Vec<u8>> },
+}
+
+/// A key-value state machine with per-batch undo logs.
+pub struct SpeculativeStore {
+    table: KvTable,
+    /// Undo logs of applied-but-not-stable batches, in apply order.
+    undo: Vec<(SeqNum, Vec<UndoRecord>)>,
+    /// Highest applied sequence number.
+    frontier: Option<SeqNum>,
+    /// Highest sequence number declared stable (no longer revertible).
+    stable: Option<SeqNum>,
+    /// Count of malformed transactions rejected (kept deterministic:
+    /// malformed input yields an error result, not divergence).
+    rejected: u64,
+}
+
+impl SpeculativeStore {
+    /// An empty store.
+    pub fn new() -> SpeculativeStore {
+        SpeculativeStore {
+            table: KvTable::new(),
+            undo: Vec::new(),
+            frontier: None,
+            stable: None,
+            rejected: 0,
+        }
+    }
+
+    /// A store pre-populated with the paper's YCSB-style table.
+    pub fn with_ycsb_table(records: usize, value_size: usize) -> SpeculativeStore {
+        SpeculativeStore { table: KvTable::populate_ycsb(records, value_size), ..Self::new() }
+    }
+
+    /// Read-only access to the underlying table.
+    pub fn table(&self) -> &KvTable {
+        &self.table
+    }
+
+    /// Number of batches whose undo logs are still held.
+    pub fn revertible_batches(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Count of malformed transactions seen.
+    pub fn rejected_txns(&self) -> u64 {
+        self.rejected
+    }
+
+    fn apply_op(&mut self, op: &Op, log: &mut Vec<UndoRecord>) -> Vec<u8> {
+        match op {
+            Op::Get { key } => self.table.get(key).cloned().unwrap_or_default(),
+            Op::Put { key, value } => {
+                let prior = self.table.put(key.clone(), value.clone());
+                log.push(UndoRecord::Restore { key: key.clone(), prior });
+                Vec::new()
+            }
+            Op::Delete { key } => {
+                let prior = self.table.delete(key);
+                log.push(UndoRecord::Restore { key: key.clone(), prior });
+                Vec::new()
+            }
+            Op::ReadModifyWrite { key, value } => {
+                let prior = self.table.put(key.clone(), value.clone());
+                let result = prior.clone().unwrap_or_default();
+                log.push(UndoRecord::Restore { key: key.clone(), prior });
+                result
+            }
+        }
+    }
+
+    fn unwind(table: &mut KvTable, log: Vec<UndoRecord>) {
+        for record in log.into_iter().rev() {
+            match record {
+                UndoRecord::Restore { key, prior: Some(v) } => {
+                    table.put(key, v);
+                }
+                UndoRecord::Restore { key, prior: None } => {
+                    table.delete(&key);
+                }
+            }
+        }
+    }
+}
+
+impl Default for SpeculativeStore {
+    fn default() -> Self {
+        SpeculativeStore::new()
+    }
+}
+
+impl StateMachine for SpeculativeStore {
+    fn apply(&mut self, seq: SeqNum, batch: &Batch) -> ExecOutcome {
+        debug_assert!(
+            self.frontier.map_or(true, |f| seq > f),
+            "batches must be applied in increasing sequence order"
+        );
+        let mut log = Vec::new();
+        let mut results = Vec::with_capacity(batch.len());
+        for req in &batch.requests {
+            match Transaction::decode(&req.op) {
+                Ok(txn) => {
+                    // Result of a transaction: concatenated op results.
+                    let mut result = Vec::new();
+                    for op in &txn.ops {
+                        result.extend_from_slice(&self.apply_op(op, &mut log));
+                    }
+                    results.push(result);
+                }
+                Err(_) => {
+                    self.rejected += 1;
+                    results.push(b"ERR:malformed".to_vec());
+                }
+            }
+        }
+        self.undo.push((seq, log));
+        self.frontier = Some(seq);
+        ExecOutcome { results }
+    }
+
+    fn rollback_to(&mut self, keep_up_to: Option<SeqNum>) {
+        while let Some((applied_seq, _)) = self.undo.last() {
+            if keep_up_to.is_some_and(|keep| *applied_seq <= keep) {
+                break;
+            }
+            let (_, log) = self.undo.pop().expect("checked non-empty");
+            Self::unwind(&mut self.table, log);
+        }
+        // After unwinding, the applied frontier is the newest surviving
+        // batch: either the top of the undo stack or the stable prefix.
+        self.frontier = self.undo.last().map(|(s, _)| *s).or(self.stable);
+    }
+
+    fn state_digest(&self) -> Digest {
+        self.table.content_digest()
+    }
+
+    fn stabilize(&mut self, seq: SeqNum) {
+        let effective = match self.frontier {
+            Some(f) => SeqNum(seq.0.min(f.0)),
+            None => return,
+        };
+        self.undo.retain(|(s, _)| *s > effective);
+        self.stable = Some(match self.stable {
+            Some(st) => SeqNum(st.0.max(effective.0)),
+            None => effective,
+        });
+    }
+
+    fn applied_up_to(&self) -> Option<SeqNum> {
+        self.frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_kernel::ids::ClientId;
+    use poe_kernel::request::ClientRequest;
+    use std::sync::Arc;
+
+    fn batch_of(seq_tag: u64, txns: Vec<Transaction>) -> Arc<Batch> {
+        let requests = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| ClientRequest {
+                client: ClientId(0),
+                req_id: seq_tag * 1000 + i as u64,
+                op: Arc::new(t.encode()),
+                signature: None,
+            })
+            .collect();
+        Batch::new(requests)
+    }
+
+    #[test]
+    fn apply_returns_results() {
+        let mut s = SpeculativeStore::new();
+        let out = s.apply(
+            SeqNum(0),
+            &batch_of(0, vec![Transaction::put("k", "v1"), Transaction::get("k")]),
+        );
+        assert_eq!(out.results[0], b"");
+        assert_eq!(out.results[1], b"v1");
+        assert_eq!(s.applied_up_to(), Some(SeqNum(0)));
+    }
+
+    #[test]
+    fn rmw_returns_prior() {
+        let mut s = SpeculativeStore::new();
+        s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("k", "old")]));
+        let out = s.apply(
+            SeqNum(1),
+            &batch_of(1, vec![Transaction::single(Op::ReadModifyWrite {
+                key: b"k".to_vec(),
+                value: b"new".to_vec(),
+            })]),
+        );
+        assert_eq!(out.results[0], b"old");
+        assert_eq!(s.table().get(b"k"), Some(&b"new".to_vec()));
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        let mut s = SpeculativeStore::new();
+        s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("a", "1")]));
+        let digest_after_0 = s.state_digest();
+
+        s.apply(SeqNum(1), &batch_of(1, vec![
+            Transaction::put("a", "2"),
+            Transaction::put("b", "x"),
+        ]));
+        s.apply(SeqNum(2), &batch_of(2, vec![
+            Transaction::single(Op::Delete { key: b"a".to_vec() }),
+        ]));
+        assert_ne!(s.state_digest(), digest_after_0);
+
+        s.rollback_to(Some(SeqNum(0)));
+        assert_eq!(s.state_digest(), digest_after_0);
+        assert_eq!(s.table().get(b"a"), Some(&b"1".to_vec()));
+        assert_eq!(s.table().get(b"b"), None);
+        assert_eq!(s.applied_up_to(), Some(SeqNum(0)));
+    }
+
+    #[test]
+    fn rollback_is_noop_for_future_seq() {
+        let mut s = SpeculativeStore::new();
+        s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("a", "1")]));
+        let d = s.state_digest();
+        s.rollback_to(Some(SeqNum(10)));
+        assert_eq!(s.state_digest(), d);
+        assert_eq!(s.applied_up_to(), Some(SeqNum(0)));
+    }
+
+    #[test]
+    fn execute_then_rollback_all_is_identity() {
+        let mut s = SpeculativeStore::with_ycsb_table(100, 16);
+        let base = s.state_digest();
+        for round in 0..5u64 {
+            s.apply(
+                SeqNum(round),
+                &batch_of(round, vec![
+                    Transaction::put(crate::table::ycsb_key(7), format!("v{round}")),
+                    Transaction::single(Op::Delete { key: crate::table::ycsb_key(8) }),
+                ]),
+            );
+        }
+        s.rollback_to(None);
+        assert_eq!(s.state_digest(), base);
+        assert_eq!(s.applied_up_to(), None);
+        assert_eq!(s.revertible_batches(), 0);
+    }
+
+    #[test]
+    fn stabilize_prevents_rollback_below() {
+        let mut s = SpeculativeStore::new();
+        s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("a", "1")]));
+        s.apply(SeqNum(1), &batch_of(1, vec![Transaction::put("a", "2")]));
+        s.stabilize(SeqNum(1));
+        assert_eq!(s.revertible_batches(), 0);
+        // Rollback below the stable point has no effect on state.
+        s.rollback_to(Some(SeqNum(0)));
+        assert_eq!(s.table().get(b"a"), Some(&b"2".to_vec()));
+        s.rollback_to(None);
+        assert_eq!(s.table().get(b"a"), Some(&b"2".to_vec()));
+        assert_eq!(s.applied_up_to(), Some(SeqNum(1)));
+    }
+
+    #[test]
+    fn malformed_txn_yields_error_result() {
+        let mut s = SpeculativeStore::new();
+        let bad = Batch::new(vec![ClientRequest {
+            client: ClientId(0),
+            req_id: 1,
+            op: Arc::new(vec![0xff, 0xff, 0xff]),
+            signature: None,
+        }]);
+        let out = s.apply(SeqNum(0), &bad);
+        assert_eq!(out.results[0], b"ERR:malformed");
+        assert_eq!(s.rejected_txns(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        let mk = || {
+            let mut s = SpeculativeStore::with_ycsb_table(50, 8);
+            for round in 0..10u64 {
+                s.apply(
+                    SeqNum(round),
+                    &batch_of(round, vec![
+                        Transaction::put(crate::table::ycsb_key((round as usize) % 50), "w"),
+                        Transaction::get(crate::table::ycsb_key(((round + 3) as usize) % 50)),
+                    ]),
+                );
+            }
+            s
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+}

@@ -1,0 +1,619 @@
+//! The client automaton.
+//!
+//! Clients submit signed requests to the primary, keep a bounded number in
+//! flight (closed loop), collect replies under a per-protocol
+//! [`ReplyPolicy`], and retransmit by broadcasting to all replicas when a
+//! timeout expires — the fallback path of paper §II-B: "If client c does
+//! not know the current primary or does not get any timely response … it
+//! can broadcast its request to all replicas".
+//!
+//! Zyzzyva's client is special: it *participates* in consensus. It waits
+//! for speculative responses from **all n** replicas; if only `2f+1..n`
+//! matching responses arrive within the fast-path window, it assembles a
+//! commit certificate, broadcasts it, and waits for `f+1` local-commits.
+//! This client-side burden is exactly why a single crashed backup
+//! devastates Zyzzyva in Figure 9(a).
+
+use poe_crypto::digest::digest_concat;
+use poe_crypto::provider::CryptoProvider;
+use poe_crypto::Digest;
+use poe_kernel::automaton::{ClientAutomaton, Event, Notification, Outbox, RequestSource};
+use poe_kernel::ids::{ClientId, SeqNum, View};
+use poe_kernel::messages::{ClientReply, ProtocolMsg, ReplyKind, ZyzCommitCert};
+use poe_kernel::quorum::MatchingVotes;
+use poe_kernel::request::ClientRequest;
+use poe_kernel::time::{Duration, Time};
+use poe_kernel::timer::TimerKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How many replies complete a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyPolicy {
+    /// Complete after `quorum` identical replies from distinct replicas
+    /// (PoE: `nf`; PBFT/HotStuff: `f+1`; SBFT: 1 certificate-bearing ack).
+    Matching {
+        /// Number of identical replies required.
+        quorum: usize,
+    },
+    /// The Zyzzyva twin-path client.
+    Zyzzyva,
+}
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// This client's id.
+    pub id: ClientId,
+    /// Number of replicas.
+    pub n: usize,
+    /// Fault bound `f`.
+    pub f: usize,
+    /// Reply collection policy.
+    pub policy: ReplyPolicy,
+    /// Maximum requests in flight (1 = fully closed loop, the Fig. 9(k,l)
+    /// configuration).
+    pub outstanding: usize,
+    /// Stop after this many completions (`None` = unbounded).
+    pub max_requests: Option<u64>,
+    /// Retransmission timeout (paper uses 3 s).
+    pub retry: Duration,
+    /// Zyzzyva fast-path window before falling back to the commit path.
+    pub zyz_fast_window: Duration,
+    /// Whether requests are signed (false only in `CryptoMode::None`).
+    pub sign: bool,
+}
+
+impl ClientConfig {
+    /// Defaults for a protocol needing `quorum` matching replies.
+    pub fn matching(id: ClientId, n: usize, f: usize, quorum: usize) -> ClientConfig {
+        ClientConfig {
+            id,
+            n,
+            f,
+            policy: ReplyPolicy::Matching { quorum },
+            outstanding: 1,
+            max_requests: None,
+            retry: Duration::from_secs(3),
+            zyz_fast_window: Duration::from_secs(3),
+            sign: true,
+        }
+    }
+
+    /// Defaults for a Zyzzyva client.
+    pub fn zyzzyva(id: ClientId, n: usize, f: usize) -> ClientConfig {
+        ClientConfig { policy: ReplyPolicy::Zyzzyva, ..Self::matching(id, n, f, n) }
+    }
+
+    /// Sets the in-flight window.
+    pub fn with_outstanding(mut self, outstanding: usize) -> Self {
+        assert!(outstanding >= 1);
+        self.outstanding = outstanding;
+        self
+    }
+
+    /// Bounds the number of requests.
+    pub fn with_max_requests(mut self, max: u64) -> Self {
+        self.max_requests = Some(max);
+        self
+    }
+
+    /// Sets the retransmission timeout.
+    pub fn with_retry(mut self, retry: Duration) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the Zyzzyva fast-path window.
+    pub fn with_zyz_window(mut self, w: Duration) -> Self {
+        self.zyz_fast_window = w;
+        self
+    }
+}
+
+/// Reply-matching key: identical means same (view, seq, result).
+fn reply_key(view: View, seq: SeqNum, result: &[u8]) -> Digest {
+    digest_concat(&[&view.0.to_le_bytes(), &seq.0.to_le_bytes(), result])
+}
+
+/// Zyzzyva spec-response key: additionally matches the history digest.
+fn zyz_key(view: View, seq: SeqNum, history: &Digest, result: &[u8]) -> Digest {
+    digest_concat(&[
+        &view.0.to_le_bytes(),
+        &seq.0.to_le_bytes(),
+        history.as_bytes(),
+        result,
+    ])
+}
+
+struct InFlight {
+    request: ClientRequest,
+    submitted_at: Time,
+    votes: MatchingVotes<Digest>,
+    /// Zyzzyva: (view, seq, history) per matching key, to build the
+    /// commit certificate.
+    zyz_meta: HashMap<Digest, (View, SeqNum, Digest)>,
+    commit_sent: bool,
+    local_commits: MatchingVotes<Digest>,
+    retries: u32,
+}
+
+/// The workload-driven client automaton.
+pub struct WorkloadClient {
+    cfg: ClientConfig,
+    crypto: CryptoProvider,
+    source: Box<dyn RequestSource>,
+    next_req_id: u64,
+    inflight: HashMap<u64, InFlight>,
+    completed: u64,
+    view_hint: View,
+    exhausted: bool,
+}
+
+impl WorkloadClient {
+    /// Creates a client driving `source` under `cfg`, signing with
+    /// `crypto`.
+    pub fn new(
+        cfg: ClientConfig,
+        crypto: CryptoProvider,
+        source: Box<dyn RequestSource>,
+    ) -> WorkloadClient {
+        WorkloadClient {
+            cfg,
+            crypto,
+            source,
+            next_req_id: 0,
+            inflight: HashMap::new(),
+            completed: 0,
+            view_hint: View::ZERO,
+            exhausted: false,
+        }
+    }
+
+    /// The client's view of who is primary.
+    pub fn view_hint(&self) -> View {
+        self.view_hint
+    }
+
+    fn budget_left(&self) -> bool {
+        match self.cfg.max_requests {
+            Some(max) => self.completed + self.inflight.len() as u64 > max,
+            None => false,
+        }
+    }
+
+    fn may_submit(&self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if let Some(max) = self.cfg.max_requests {
+            if self.completed + self.inflight.len() as u64 >= max {
+                return false;
+            }
+        }
+        self.inflight.len() < self.cfg.outstanding
+    }
+
+    fn submit_up_to_window(&mut self, now: Time, out: &mut Outbox) {
+        while self.may_submit() {
+            let Some(op) = self.source.next_op(self.cfg.id) else {
+                self.exhausted = true;
+                break;
+            };
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            let signature = self.cfg.sign.then(|| {
+                let bytes = ClientRequest::signing_bytes(self.cfg.id, req_id, &op);
+                self.crypto.sign(&bytes)
+            });
+            let request = ClientRequest {
+                client: self.cfg.id,
+                req_id,
+                op: Arc::new(op),
+                signature,
+            };
+            let primary = self.view_hint.primary(self.cfg.n);
+            out.send(primary, ProtocolMsg::Request(request.clone()));
+            out.set_timer(TimerKind::ClientRetry(req_id), self.cfg.retry);
+            if self.cfg.policy == ReplyPolicy::Zyzzyva {
+                out.set_timer(TimerKind::ZyzFastPath(req_id), self.cfg.zyz_fast_window);
+            }
+            self.inflight.insert(req_id, InFlight {
+                request,
+                submitted_at: now,
+                votes: MatchingVotes::new(),
+                zyz_meta: HashMap::new(),
+                commit_sent: false,
+                local_commits: MatchingVotes::new(),
+                retries: 0,
+            });
+        }
+    }
+
+    fn complete(&mut self, req_id: u64, now: Time, out: &mut Outbox) {
+        let Some(entry) = self.inflight.remove(&req_id) else {
+            return;
+        };
+        out.cancel_timer(TimerKind::ClientRetry(req_id));
+        if self.cfg.policy == ReplyPolicy::Zyzzyva {
+            out.cancel_timer(TimerKind::ZyzFastPath(req_id));
+        }
+        self.completed += 1;
+        out.notify(Notification::RequestComplete {
+            client: self.cfg.id,
+            req_id,
+            submitted_at: entry.submitted_at,
+        });
+        self.submit_up_to_window(now, out);
+    }
+
+    fn on_reply(&mut self, reply: ClientReply, now: Time, out: &mut Outbox) {
+        if reply.view > self.view_hint {
+            self.view_hint = reply.view;
+        }
+        let req_id = reply.req_id;
+        let Some(entry) = self.inflight.get_mut(&req_id) else {
+            return; // Stale or duplicate reply for a finished request.
+        };
+        if reply.req_digest != entry.request.digest() {
+            return; // Reply for a different incarnation of this id.
+        }
+        match (self.cfg.policy, reply.kind) {
+            (ReplyPolicy::Matching { quorum }, k)
+                if matches!(
+                    k,
+                    ReplyKind::PoeInform
+                        | ReplyKind::PbftReply
+                        | ReplyKind::SbftExecuteAck
+                        | ReplyKind::HsReply
+                ) =>
+            {
+                let key = reply_key(reply.view, reply.seq, &reply.result);
+                entry.votes.insert(reply.replica, key);
+                if entry.votes.count_for(&key) >= quorum {
+                    self.complete(req_id, now, out);
+                }
+            }
+            (ReplyPolicy::Zyzzyva, ReplyKind::ZyzSpecResponse) => {
+                let history = reply.history.unwrap_or(Digest::EMPTY);
+                let key = zyz_key(reply.view, reply.seq, &history, &reply.result);
+                entry.zyz_meta.insert(key, (reply.view, reply.seq, history));
+                entry.votes.insert(reply.replica, key);
+                // Fast path: all n replicas agree.
+                if entry.votes.count_for(&key) >= self.cfg.n {
+                    self.complete(req_id, now, out);
+                }
+            }
+            (ReplyPolicy::Zyzzyva, ReplyKind::ZyzLocalCommit) => {
+                let key = reply_key(reply.view, reply.seq, &reply.result);
+                entry.local_commits.insert(reply.replica, key);
+                if entry.local_commits.count_for(&key) >= self.cfg.f + 1 {
+                    self.complete(req_id, now, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_retry(&mut self, req_id: u64, out: &mut Outbox) {
+        let Some(entry) = self.inflight.get_mut(&req_id) else {
+            return;
+        };
+        entry.retries += 1;
+        // Fall back to broadcasting to all replicas; they forward to the
+        // primary and start failure-detection timers.
+        out.broadcast(ProtocolMsg::RequestBroadcast(entry.request.clone()));
+        out.set_timer(TimerKind::ClientRetry(req_id), self.cfg.retry);
+    }
+
+    fn on_zyz_window(&mut self, req_id: u64, out: &mut Outbox) {
+        let commit_quorum = 2 * self.cfg.f + 1;
+        let Some(entry) = self.inflight.get_mut(&req_id) else {
+            return;
+        };
+        if entry.commit_sent {
+            return;
+        }
+        // Find a spec-response value with >= 2f+1 matches.
+        let candidate = entry
+            .zyz_meta
+            .iter()
+            .find(|(key, _)| entry.votes.count_for(key) >= commit_quorum)
+            .map(|(key, meta)| (*key, *meta));
+        if let Some((key, (view, seq, history))) = candidate {
+            let replicas: Vec<_> = entry.votes.voters_for(&key).collect();
+            entry.commit_sent = true;
+            out.broadcast(ProtocolMsg::ZyzCommit(ZyzCommitCert {
+                view,
+                seq,
+                history,
+                replicas,
+            }));
+            // Await f+1 local commits; the retry timer still guards us.
+        } else {
+            // Not enough matching responses: re-arm and keep waiting; the
+            // retry timer will rebroadcast the request.
+            out.set_timer(TimerKind::ZyzFastPath(req_id), self.cfg.zyz_fast_window);
+        }
+    }
+}
+
+impl ClientAutomaton for WorkloadClient {
+    fn id(&self) -> ClientId {
+        self.cfg.id
+    }
+
+    fn on_event(&mut self, now: Time, event: Event, out: &mut Outbox) {
+        match event {
+            Event::Init => self.submit_up_to_window(now, out),
+            Event::Deliver { from: _, msg: ProtocolMsg::Reply(reply) } => {
+                self.on_reply(reply, now, out)
+            }
+            Event::Deliver { .. } => {}
+            Event::Timeout(TimerKind::ClientRetry(req_id)) => self.on_retry(req_id, out),
+            Event::Timeout(TimerKind::ZyzFastPath(req_id)) => self.on_zyz_window(req_id, out),
+            Event::Timeout(_) => {}
+        }
+        // Defensive: budget accounting should never go negative.
+        debug_assert!(!self.budget_left() || self.cfg.max_requests.is_none());
+    }
+
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+    use poe_kernel::automaton::{Action, FixedPayloadSource};
+    use poe_kernel::ids::{NodeId, ReplicaId};
+
+    fn client(policy: ReplyPolicy, outstanding: usize) -> WorkloadClient {
+        let km = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 3);
+        let cfg = ClientConfig {
+            id: ClientId(0),
+            n: 4,
+            f: 1,
+            policy,
+            outstanding,
+            max_requests: None,
+            retry: Duration::from_secs(3),
+            zyz_fast_window: Duration::from_secs(1),
+            sign: true,
+        };
+        WorkloadClient::new(cfg, km.client(0), Box::new(FixedPayloadSource::unbounded(vec![1])))
+    }
+
+    fn reply(
+        c: &WorkloadClient,
+        replica: u32,
+        req_id: u64,
+        kind: ReplyKind,
+        result: &[u8],
+        history: Option<Digest>,
+    ) -> ClientReply {
+        // Build a reply matching the client's in-flight request digest.
+        let entry = c.inflight.get(&req_id).expect("in flight");
+        ClientReply {
+            kind,
+            view: View(0),
+            seq: SeqNum(0),
+            req_digest: entry.request.digest(),
+            req_id,
+            result: result.to_vec(),
+            replica: ReplicaId(replica),
+            history,
+        }
+    }
+
+    fn deliver_raw(c: &mut WorkloadClient, r: ClientReply, now: Time) -> Vec<Action> {
+        let mut out = Outbox::new();
+        c.on_event(
+            now,
+            Event::Deliver { from: NodeId::Replica(r.replica), msg: ProtocolMsg::Reply(r) },
+            &mut out,
+        );
+        out.drain()
+    }
+
+    fn deliver(
+        c: &mut WorkloadClient,
+        replica: u32,
+        req_id: u64,
+        kind: ReplyKind,
+        result: &[u8],
+        history: Option<Digest>,
+        now: Time,
+    ) -> Vec<Action> {
+        let r = reply(c, replica, req_id, kind, result, history);
+        deliver_raw(c, r, now)
+    }
+
+    #[test]
+    fn init_submits_window() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 3 }, 2);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let sends = out
+            .actions()
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: ProtocolMsg::Request(_), .. }))
+            .count();
+        assert_eq!(sends, 2);
+        assert_eq!(c.in_flight(), 2);
+    }
+
+    #[test]
+    fn quorum_of_identical_replies_completes() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 3 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        for r in 0..2 {
+            deliver(&mut c, r, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+            assert_eq!(c.completed(), 0);
+        }
+        let actions = deliver(&mut c, 2, 0, ReplyKind::PoeInform, b"ok", None, Time(2));
+        assert_eq!(c.completed(), 1);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Notify(Notification::RequestComplete { .. }))));
+        // Closed loop: next request submitted.
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn divergent_replies_do_not_complete() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 3 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"a", None, Time(1));
+        deliver(&mut c, 1, 0, ReplyKind::PoeInform, b"b", None, Time(1));
+        deliver(&mut c, 2, 0, ReplyKind::PoeInform, b"c", None, Time(1));
+        assert_eq!(c.completed(), 0);
+    }
+
+    #[test]
+    fn duplicate_replica_does_not_count_twice() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 2 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        assert_eq!(c.completed(), 0);
+        deliver(&mut c, 1, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn retry_broadcasts_request() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 3 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let mut out2 = Outbox::new();
+        c.on_event(Time(1), Event::Timeout(TimerKind::ClientRetry(0)), &mut out2);
+        assert!(out2.actions().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: ProtocolMsg::RequestBroadcast(_) }
+        )));
+    }
+
+    #[test]
+    fn zyzzyva_fast_path_needs_all_n() {
+        let mut c = client(ReplyPolicy::Zyzzyva, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let h = Some(Digest::of(b"hist"));
+        for r in 0..3 {
+            deliver(&mut c, r, 0, ReplyKind::ZyzSpecResponse, b"ok", h, Time(1));
+        }
+        assert_eq!(c.completed(), 0, "3 of 4 is not enough for the fast path");
+        deliver(&mut c, 3, 0, ReplyKind::ZyzSpecResponse, b"ok", h, Time(1));
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn zyzzyva_commit_path_after_window() {
+        let mut c = client(ReplyPolicy::Zyzzyva, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let h = Some(Digest::of(b"hist"));
+        // Only 3 of 4 replicas respond (one crashed).
+        for r in 0..3 {
+            deliver(&mut c, r, 0, ReplyKind::ZyzSpecResponse, b"ok", h, Time(1));
+        }
+        // Fast-path window expires: client must broadcast a commit cert.
+        let mut out2 = Outbox::new();
+        c.on_event(Time(2), Event::Timeout(TimerKind::ZyzFastPath(0)), &mut out2);
+        let commit = out2.actions().iter().find_map(|a| match a {
+            Action::Broadcast { msg: ProtocolMsg::ZyzCommit(cc) } => Some(cc.clone()),
+            _ => None,
+        });
+        let cc = commit.expect("commit certificate broadcast");
+        assert_eq!(cc.replicas.len(), 3);
+        // f+1 local commits complete the request.
+        deliver(&mut c, 0, 0, ReplyKind::ZyzLocalCommit, b"ok", None, Time(3));
+        assert_eq!(c.completed(), 0);
+        deliver(&mut c, 1, 0, ReplyKind::ZyzLocalCommit, b"ok", None, Time(3));
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn zyzzyva_window_rearms_without_quorum() {
+        let mut c = client(ReplyPolicy::Zyzzyva, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let h = Some(Digest::of(b"hist"));
+        deliver(&mut c, 0, 0, ReplyKind::ZyzSpecResponse, b"ok", h, Time(1));
+        let mut out2 = Outbox::new();
+        c.on_event(Time(2), Event::Timeout(TimerKind::ZyzFastPath(0)), &mut out2);
+        assert!(out2.actions().iter().any(|a| matches!(
+            a,
+            Action::SetTimer { kind: TimerKind::ZyzFastPath(0), .. }
+        )));
+        assert!(!out2.actions().iter().any(|a| matches!(
+            a,
+            Action::Broadcast { msg: ProtocolMsg::ZyzCommit(_) }
+        )));
+    }
+
+    #[test]
+    fn max_requests_bounds_submission() {
+        let km = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 3);
+        let cfg = ClientConfig::matching(ClientId(0), 4, 1, 1).with_max_requests(2);
+        let mut c = WorkloadClient::new(
+            cfg,
+            km.client(0),
+            Box::new(FixedPayloadSource::unbounded(vec![1])),
+        );
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        assert_eq!(c.in_flight(), 1);
+        deliver(&mut c, 0, 0, ReplyKind::PbftReply, b"ok", None, Time(1));
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.in_flight(), 1);
+        deliver(&mut c, 0, 1, ReplyKind::PbftReply, b"ok", None, Time(2));
+        assert_eq!(c.completed(), 2);
+        assert_eq!(c.in_flight(), 0, "budget exhausted: no further submissions");
+    }
+
+    #[test]
+    fn view_hint_tracks_replies() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 3 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        let mut r = reply(&c, 0, 0, ReplyKind::PoeInform, b"ok", None);
+        r.view = View(5);
+        deliver_raw(&mut c, r, Time(1));
+        assert_eq!(c.view_hint(), View(5));
+    }
+
+    #[test]
+    fn stale_reply_ignored() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 1 }, 1);
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        // Complete request 0.
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        assert_eq!(c.completed(), 1);
+        // A late duplicate for request 0 must not disturb request 1.
+        let stale = ClientReply {
+            kind: ReplyKind::PoeInform,
+            view: View(0),
+            seq: SeqNum(0),
+            req_digest: Digest::of(b"whatever"),
+            req_id: 0,
+            result: b"ok".to_vec(),
+            replica: ReplicaId(2),
+            history: None,
+        };
+        deliver_raw(&mut c, stale, Time(2));
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.in_flight(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # poe-workload
+//!
+//! Workload generation matching the paper's evaluation setup (§IV):
+//! YCSB-style requests from Blockbench's macro benchmarks — a table of
+//! records, 90% write queries, Zipfian-distributed keys with skew 0.9 —
+//! plus the zero-payload mode and the client automatons that submit
+//! requests and collect replies.
+//!
+//! * [`zipf`] — the YCSB Zipfian generator (Gray et al.), with optional
+//!   scrambling so hot keys spread over the table.
+//! * [`ycsb`] — a [`poe_kernel::automaton::RequestSource`] producing
+//!   serialized `poe-store` transactions.
+//! * [`client`] — the client automaton: open/closed-loop submission,
+//!   reply-quorum collection (per-protocol policies), retransmission with
+//!   primary discovery, and Zyzzyva's client-side commit path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ycsb;
+pub mod zipf;
+
+pub use client::{ClientConfig, ReplyPolicy, WorkloadClient};
+pub use ycsb::{YcsbConfig, YcsbWorkload};
+pub use zipf::Zipfian;

@@ -1,0 +1,182 @@
+//! The YCSB-style request source.
+//!
+//! Matches the paper's configuration (§IV "Configuration and
+//! Benchmarking"): a table of records (500 k in the paper), 90% write
+//! queries, Zipfian key selection with skew 0.9. Each request is a
+//! single-operation `poe-store` transaction. The zero-payload mode emits
+//! empty transactions — replicas then execute dummy instructions, so the
+//! PROPOSE message stops being the bandwidth bottleneck (§IV-E).
+
+use crate::zipf::Zipfian;
+use poe_kernel::automaton::RequestSource;
+use poe_kernel::ids::ClientId;
+use poe_store::op::{Op, Transaction};
+use poe_store::table::ycsb_key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Number of records in the table (paper: 500 000).
+    pub records: usize,
+    /// Fraction of writes (paper: 0.9).
+    pub write_fraction: f64,
+    /// Zipfian skew (paper: 0.9).
+    pub skew: f64,
+    /// Value size in bytes for writes (sized so a 100-request batch is
+    /// ~5400 B like the paper's PROPOSE).
+    pub value_size: usize,
+    /// Zero-payload mode: requests carry empty transactions.
+    pub zero_payload: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            records: 500_000,
+            write_fraction: 0.9,
+            skew: 0.9,
+            value_size: 32,
+            zero_payload: false,
+            seed: 7,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// A laptop-scale variant (small table) for tests and simulations.
+    pub fn small() -> YcsbConfig {
+        YcsbConfig { records: 1_000, ..Default::default() }
+    }
+}
+
+/// Generates YCSB-style transactions; one instance can serve many clients
+/// (each draw is independent).
+#[derive(Clone, Debug)]
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    zipf: Zipfian,
+    rng: StdRng,
+    issued: u64,
+}
+
+impl YcsbWorkload {
+    /// Builds the workload from its configuration.
+    pub fn new(cfg: YcsbConfig) -> YcsbWorkload {
+        let zipf = Zipfian::new(cfg.records, cfg.skew).scrambled();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        YcsbWorkload { cfg, zipf, rng, issued: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Draws the next transaction.
+    pub fn next_transaction(&mut self) -> Transaction {
+        self.issued += 1;
+        if self.cfg.zero_payload {
+            return Transaction::default();
+        }
+        let key = ycsb_key(self.zipf.sample(&mut self.rng));
+        if self.rng.gen::<f64>() < self.cfg.write_fraction {
+            let mut value = vec![0u8; self.cfg.value_size];
+            self.rng.fill(&mut value[..]);
+            Transaction::single(Op::Put { key, value })
+        } else {
+            Transaction::single(Op::Get { key })
+        }
+    }
+}
+
+impl RequestSource for YcsbWorkload {
+    fn next_op(&mut self, _client: ClientId) -> Option<Vec<u8>> {
+        Some(self.next_transaction().encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            records: 100,
+            write_fraction: 0.9,
+            skew: 0.9,
+            value_size: 8,
+            zero_payload: false,
+            seed: 1,
+        });
+        let mut writes = 0;
+        let total = 10_000;
+        for _ in 0..total {
+            let txn = w.next_transaction();
+            if txn.ops[0].is_write() {
+                writes += 1;
+            }
+        }
+        let frac = writes as f64 / total as f64;
+        assert!((0.88..0.92).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn zero_payload_is_empty() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            zero_payload: true,
+            records: 10,
+            ..Default::default()
+        });
+        let txn = w.next_transaction();
+        assert!(txn.ops.is_empty());
+        // Encoded form is tiny (just the op count).
+        assert_eq!(txn.encode().len(), 2);
+    }
+
+    #[test]
+    fn keys_come_from_table() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            records: 50,
+            write_fraction: 1.0,
+            skew: 0.9,
+            value_size: 4,
+            zero_payload: false,
+            seed: 2,
+        });
+        for _ in 0..1000 {
+            let txn = w.next_transaction();
+            let key = txn.ops[0].key().to_vec();
+            let key_str = String::from_utf8(key).unwrap();
+            let idx: usize = key_str.strip_prefix("user").unwrap().parse().unwrap();
+            assert!(idx < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = YcsbConfig { records: 100, seed: 9, ..Default::default() };
+        let mut a = YcsbWorkload::new(cfg.clone());
+        let mut b = YcsbWorkload::new(cfg);
+        for _ in 0..100 {
+            assert_eq!(a.next_transaction(), b.next_transaction());
+        }
+    }
+
+    #[test]
+    fn request_source_yields_decodable_ops() {
+        let mut w = YcsbWorkload::new(YcsbConfig::small());
+        let bytes = w.next_op(ClientId(0)).expect("op");
+        assert!(Transaction::decode(&bytes).is_ok());
+        assert_eq!(w.issued(), 1);
+    }
+}

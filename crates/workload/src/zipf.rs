@@ -1,0 +1,177 @@
+//! Zipfian key selection (the YCSB generator of Gray et al.).
+//!
+//! The paper's workload is "heavily skewed (skew factor 0.9)". This is the
+//! standard YCSB `ZipfianGenerator`: item ranks follow a Zipf distribution
+//! with exponent `theta`; rank 0 is the hottest. The optional *scrambled*
+//! mode hashes ranks onto the key space so the hot set is spread across
+//! the table (YCSB's `ScrambledZipfianGenerator`), which avoids artificial
+//! locality in table scans.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    scrambled: bool,
+}
+
+impl Zipfian {
+    /// A generator over `0..n` with skew `theta` (0 < theta < 1;
+    /// the paper uses 0.9).
+    pub fn new(n: usize, theta: f64) -> Zipfian {
+        assert!(n >= 1, "empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta, scrambled: false }
+    }
+
+    /// Spreads ranks over the key space by hashing (YCSB scrambled mode).
+    pub fn scrambled(mut self) -> Zipfian {
+        self.scrambled = true;
+        self
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The skew factor.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws the next key index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scrambled {
+            (fnv1a(rank as u64) % self.n as u64) as usize
+        } else {
+            rank
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash (for rank scrambling).
+fn fnv1a(x: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for byte in x.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipfian, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; z.n()];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipfian::new(1000, 0.9);
+        let counts = histogram(&z, 100_000, 2);
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 should be the mode");
+        // Zipf(0.9): rank 0 should dominate clearly.
+        assert!(counts[0] > counts[10] * 2);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild = Zipfian::new(1000, 0.5);
+        let heavy = Zipfian::new(1000, 0.99);
+        let mild_counts = histogram(&mild, 100_000, 3);
+        let heavy_counts = histogram(&heavy, 100_000, 3);
+        assert!(heavy_counts[0] > mild_counts[0]);
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipfian::new(10, 0.0);
+        let counts = histogram(&z, 100_000, 4);
+        for &c in &counts {
+            // Each bucket should be near 10_000; allow generous slack.
+            assert!((5_000..20_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_key() {
+        let plain = Zipfian::new(1000, 0.9);
+        let scrambled = Zipfian::new(1000, 0.9).scrambled();
+        let pc = histogram(&plain, 50_000, 5);
+        let sc = histogram(&scrambled, 50_000, 5);
+        // Plain: hottest is index 0. Scrambled: hottest is elsewhere but
+        // the distribution is equally skewed (same max frequency).
+        let plain_max_idx = pc.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let scr_max_idx = sc.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(plain_max_idx, 0);
+        assert_ne!(scr_max_idx, 0);
+        let pm: usize = *pc.iter().max().unwrap();
+        let sm: usize = *sc.iter().max().unwrap();
+        let diff = pm.abs_diff(sm) as f64 / pm as f64;
+        assert!(diff < 0.1, "scrambling changed skew: {pm} vs {sm}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipfian::new(500, 0.9);
+        let a = histogram(&z, 1000, 42);
+        let b = histogram(&z, 1000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_keys_rejected() {
+        let _ = Zipfian::new(0, 0.9);
+    }
+
+    #[test]
+    fn singleton_keyspace() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

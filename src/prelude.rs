@@ -1,0 +1,6 @@
+//! One-stop imports for applications built on the PoE stack.
+
+pub use poe_crypto::{CertScheme, CryptoMode, Digest};
+pub use poe_kernel::{
+    Batch, ClientId, ClientRequest, ClusterConfig, Duration, NodeId, ReplicaId, SeqNum, Time, View,
+};
