@@ -1,1 +1,123 @@
-fn main() {}
+//! Crypto hot-path benchmarks: the per-message authentication cost that
+//! dominates replica CPU in the paper's evaluation (Figure 8).
+//!
+//! Headline comparison: `ed25519_verify/serial/N` vs
+//! `ed25519_verify/batch/N` on identical inputs — the PR-1 acceptance
+//! bar is batch ≥ 2× serial at N = 64.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poe_bench::prng_bytes;
+use poe_crypto::ed25519::{verify_batch, BatchItem, Signature, SigningKey, VerifyingKey};
+use poe_crypto::provider::{AuthTag, NodeIndex};
+use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+
+const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+
+fn signed_corpus(n: usize) -> (Vec<Vec<u8>>, Vec<(VerifyingKey, Signature)>) {
+    let msgs: Vec<Vec<u8>> = (0..n).map(|i| prng_bytes(i as u64, 64)).collect();
+    let keys: Vec<(VerifyingKey, Signature)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let sk = SigningKey::from_label(format!("bench-{i}").as_bytes());
+            (sk.verifying_key(), sk.sign(m))
+        })
+        .collect();
+    (msgs, keys)
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let (msgs, sigs) = signed_corpus(*BATCH_SIZES.iter().max().expect("non-empty"));
+    let mut g = c.benchmark_group("ed25519_verify");
+    for &n in &BATCH_SIZES {
+        let items: Vec<BatchItem<'_>> = msgs[..n]
+            .iter()
+            .zip(&sigs[..n])
+            .map(|(m, (pk, sig))| (m.as_slice(), *pk, *sig))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("serial", n), |b| {
+            b.iter(|| items.iter().all(|(m, pk, sig)| pk.verify(black_box(m), sig)))
+        });
+        g.bench_function(BenchmarkId::new("batch", n), |b| {
+            b.iter(|| verify_batch(black_box(&items)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign(c: &mut Criterion) {
+    let sk = SigningKey::from_label(b"bench-signer");
+    let msg = prng_bytes(42, 64);
+    c.bench_function("ed25519_sign/64B", |b| b.iter(|| sk.sign(black_box(&msg))));
+}
+
+/// Per-message authenticator cost across the paper's Figure-8 modes:
+/// produce + check one tag, and check a 64-message batch.
+fn bench_auth_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auth_tag");
+    for (label, mode) in [
+        ("none", CryptoMode::None),
+        ("hmac", CryptoMode::Hmac),
+        ("cmac", CryptoMode::Cmac),
+        ("ed25519", CryptoMode::Ed25519),
+    ] {
+        let km = KeyMaterial::generate(4, 0, 3, mode, CertScheme::MultiSig, 7);
+        let sender = km.replica(1);
+        let receiver = km.replica(0);
+        let msg = prng_bytes(9, 256);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("authenticate", label), |b| {
+            b.iter(|| sender.authenticate(0, black_box(&msg)))
+        });
+        let tag = sender.authenticate(0, &msg);
+        g.bench_function(BenchmarkId::new("check", label), |b| {
+            b.iter(|| receiver.check(1, black_box(&msg), &tag))
+        });
+
+        // 64 inbound messages from 3 peers, checked in one pass.
+        let msgs: Vec<Vec<u8>> = (0..64u64).map(|i| prng_bytes(i, 256)).collect();
+        let tagged: Vec<(NodeIndex, AuthTag)> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let peer = km.replica(1 + i % 3);
+                (peer.index(), peer.authenticate(0, m))
+            })
+            .collect();
+        let items: Vec<(NodeIndex, &[u8], &AuthTag)> =
+            msgs.iter().zip(&tagged).map(|(m, (peer, tag))| (*peer, m.as_slice(), tag)).collect();
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::new("check_batch64", label), |b| {
+            b.iter(|| receiver.check_batch(black_box(&items)))
+        });
+        g.bench_function(BenchmarkId::new("check_serial64", label), |b| {
+            b.iter(|| items.iter().all(|(peer, m, tag)| receiver.check(*peer, m, tag)))
+        });
+    }
+    g.finish();
+}
+
+/// Threshold-certificate verification: nf signatures over one message —
+/// the CERTIFY-message cost each replica pays per batch. Uses the
+/// batch-verify path internally since this PR.
+fn bench_cert_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_cert");
+    for n in [4usize, 16, 64] {
+        let threshold = n - n / 3;
+        let km =
+            KeyMaterial::generate(n, 0, threshold, CryptoMode::Ed25519, CertScheme::MultiSig, 3);
+        let providers: Vec<_> = (0..n).map(|i| km.replica(i)).collect();
+        let msg = prng_bytes(1, 32);
+        let shares: Vec<_> = providers.iter().map(|p| p.ts_share(&msg)).collect();
+        let cert = providers[0].ts_aggregate(&msg, &shares).expect("aggregate");
+        g.throughput(Throughput::Elements(threshold as u64));
+        g.bench_function(BenchmarkId::new("verify_multisig", format!("nf{threshold}")), |b| {
+            b.iter(|| providers[1].ts_verify_cert(black_box(&msg), &cert))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_sign, bench_auth_modes, bench_cert_verify);
+criterion_main!(benches);

@@ -1,1 +1,8 @@
+//! Placeholder for paper-figure reproduction runs (Figures 8/11):
+//! end-to-end protocol throughput/latency sweeps over crypto modes and
+//! message delays. Gated on the simulator and fabric runtimes, which are
+//! still under construction (see ROADMAP "Open items"); the micro-level
+//! costs they compose are measured today by `crypto.rs`, `kernel.rs`,
+//! `protocol_step.rs`, and `store.rs`.
+
 fn main() {}

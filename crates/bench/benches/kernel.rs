@@ -1,1 +1,106 @@
-fn main() {}
+//! Wire-codec benchmarks: encode/decode round-trips for the messages a
+//! replica touches on every protocol step, fresh vs pooled encoding, and
+//! the `encoded_len` measuring pass the bandwidth model runs per send.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poe_bench::sample_batch;
+use poe_crypto::digest::Digest;
+use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+use poe_kernel::codec::{
+    decode_envelope, decode_msg, encode_envelope, encode_msg, encode_msg_into, encoded_len,
+    ScratchPool,
+};
+use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::messages::{Envelope, ProtocolMsg};
+
+/// The two shapes that dominate traffic: a full PROPOSE (100-request
+/// batch, ~5.4 kB like the paper's) and a fixed-size PREPARE-style vote.
+fn corpus() -> Vec<(&'static str, ProtocolMsg)> {
+    let km = KeyMaterial::generate(4, 2, 3, CryptoMode::Cmac, CertScheme::MultiSig, 1);
+    let providers: Vec<_> = (0..4).map(|i| km.replica(i)).collect();
+    let shares: Vec<_> = providers.iter().map(|p| p.ts_share(b"m")).collect();
+    let cert = providers[0].ts_aggregate(b"m", &shares).expect("aggregate");
+    vec![
+        (
+            "propose100x48",
+            ProtocolMsg::PoePropose {
+                view: View(1),
+                seq: SeqNum(2),
+                batch: sample_batch(100, 48, 1),
+            },
+        ),
+        (
+            "support_mac",
+            ProtocolMsg::PoeSupportMac { view: View(1), seq: SeqNum(2), digest: Digest::of(b"d") },
+        ),
+        ("certify", ProtocolMsg::PoeCertify { view: View(1), seq: SeqNum(2), cert }),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_encode");
+    for (label, msg) in corpus() {
+        let size = encoded_len(&msg) as u64;
+        g.throughput(Throughput::Bytes(size));
+        g.bench_function(BenchmarkId::new("fresh", label), |b| {
+            b.iter(|| encode_msg(black_box(&msg)))
+        });
+        let mut reused = Vec::new();
+        g.bench_function(BenchmarkId::new("into_reused", label), |b| {
+            b.iter(|| encode_msg_into(black_box(&msg), &mut reused))
+        });
+        let mut pool = ScratchPool::new();
+        g.bench_function(BenchmarkId::new("pooled", label), |b| {
+            b.iter(|| {
+                let buf = pool.encode_msg(black_box(&msg));
+                let len = buf.len();
+                pool.recycle(buf);
+                len
+            })
+        });
+        g.bench_function(BenchmarkId::new("encoded_len", label), |b| {
+            b.iter(|| encoded_len(black_box(&msg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_decode");
+    for (label, msg) in corpus() {
+        let bytes = encode_msg(&msg);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| decode_msg(black_box(&bytes)).expect("decode"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let km = KeyMaterial::generate(4, 2, 3, CryptoMode::Cmac, CertScheme::MultiSig, 1);
+    let sender = km.replica(1);
+    let msg =
+        ProtocolMsg::PoeSupportMac { view: View(1), seq: SeqNum(2), digest: Digest::of(b"d") };
+    let body = encode_msg(&msg);
+    let env =
+        Envelope { from: NodeId::Replica(ReplicaId(1)), auth: sender.authenticate(0, &body), msg };
+    let bytes = encode_envelope(&env);
+    let mut g = c.benchmark_group("codec_envelope");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| encode_envelope(black_box(&env))));
+    let mut pool = ScratchPool::new();
+    g.bench_function("encode_pooled", |b| {
+        b.iter(|| {
+            let buf = pool.encode_envelope(black_box(&env));
+            let len = buf.len();
+            pool.recycle(buf);
+            len
+        })
+    });
+    g.bench_function("decode", |b| b.iter(|| decode_envelope(black_box(&bytes)).expect("decode")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_envelope);
+criterion_main!(benches);

@@ -1,1 +1,109 @@
-fn main() {}
+//! Composed protocol-step benchmarks: what a replica actually does per
+//! message — encode, authenticate, ship, decode, check — and the
+//! SUPPORT-flood verification a PoE primary performs per consensus slot.
+//! These bound the per-slot CPU budget the simulator's cost model uses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poe_bench::sample_batch;
+use poe_crypto::provider::{AuthTag, NodeIndex};
+use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+use poe_kernel::codec::{decode_envelope, encode_envelope, encode_msg, ScratchPool};
+use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::messages::{Envelope, ProtocolMsg};
+
+/// Full PREPREPARE path: primary encodes + authenticates a 100-request
+/// propose; replica decodes and checks the link tag.
+fn bench_preprepare_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprepare_step");
+    for (label, mode) in [("cmac", CryptoMode::Cmac), ("ed25519", CryptoMode::Ed25519)] {
+        let km = KeyMaterial::generate(4, 2, 3, mode, CertScheme::MultiSig, 1);
+        let primary = km.replica(0);
+        let backup = km.replica(1);
+        let msg = ProtocolMsg::PoePropose {
+            view: View(0),
+            seq: SeqNum(7),
+            batch: sample_batch(100, 48, 3),
+        };
+
+        let mut pool = ScratchPool::new();
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("send", label), |b| {
+            b.iter(|| {
+                // Primary side: serialize body, tag it, wrap, serialize
+                // envelope — with pooled buffers, as the fabric will.
+                let body = pool.encode_msg(black_box(&msg));
+                let auth = primary.authenticate(1, &body);
+                pool.recycle(body);
+                let env = Envelope { from: NodeId::Replica(ReplicaId(0)), auth, msg: msg.clone() };
+                let wire = pool.encode_envelope(&env);
+                let len = wire.len();
+                pool.recycle(wire);
+                len
+            })
+        });
+
+        let body = encode_msg(&msg);
+        let env = Envelope {
+            from: NodeId::Replica(ReplicaId(0)),
+            auth: primary.authenticate(1, &body),
+            msg: msg.clone(),
+        };
+        let wire = encode_envelope(&env);
+        g.bench_function(BenchmarkId::new("receive", label), |b| {
+            b.iter(|| {
+                // Backup side: deserialize, re-serialize the body the tag
+                // covers, check the tag.
+                let env = decode_envelope(black_box(&wire)).expect("decode");
+                let body = encode_msg(&env.msg);
+                backup.check(0, &body, &env.auth)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// SUPPORT flood: the primary collects n−1 votes per slot and must check
+/// all of them before aggregating a certificate. Serial loop vs the
+/// batched one-pass check.
+fn bench_support_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("support_flood");
+    for (label, mode) in [("cmac", CryptoMode::Cmac), ("ed25519", CryptoMode::Ed25519)] {
+        for n_votes in [16usize, 64] {
+            let km = KeyMaterial::generate(n_votes + 1, 0, n_votes, mode, CertScheme::MultiSig, 5);
+            let primary = km.replica(0);
+            let votes: Vec<Vec<u8>> = (1..=n_votes)
+                .map(|i| {
+                    encode_msg(&ProtocolMsg::PoeSupportMac {
+                        view: View(0),
+                        seq: SeqNum(i as u64),
+                        digest: poe_crypto::Digest::of(&i.to_le_bytes()),
+                    })
+                })
+                .collect();
+            let tags: Vec<(NodeIndex, AuthTag)> = votes
+                .iter()
+                .enumerate()
+                .map(|(i, body)| {
+                    let voter = km.replica(1 + i);
+                    (voter.index(), voter.authenticate(0, body))
+                })
+                .collect();
+            let items: Vec<(NodeIndex, &[u8], &AuthTag)> = votes
+                .iter()
+                .zip(&tags)
+                .map(|(body, (voter, tag))| (*voter, body.as_slice(), tag))
+                .collect();
+            g.throughput(Throughput::Elements(n_votes as u64));
+            g.bench_function(BenchmarkId::new(format!("serial_{label}"), n_votes), |b| {
+                b.iter(|| items.iter().all(|(v, body, tag)| primary.check(*v, body, tag)))
+            });
+            g.bench_function(BenchmarkId::new(format!("batch_{label}"), n_votes), |b| {
+                b.iter(|| primary.check_batch(black_box(&items)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprepare_roundtrip, bench_support_flood);
+criterion_main!(benches);

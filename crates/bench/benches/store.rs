@@ -1,1 +1,110 @@
-fn main() {}
+//! `SpeculativeStore` benchmarks: the execute-now/maybe-revert substrate
+//! of PoE's speculation (ingredients I1/I2). Measures batch execution,
+//! rollback of a speculative suffix, the incremental state digest, and
+//! checkpoint stabilization.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use poe_kernel::ids::{ClientId, SeqNum};
+use poe_kernel::request::{Batch, ClientRequest};
+use poe_kernel::statemachine::StateMachine;
+use poe_store::op::{Op, Transaction};
+use poe_store::table::ycsb_key;
+use poe_store::SpeculativeStore;
+use std::sync::Arc;
+
+const RECORDS: usize = 10_000;
+const BATCH: usize = 100;
+const VALUE: usize = 32;
+
+/// A batch of `n` single-op write transactions over the YCSB table.
+fn write_batch(n: usize, round: u64) -> Arc<Batch> {
+    Batch::new(
+        (0..n)
+            .map(|i| {
+                let key = ycsb_key(((round as usize).wrapping_mul(31) + i * 7) % RECORDS);
+                let txn = Transaction::single(Op::Put { key, value: vec![0xabu8; VALUE] });
+                ClientRequest {
+                    client: ClientId((i % 16) as u32),
+                    req_id: round * 1_000 + i as u64,
+                    op: Arc::new(txn.encode()),
+                    signature: None,
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_execute");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function(BenchmarkId::new("apply_writes", BATCH), |b| {
+        let mut store = SpeculativeStore::with_ycsb_table(RECORDS, VALUE);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let batch = write_batch(BATCH, seq);
+            let out = store.apply(SeqNum(seq), black_box(&batch));
+            seq += 1;
+            // Keep the undo log bounded like a real checkpoint interval.
+            if seq.is_multiple_of(128) {
+                store.stabilize(SeqNum(seq - 1));
+            }
+            out.results.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_rollback");
+    for depth in [1usize, 10, 50] {
+        g.throughput(Throughput::Elements((depth * BATCH) as u64));
+        g.bench_function(BenchmarkId::new("revert_batches", depth), |b| {
+            b.iter_batched(
+                || {
+                    // A store with `depth` speculative batches applied.
+                    let mut store = SpeculativeStore::with_ycsb_table(RECORDS, VALUE);
+                    for round in 0..depth as u64 {
+                        let batch = write_batch(BATCH, round);
+                        store.apply(SeqNum(round), &batch);
+                    }
+                    store
+                },
+                |mut store| {
+                    store.rollback_to(None);
+                    store.revertible_batches()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_digest_and_stabilize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_maintenance");
+    let mut store = SpeculativeStore::with_ycsb_table(RECORDS, VALUE);
+    for round in 0..10u64 {
+        let batch = write_batch(BATCH, round);
+        store.apply(SeqNum(round), &batch);
+    }
+    g.bench_function("state_digest", |b| b.iter(|| black_box(&store).state_digest()));
+    g.bench_function("stabilize", |b| {
+        b.iter_batched(
+            || {
+                let mut s = SpeculativeStore::with_ycsb_table(1_000, VALUE);
+                for round in 0..10u64 {
+                    s.apply(SeqNum(round), &write_batch(10, round));
+                }
+                s
+            },
+            |mut s| s.stabilize(SeqNum(9)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute, bench_rollback, bench_digest_and_stabilize);
+criterion_main!(benches);

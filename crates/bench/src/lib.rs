@@ -1,2 +1,80 @@
-//! (under construction)
-#![allow(dead_code)]
+//! # poe-bench
+//!
+//! Microbenchmark suite and perf-baseline tooling. The benchmarks live
+//! in `benches/` and run under the workspace's criterion-compatible
+//! harness (`shims/criterion`), which writes one JSON report per bench
+//! binary to `bench-results/` at the workspace root:
+//!
+//! * `benches/crypto.rs` — serial vs batched Ed25519 verification
+//!   (batch sizes 1/16/64/256), MAC-vs-signature authenticator checks,
+//!   threshold-certificate verification.
+//! * `benches/kernel.rs` — wire-codec encode/decode round-trips, pooled
+//!   vs fresh encoding, `encoded_len` measuring pass.
+//! * `benches/protocol_step.rs` — composed replica hot-path steps:
+//!   envelope encode → decode → authenticate → check, and the
+//!   SUPPORT-flood verification a PoE primary performs per batch.
+//! * `benches/store.rs` — `SpeculativeStore` execute / rollback /
+//!   digest / checkpoint-stabilize.
+//!
+//! Committed baselines live in `bench-results/` (one JSON per bench,
+//! refreshed when a perf PR lands); compare new runs against them before
+//! claiming a speedup.
+//!
+//! This library crate intentionally exports only small helpers shared by
+//! the bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use poe_kernel::ids::ClientId;
+use poe_kernel::request::{Batch, ClientRequest};
+use std::sync::Arc;
+
+/// Deterministic pseudo-random bytes (xorshift64*), for building
+/// benchmark payloads without a dependency on the rand shim.
+pub fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+    while out.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.extend_from_slice(&x.wrapping_mul(0x2545f4914f6cdd1d).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// A batch of `n` unsigned client requests with `op_len`-byte payloads,
+/// shaped like the paper's PROPOSE contents.
+pub fn sample_batch(n: usize, op_len: usize, seed: u64) -> Arc<Batch> {
+    Batch::new(
+        (0..n)
+            .map(|i| ClientRequest {
+                client: ClientId((i % 16) as u32),
+                req_id: seed * 100_000 + i as u64,
+                op: Arc::new(prng_bytes(seed ^ i as u64, op_len)),
+                signature: None,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic() {
+        assert_eq!(prng_bytes(1, 32), prng_bytes(1, 32));
+        assert_ne!(prng_bytes(1, 32), prng_bytes(2, 32));
+        assert_eq!(prng_bytes(3, 7).len(), 7);
+    }
+
+    #[test]
+    fn sample_batch_shape() {
+        let b = sample_batch(10, 64, 5);
+        assert_eq!(b.requests.len(), 10);
+        assert!(b.requests.iter().all(|r| r.op.len() == 64));
+    }
+}

@@ -54,7 +54,7 @@ impl AesCmac {
     /// Computes the 16-byte tag over `msg`.
     pub fn tag(&self, msg: &[u8]) -> [u8; CMAC_LEN] {
         let n_blocks = msg.len().div_ceil(16).max(1);
-        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
         let mut x = [0u8; 16];
         // All blocks but the last.
@@ -69,14 +69,14 @@ impl AesCmac {
         let tail = &msg[(n_blocks - 1) * 16..];
         if complete_last {
             last.copy_from_slice(tail);
-            for j in 0..16 {
-                last[j] ^= self.k1[j];
+            for (l, k) in last.iter_mut().zip(&self.k1) {
+                *l ^= k;
             }
         } else {
             last[..tail.len()].copy_from_slice(tail);
             last[tail.len()] = 0x80;
-            for j in 0..16 {
-                last[j] ^= self.k2[j];
+            for (l, k) in last.iter_mut().zip(&self.k2) {
+                *l ^= k;
             }
         }
         for j in 0..16 {
@@ -97,10 +97,7 @@ mod tests {
     use super::*;
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn rfc_key() -> [u8; 16] {

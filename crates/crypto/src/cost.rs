@@ -76,9 +76,7 @@ impl CostModel {
     pub fn authenticate_ns(&self, mode: CryptoMode, len: usize) -> u64 {
         match mode {
             CryptoMode::None => 0,
-            CryptoMode::Hmac | CryptoMode::Cmac => {
-                self.mac_ns + self.mac_per_byte_ns * len as u64
-            }
+            CryptoMode::Hmac | CryptoMode::Cmac => self.mac_ns + self.mac_per_byte_ns * len as u64,
             CryptoMode::Ed25519 => self.ed_sign_ns + self.hash_per_byte_ns * len as u64,
         }
     }
@@ -87,9 +85,7 @@ impl CostModel {
     pub fn check_ns(&self, mode: CryptoMode, len: usize) -> u64 {
         match mode {
             CryptoMode::None => 0,
-            CryptoMode::Hmac | CryptoMode::Cmac => {
-                self.mac_ns + self.mac_per_byte_ns * len as u64
-            }
+            CryptoMode::Hmac | CryptoMode::Cmac => self.mac_ns + self.mac_per_byte_ns * len as u64,
             CryptoMode::Ed25519 => self.ed_verify_ns + self.hash_per_byte_ns * len as u64,
         }
     }
@@ -137,6 +133,8 @@ mod tests {
     #[test]
     fn payload_length_scales_mac_cost() {
         let m = CostModel::paper_default();
-        assert!(m.authenticate_ns(CryptoMode::Cmac, 5400) > m.authenticate_ns(CryptoMode::Cmac, 250));
+        assert!(
+            m.authenticate_ns(CryptoMode::Cmac, 5400) > m.authenticate_ns(CryptoMode::Cmac, 250)
+        );
     }
 }

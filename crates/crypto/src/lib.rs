@@ -48,8 +48,10 @@ pub mod ed25519;
 pub mod hmac;
 pub mod provider;
 pub mod sha2;
+pub mod sink;
 pub mod threshold;
 
 pub use digest::{digest_concat, Digest, DIGEST_LEN};
 pub use provider::{CryptoMode, CryptoProvider, KeyMaterial};
+pub use sink::Sink;
 pub use threshold::{CertScheme, SignatureShare, ThresholdCert};

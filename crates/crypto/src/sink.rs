@@ -1,0 +1,40 @@
+//! The byte-sink abstraction shared by every wire encoder in the
+//! workspace.
+//!
+//! Crypto types ([`crate::threshold::SignatureShare`],
+//! [`crate::threshold::ThresholdCert`], [`crate::provider::AuthTag`])
+//! and the kernel's message codec all write through this one trait, so
+//! there is exactly **one** encoder per wire format: the kernel codec
+//! streams crypto payloads straight into its output buffer with no
+//! intermediate `Vec`, and a counting sink measures encoded sizes
+//! without allocating at all (the simulator's bandwidth model relies on
+//! that path).
+
+/// Byte sink: either a real buffer or a length counter.
+pub trait Sink {
+    /// Appends raw bytes.
+    fn put(&mut self, bytes: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put(&[b]);
+    }
+}
+
+impl Sink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut v: Vec<u8> = vec![1];
+        v.put(&[2, 3]);
+        v.put_u8(4);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+}

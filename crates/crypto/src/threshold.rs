@@ -23,6 +23,7 @@
 
 use crate::ed25519::{Signature, SigningKey, VerifyingKey, SIGNATURE_LEN};
 use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sink::Sink;
 use std::fmt;
 
 /// Which certificate scheme a cluster runs.
@@ -71,18 +72,19 @@ impl SignatureShare {
         }
     }
 
-    /// Manual wire encoding (tag, signer, payload).
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    /// Manual wire encoding (tag, signer, payload) into any [`Sink`]
+    /// — a buffer, or a counter for allocation-free measurement.
+    pub fn encode<S: Sink>(&self, out: &mut S) {
         match &self.payload {
             SharePayload::Ed(sig) => {
-                out.push(0);
-                out.extend_from_slice(&self.signer.to_le_bytes());
-                out.extend_from_slice(sig.as_bytes());
+                out.put_u8(0);
+                out.put(&self.signer.to_le_bytes());
+                out.put(sig.as_bytes());
             }
             SharePayload::Sim(tag) => {
-                out.push(1);
-                out.extend_from_slice(&self.signer.to_le_bytes());
-                out.extend_from_slice(tag);
+                out.put_u8(1);
+                out.put(&self.signer.to_le_bytes());
+                out.put(tag);
             }
         }
     }
@@ -93,10 +95,12 @@ impl SignatureShare {
         let signer = u32::from_le_bytes(buf.get(1..5)?.try_into().ok()?);
         match tag {
             0 => {
-                let raw: [u8; SIGNATURE_LEN] =
-                    buf.get(5..5 + SIGNATURE_LEN)?.try_into().ok()?;
+                let raw: [u8; SIGNATURE_LEN] = buf.get(5..5 + SIGNATURE_LEN)?.try_into().ok()?;
                 Some((
-                    SignatureShare { signer, payload: SharePayload::Ed(Signature::from_bytes(raw)) },
+                    SignatureShare {
+                        signer,
+                        payload: SharePayload::Ed(Signature::from_bytes(raw)),
+                    },
                     5 + SIGNATURE_LEN,
                 ))
             }
@@ -142,26 +146,27 @@ impl ThresholdCert {
         }
     }
 
-    /// Manual wire encoding (tag, count, signers, proof).
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    /// Manual wire encoding (tag, count, signers, proof) into any
+    /// [`Sink`].
+    pub fn encode<S: Sink>(&self, out: &mut S) {
         match &self.proof {
             CertProof::Multi(sigs) => {
-                out.push(0);
-                out.extend_from_slice(&(self.signers.len() as u16).to_le_bytes());
+                out.put_u8(0);
+                out.put(&(self.signers.len() as u16).to_le_bytes());
                 for s in &self.signers {
-                    out.extend_from_slice(&s.to_le_bytes());
+                    out.put(&s.to_le_bytes());
                 }
                 for sig in sigs {
-                    out.extend_from_slice(sig.as_bytes());
+                    out.put(sig.as_bytes());
                 }
             }
             CertProof::Sim(tag) => {
-                out.push(1);
-                out.extend_from_slice(&(self.signers.len() as u16).to_le_bytes());
+                out.put_u8(1);
+                out.put(&(self.signers.len() as u16).to_le_bytes());
                 for s in &self.signers {
-                    out.extend_from_slice(&s.to_le_bytes());
+                    out.put(&s.to_le_bytes());
                 }
-                out.extend_from_slice(tag);
+                out.put(tag);
             }
         }
     }
@@ -298,10 +303,9 @@ impl ThresholdSigner {
     /// Verifies a share claimed to come from `share.signer`.
     pub fn verify_share(&self, msg: &[u8], share: &SignatureShare) -> bool {
         match (&share.payload, self.scheme) {
-            (SharePayload::Ed(sig), CertScheme::MultiSig) => self
-                .ed_public
-                .get(share.signer as usize)
-                .is_some_and(|pk| pk.verify(msg, sig)),
+            (SharePayload::Ed(sig), CertScheme::MultiSig) => {
+                self.ed_public.get(share.signer as usize).is_some_and(|pk| pk.verify(msg, sig))
+            }
             (SharePayload::Sim(tag), CertScheme::Simulated) => {
                 HmacSha256::new(&self.sim_share_key(share.signer)).verify(msg, tag)
             }
@@ -371,11 +375,16 @@ impl ThresholdSigner {
                 if sigs.len() != cert.signers.len() {
                     return false;
                 }
-                cert.signers.iter().zip(sigs).all(|(signer, sig)| {
-                    self.ed_public
-                        .get(*signer as usize)
-                        .is_some_and(|pk| pk.verify(msg, sig))
-                })
+                // All nf signatures cover the same message: the ideal
+                // batch-verification shape (one shared doubling chain).
+                let mut batch = Vec::with_capacity(sigs.len());
+                for (signer, sig) in cert.signers.iter().zip(sigs) {
+                    match self.ed_public.get(*signer as usize) {
+                        Some(pk) => batch.push((msg, *pk, *sig)),
+                        None => return false,
+                    }
+                }
+                crate::ed25519::verify_batch(&batch)
             }
             (CertProof::Sim(tag), CertScheme::Simulated) => {
                 let expect = self.sim_cert_tag(msg, &cert.signers);
@@ -391,9 +400,8 @@ mod tests {
     use super::*;
 
     fn cluster(scheme: CertScheme, n: usize, threshold: usize) -> Vec<ThresholdSigner> {
-        let keys: Vec<SigningKey> = (0..n)
-            .map(|i| SigningKey::from_label(format!("replica-{i}").as_bytes()))
-            .collect();
+        let keys: Vec<SigningKey> =
+            (0..n).map(|i| SigningKey::from_label(format!("replica-{i}").as_bytes())).collect();
         let publics: Vec<VerifyingKey> = keys.iter().map(|k| k.verifying_key()).collect();
         (0..n)
             .map(|i| {
@@ -445,10 +453,7 @@ mod tests {
         let signers = cluster(CertScheme::MultiSig, 4, 3);
         let msg = b"m";
         let shares: Vec<_> = signers.iter().take(2).map(|s| s.share(msg)).collect();
-        assert_eq!(
-            signers[0].aggregate(msg, &shares),
-            Err(ThresholdError::NotEnoughShares)
-        );
+        assert_eq!(signers[0].aggregate(msg, &shares), Err(ThresholdError::NotEnoughShares));
     }
 
     #[test]
@@ -457,10 +462,7 @@ mod tests {
         let msg = b"m";
         let s0 = signers[0].share(msg);
         let shares = vec![s0.clone(), s0, signers[1].share(msg)];
-        assert_eq!(
-            signers[0].aggregate(msg, &shares),
-            Err(ThresholdError::DuplicateSigner(0))
-        );
+        assert_eq!(signers[0].aggregate(msg, &shares), Err(ThresholdError::DuplicateSigner(0)));
     }
 
     #[test]
@@ -472,10 +474,7 @@ mod tests {
         forged.signer = 0;
         assert!(!signers[1].verify_share(msg, &forged));
         let shares = vec![forged, signers[1].share(msg), signers[2].share(msg)];
-        assert_eq!(
-            signers[0].aggregate(msg, &shares),
-            Err(ThresholdError::InvalidShare(0))
-        );
+        assert_eq!(signers[0].aggregate(msg, &shares), Err(ThresholdError::InvalidShare(0)));
     }
 
     #[test]

@@ -262,10 +262,10 @@ mod tests {
     fn outbox_collects_in_order() {
         let mut out = Outbox::new();
         assert!(out.is_empty());
-        out.send(ReplicaId(1), ProtocolMsg::Checkpoint {
-            seq: SeqNum(1),
-            state_digest: Digest::EMPTY,
-        });
+        out.send(
+            ReplicaId(1),
+            ProtocolMsg::Checkpoint { seq: SeqNum(1), state_digest: Digest::EMPTY },
+        );
         out.broadcast(ProtocolMsg::Checkpoint { seq: SeqNum(2), state_digest: Digest::EMPTY });
         out.set_timer(TimerKind::BatchCut, Duration::from_millis(1));
         out.cancel_timer(TimerKind::BatchCut);

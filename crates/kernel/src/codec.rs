@@ -23,21 +23,7 @@ use poe_crypto::provider::AuthTag;
 use poe_crypto::threshold::{SignatureShare, ThresholdCert};
 use std::sync::Arc;
 
-/// Byte sink abstraction: either a real buffer or a length counter.
-pub trait Sink {
-    /// Appends raw bytes.
-    fn put(&mut self, bytes: &[u8]);
-    /// Appends one byte.
-    fn put_u8(&mut self, b: u8) {
-        self.put(&[b]);
-    }
-}
-
-impl Sink for Vec<u8> {
-    fn put(&mut self, bytes: &[u8]) {
-        self.extend_from_slice(bytes);
-    }
-}
+pub use poe_crypto::sink::Sink;
 
 /// A sink that only counts bytes.
 #[derive(Default)]
@@ -90,17 +76,20 @@ impl<'a> Reader<'a> {
     }
 
     fn digest(&mut self) -> Option<Digest> {
-        self.take(DIGEST_LEN)
-            .map(|s| Digest::from_bytes(s.try_into().expect("digest len")))
+        self.take(DIGEST_LEN).map(|s| Digest::from_bytes(s.try_into().expect("digest len")))
     }
 
     fn signature(&mut self) -> Option<Signature> {
         self.take(64).map(|s| Signature::from_bytes(s.try_into().expect("sig len")))
     }
 
-    fn bytes(&mut self) -> Option<Vec<u8>> {
+    /// Reads a u32-length-prefixed byte string as a **borrowed**
+    /// sub-slice of the input buffer. Decoders that need ownership copy
+    /// at the last moment (directly into the output structure), so
+    /// decoding never materializes intermediate heap buffers.
+    fn bytes(&mut self) -> Option<&'a [u8]> {
         let len = self.u32()? as usize;
-        self.take(len).map(|s| s.to_vec())
+        self.take(len)
     }
 
     fn remainder(&self) -> usize {
@@ -157,16 +146,26 @@ fn put_batch<S: Sink>(out: &mut S, batch: &Batch) {
     }
 }
 
+/// Streams a share into the sink via the crypto crate's (single,
+/// authoritative) encoder — no intermediate buffer; this runs once per
+/// SUPPORT / SIGN-SHARE / vote on the hot path.
 fn put_share<S: Sink>(out: &mut S, share: &SignatureShare) {
-    let mut tmp = Vec::with_capacity(share.encoded_len());
-    share.encode(&mut tmp);
-    out.put(&tmp);
+    share.encode(out);
 }
 
+/// Streams a length-prefixed certificate into the sink. The prefix
+/// comes from [`ThresholdCert::encoded_len`], which is pure arithmetic;
+/// the body is the crypto crate's own encoder.
 fn put_cert<S: Sink>(out: &mut S, cert: &ThresholdCert) {
-    let mut tmp = Vec::with_capacity(cert.encoded_len());
-    cert.encode(&mut tmp);
-    put_bytes(out, &tmp);
+    out.put(&(cert.encoded_len() as u32).to_le_bytes());
+    cert.encode(out);
+}
+
+/// Streams a length-prefixed auth tag into the sink (crypto crate's
+/// encoder, no intermediate buffer).
+fn put_auth_tag<S: Sink>(out: &mut S, tag: &AuthTag) {
+    out.put(&(tag.encoded_len() as u32).to_le_bytes());
+    tag.encode(out);
 }
 
 fn put_exec_entry<S: Sink>(out: &mut S, e: &ExecEntry) {
@@ -420,11 +419,26 @@ pub fn write_msg<S: Sink>(out: &mut S, msg: &ProtocolMsg) {
     }
 }
 
-/// Encodes a message into a fresh buffer.
+/// Encodes a message into a fresh, exactly-sized buffer.
+///
+/// The buffer is pre-sized with [`encoded_len`] (a measuring pass over
+/// the same writer, no allocation), so encoding performs exactly one
+/// heap allocation and zero reallocations. Hot loops that can reuse
+/// buffers should prefer [`ScratchPool::encode_msg`], which performs
+/// zero.
 pub fn encode_msg(msg: &ProtocolMsg) -> Vec<u8> {
-    let mut out = Vec::with_capacity(128);
+    let mut out = Vec::with_capacity(encoded_len(msg));
     write_msg(&mut out, msg);
     out
+}
+
+/// Encodes `msg` into `out`, clearing it first. Reserves the exact
+/// encoded size, so a buffer that has ever held a message of this size
+/// is never reallocated.
+pub fn encode_msg_into(msg: &ProtocolMsg, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(encoded_len(msg));
+    write_msg(out, msg);
 }
 
 /// Exact encoded size of `msg`, without allocating the buffer.
@@ -454,7 +468,7 @@ pub fn pbft_vc_signing_bytes(vc: &PbftViewChange) -> Vec<u8> {
 fn get_request(r: &mut Reader<'_>) -> Option<ClientRequest> {
     let client = ClientId(r.u32()?);
     let req_id = r.u64()?;
-    let op = Arc::new(r.bytes()?);
+    let op = Arc::new(r.bytes()?.to_vec());
     let signature = match r.u8()? {
         0 => None,
         1 => Some(r.signature()?),
@@ -483,8 +497,10 @@ fn get_share(r: &mut Reader<'_>) -> Option<SignatureShare> {
 }
 
 fn get_cert(r: &mut Reader<'_>) -> Option<ThresholdCert> {
+    // Borrowed view: the certificate decodes straight out of the wire
+    // buffer, with no intermediate copy of its length-prefixed body.
     let raw = r.bytes()?;
-    let (cert, used) = ThresholdCert::decode(&raw)?;
+    let (cert, used) = ThresholdCert::decode(raw)?;
     (used == raw.len()).then_some(cert)
 }
 
@@ -583,7 +599,7 @@ fn get_reply(r: &mut Reader<'_>) -> Option<ClientReply> {
         seq: SeqNum(r.u64()?),
         req_digest: r.digest()?,
         req_id: r.u64()?,
-        result: r.bytes()?,
+        result: r.bytes()?.to_vec(),
         replica: ReplicaId(r.u32()?),
         history: match r.u8()? {
             0 => None,
@@ -726,11 +742,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             cert: get_cert(r)?,
         },
         50 => ProtocolMsg::HsProposal { block: get_block(r)? },
-        51 => ProtocolMsg::HsVote {
-            height: r.u64()?,
-            block: r.digest()?,
-            share: get_share(r)?,
-        },
+        51 => ProtocolMsg::HsVote { height: r.u64()?, block: r.digest()?, share: get_share(r)? },
         52 => ProtocolMsg::HsNewView { height: r.u64()?, high_qc: get_opt_qc(r)? },
         60 => ProtocolMsg::Checkpoint { seq: SeqNum(r.u64()?), state_digest: r.digest()? },
         _ => return None,
@@ -739,9 +751,8 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
 
 // -------------------------------------------------------------- envelope
 
-/// Encodes an envelope (sender, auth, message).
-pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
-    let mut out = Vec::with_capacity(160);
+/// Writes an envelope (sender, auth, message) into any sink.
+pub fn write_envelope<S: Sink>(out: &mut S, env: &Envelope) {
     match env.from {
         NodeId::Replica(r) => {
             out.put_u8(0);
@@ -752,11 +763,137 @@ pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
             out.put(&c.0.to_le_bytes());
         }
     }
-    let mut auth_buf = Vec::with_capacity(env.auth.encoded_len());
-    env.auth.encode(&mut auth_buf);
-    put_bytes(&mut out, &auth_buf);
-    write_msg(&mut out, &env.msg);
+    put_auth_tag(out, &env.auth);
+    write_msg(out, &env.msg);
+}
+
+/// Exact encoded size of an envelope, without allocating.
+pub fn envelope_encoded_len(env: &Envelope) -> usize {
+    let mut counter = LenCounter::default();
+    write_envelope(&mut counter, env);
+    counter.0
+}
+
+/// Encodes an envelope into a fresh, exactly-sized buffer (one
+/// allocation; see [`ScratchPool::encode_envelope`] for zero).
+pub fn encode_envelope(env: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(envelope_encoded_len(env));
+    write_envelope(&mut out, env);
     out
+}
+
+/// Encodes an envelope into `out`, clearing it first and reserving the
+/// exact encoded size.
+pub fn encode_envelope_into(env: &Envelope, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(envelope_encoded_len(env));
+    write_envelope(out, env);
+}
+
+// ---------------------------------------------------------- scratch pool
+
+/// A reusable pool of encode buffers for allocation-free steady-state
+/// encoding.
+///
+/// Every `encode_msg`/`encode_envelope` call on the pool takes a
+/// recycled buffer (or allocates one the first few times), encodes into
+/// it pre-sized via [`encoded_len`], and hands it out; callers return it
+/// with [`ScratchPool::recycle`] once the bytes are on the wire. After
+/// warm-up the pool reaches a fixed point where **no encode allocates**:
+/// buffers keep their high-water-mark capacity, and `clear()` +
+/// `reserve()` are O(1) no-ops.
+///
+/// **Complexity.** `take`/`recycle` are O(1) vector push/pop; memory is
+/// bounded by `max_buffers × high-water-mark message size` (default 64
+/// buffers; beyond that `recycle` drops the buffer instead of growing
+/// the pool, so a burst cannot pin memory forever).
+///
+/// The pool is deliberately not thread-safe: each replica/worker thread
+/// owns one (the fabric runtime is one automaton per thread), so there
+/// is no synchronization on the hot path.
+#[derive(Debug)]
+pub struct ScratchPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    /// Encodes served without taking a fresh allocation for the buffer.
+    reuse_hits: u64,
+    /// Buffers newly allocated because the pool was empty.
+    misses: u64,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl ScratchPool {
+    /// Default pool bound: enough for every in-flight message of a
+    /// replica's send window without unbounded growth.
+    pub const DEFAULT_MAX_BUFFERS: usize = 64;
+
+    /// An empty pool with the default bound.
+    pub fn new() -> ScratchPool {
+        ScratchPool::with_max_buffers(Self::DEFAULT_MAX_BUFFERS)
+    }
+
+    /// An empty pool holding at most `max_buffers` recycled buffers.
+    pub fn with_max_buffers(max_buffers: usize) -> ScratchPool {
+        ScratchPool { free: Vec::new(), max_buffers, reuse_hits: 0, misses: 0 }
+    }
+
+    /// Takes a cleared buffer from the pool (allocating if empty).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reuse_hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Dropped (deallocating) if
+    /// the pool is already at its bound.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Encodes `msg` into a pooled buffer (allocation-free once warm).
+    ///
+    /// Deliberately skips the `encoded_len` measuring pass: a recycled
+    /// buffer already carries its high-water-mark capacity, so the
+    /// reserve would be a no-op bought with a full structural traversal.
+    /// Only cold (freshly allocated) buffers pay amortized growth.
+    pub fn encode_msg(&mut self, msg: &ProtocolMsg) -> Vec<u8> {
+        let mut buf = self.take();
+        write_msg(&mut buf, msg);
+        buf
+    }
+
+    /// Encodes `env` into a pooled buffer (allocation-free once warm;
+    /// same no-measuring-pass strategy as [`ScratchPool::encode_msg`]).
+    pub fn encode_envelope(&mut self, env: &Envelope) -> Vec<u8> {
+        let mut buf = self.take();
+        write_envelope(&mut buf, env);
+        buf
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `(reuse_hits, fresh_allocations)` counters, for instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reuse_hits, self.misses)
+    }
 }
 
 /// Decodes an envelope.
@@ -768,7 +905,7 @@ pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, DecodeError> {
         _ => return Err(DecodeError),
     };
     let auth_raw = r.bytes().ok_or(DecodeError)?;
-    let (auth, used) = AuthTag::decode(&auth_raw).ok_or(DecodeError)?;
+    let (auth, used) = AuthTag::decode(auth_raw).ok_or(DecodeError)?;
     if used != auth_raw.len() {
         return Err(DecodeError);
     }
@@ -891,11 +1028,7 @@ mod tests {
             }),
             ProtocolMsg::SbftPrePrepare { view: View(1), seq: SeqNum(2), batch: b.clone() },
             ProtocolMsg::SbftSignShare { view: View(1), seq: SeqNum(2), share: share.clone() },
-            ProtocolMsg::SbftFullCommitProof {
-                view: View(1),
-                seq: SeqNum(2),
-                cert: cert.clone(),
-            },
+            ProtocolMsg::SbftFullCommitProof { view: View(1), seq: SeqNum(2), cert: cert.clone() },
             ProtocolMsg::SbftSignState { view: View(1), seq: SeqNum(2), share: share.clone() },
             ProtocolMsg::SbftExecuteAck { view: View(1), seq: SeqNum(2), cert: cert.clone() },
             ProtocolMsg::HsProposal { block },
@@ -953,11 +1086,8 @@ mod tests {
     fn envelope_roundtrip() {
         let km = km();
         let provider = km.replica(0);
-        let msg = ProtocolMsg::PoeSupportMac {
-            view: View(0),
-            seq: SeqNum(1),
-            digest: Digest::of(b"q"),
-        };
+        let msg =
+            ProtocolMsg::PoeSupportMac { view: View(0), seq: SeqNum(1), digest: Digest::of(b"q") };
         let body = encode_msg(&msg);
         let env = Envelope {
             from: NodeId::Replica(ReplicaId(0)),
@@ -992,6 +1122,129 @@ mod tests {
         assert_eq!(poe_vc_signing_bytes(&vc), before);
     }
 
+    /// The streamed writers frame crypto payloads with a length prefix
+    /// taken from `encoded_len()` (pure arithmetic) rather than from a
+    /// materialized buffer — so the prefix must equal the bytes the
+    /// shared encoder actually emits, for every scheme and tag variant.
+    #[test]
+    fn share_cert_writers_match_crypto_encoders() {
+        let km = km();
+        for scheme in [CertScheme::MultiSig, CertScheme::Simulated] {
+            let skm = KeyMaterial::generate(4, 0, 3, CryptoMode::Cmac, scheme, 9);
+            let share = skm.replica(1).ts_share(b"m");
+            let mut streamed = Vec::new();
+            put_share(&mut streamed, &share);
+            assert_eq!(streamed.len(), share.encoded_len(), "share scheme {scheme:?}");
+
+            let providers: Vec<_> = (0..4).map(|i| skm.replica(i)).collect();
+            let shares: Vec<_> = providers.iter().map(|p| p.ts_share(b"m")).collect();
+            let cert = providers[0].ts_aggregate(b"m", &shares).expect("aggregate");
+            let mut streamed = Vec::new();
+            put_cert(&mut streamed, &cert);
+            let mut cert_bytes = Vec::new();
+            cert.encode(&mut cert_bytes);
+            let mut framed = Vec::new();
+            put_bytes(&mut framed, &cert_bytes);
+            assert_eq!(streamed, framed, "cert scheme {scheme:?}");
+        }
+
+        for tag in [
+            AuthTag::None,
+            AuthTag::Hmac([7u8; 32]),
+            AuthTag::Cmac([8u8; 16]),
+            AuthTag::Sig(km.replica(0).sign(b"x")),
+        ] {
+            let mut streamed = Vec::new();
+            put_auth_tag(&mut streamed, &tag);
+            let mut tag_bytes = Vec::new();
+            tag.encode(&mut tag_bytes);
+            let mut framed = Vec::new();
+            put_bytes(&mut framed, &tag_bytes);
+            assert_eq!(streamed, framed, "tag {tag:?}");
+        }
+    }
+
+    #[test]
+    fn encode_msg_buffer_is_exactly_sized() {
+        for msg in all_sample_messages() {
+            let buf = encode_msg(&msg);
+            assert_eq!(buf.capacity(), buf.len(), "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn encode_msg_into_matches_encode_msg() {
+        let mut buf = Vec::new();
+        for msg in all_sample_messages() {
+            encode_msg_into(&msg, &mut buf);
+            assert_eq!(buf, encode_msg(&msg), "variant {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn envelope_encoded_len_matches_buffer() {
+        let env = Envelope {
+            from: NodeId::Client(ClientId(9)),
+            auth: AuthTag::Hmac([3u8; 32]),
+            msg: ProtocolMsg::Request(sample_request(true)),
+        };
+        let buf = encode_envelope(&env);
+        assert_eq!(envelope_encoded_len(&env), buf.len());
+        assert_eq!(buf.capacity(), buf.len());
+        let mut into = Vec::new();
+        encode_envelope_into(&env, &mut into);
+        assert_eq!(into, buf);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let mut pool = ScratchPool::new();
+        let msg = ProtocolMsg::PoePropose { view: View(1), seq: SeqNum(2), batch: sample_batch() };
+        let expect = encode_msg(&msg);
+
+        let buf = pool.encode_msg(&msg);
+        assert_eq!(buf, expect);
+        let first_ptr = buf.as_ptr();
+        let first_cap = buf.capacity();
+        pool.recycle(buf);
+        assert_eq!(pool.available(), 1);
+
+        // The second encode must reuse the exact same backing buffer.
+        let buf = pool.encode_msg(&msg);
+        assert_eq!(buf, expect);
+        assert_eq!(buf.as_ptr(), first_ptr);
+        assert_eq!(buf.capacity(), first_cap);
+        pool.recycle(buf);
+
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn scratch_pool_envelope_roundtrips() {
+        let mut pool = ScratchPool::new();
+        let env = Envelope {
+            from: NodeId::Replica(ReplicaId(2)),
+            auth: AuthTag::Cmac([5u8; 16]),
+            msg: ProtocolMsg::Checkpoint { seq: SeqNum(3), state_digest: Digest::of(b"s") },
+        };
+        for _ in 0..3 {
+            let buf = pool.encode_envelope(&env);
+            assert_eq!(decode_envelope(&buf).expect("roundtrip"), env);
+            pool.recycle(buf);
+        }
+        assert_eq!(pool.stats().1, 1, "exactly one fresh buffer allocated");
+    }
+
+    #[test]
+    fn scratch_pool_respects_bound() {
+        let mut pool = ScratchPool::with_max_buffers(2);
+        for _ in 0..5 {
+            pool.recycle(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.available(), 2);
+    }
+
     #[test]
     fn propose_size_scales_with_batch() {
         let small = ProtocolMsg::PoePropose {
@@ -1002,11 +1255,15 @@ mod tests {
         let large = ProtocolMsg::PoePropose {
             view: View(0),
             seq: SeqNum(0),
-            batch: Batch::new((0..100).map(|i| {
-                let mut r = sample_request(true);
-                r.req_id = i;
-                r
-            }).collect()),
+            batch: Batch::new(
+                (0..100)
+                    .map(|i| {
+                        let mut r = sample_request(true);
+                        r.req_id = i;
+                        r
+                    })
+                    .collect(),
+            ),
         };
         assert!(encoded_len(&large) > 50 * encoded_len(&small));
     }

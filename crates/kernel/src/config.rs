@@ -168,7 +168,7 @@ mod tests {
         for n in 4..100 {
             let c = ClusterConfig::new(n);
             assert!(c.n > 3 * c.f, "n={n}");
-            assert!(c.nf() >= 2 * c.f + 1, "n={n}");
+            assert!(c.nf() > 2 * c.f, "n={n}");
         }
     }
 

@@ -108,11 +108,7 @@ pub struct HsBlock {
 impl HsBlock {
     /// Digest identifying this block.
     pub fn digest(&self) -> Digest {
-        let justify_digest = self
-            .justify
-            .as_ref()
-            .map(|qc| qc.block)
-            .unwrap_or(Digest::EMPTY);
+        let justify_digest = self.justify.as_ref().map(|qc| qc.block).unwrap_or(Digest::EMPTY);
         poe_crypto::digest_concat(&[
             &self.height.to_le_bytes(),
             self.parent.as_bytes(),
@@ -460,8 +456,7 @@ mod tests {
             "PROPOSE"
         );
         assert_eq!(
-            ProtocolMsg::PoeSupportMac { view: View(0), seq: SeqNum(0), digest: b.digest }
-                .label(),
+            ProtocolMsg::PoeSupportMac { view: View(0), seq: SeqNum(0), digest: b.digest }.label(),
             "SUPPORT-MAC"
         );
         assert_eq!(

@@ -106,10 +106,7 @@ impl<V: Clone + Ord + Hash> MatchingVotes<V> {
 
     /// The voters who voted for `value`.
     pub fn voters_for<'a>(&'a self, value: &'a V) -> impl Iterator<Item = ReplicaId> + 'a {
-        self.by_voter
-            .iter()
-            .filter(move |(_, v)| *v == value)
-            .map(|(r, _)| *r)
+        self.by_voter.iter().filter(move |(_, v)| *v == value).map(|(r, _)| *r)
     }
 }
 

@@ -39,11 +39,7 @@ impl ClientRequest {
 
     /// Digest `D(⟨T⟩c)` identifying the request.
     pub fn digest(&self) -> Digest {
-        digest_concat(&[
-            &self.client.0.to_le_bytes(),
-            &self.req_id.to_le_bytes(),
-            &self.op,
-        ])
+        digest_concat(&[&self.client.0.to_le_bytes(), &self.req_id.to_le_bytes(), &self.op])
     }
 
     /// Approximate wire size in bytes (payload + ids + signature).

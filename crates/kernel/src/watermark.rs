@@ -178,10 +178,7 @@ mod tests {
         assert_eq!(t.complete(SeqNum(2)), vec![]);
         assert_eq!(t.complete(SeqNum(1)), vec![]);
         assert_eq!(t.parked(), 2);
-        assert_eq!(
-            t.complete(SeqNum(0)),
-            vec![SeqNum(0), SeqNum(1), SeqNum(2)]
-        );
+        assert_eq!(t.complete(SeqNum(0)), vec![SeqNum(0), SeqNum(1), SeqNum(2)]);
         assert_eq!(t.parked(), 0);
         assert!(t.is_complete(SeqNum(2)));
         assert!(!t.is_complete(SeqNum(3)));

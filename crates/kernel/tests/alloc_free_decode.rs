@@ -1,0 +1,156 @@
+//! Proves the codec hot-path allocation claims with a counting global
+//! allocator: decoding allocates only the *output* structures (zero heap
+//! traffic for fixed-size messages), and a warmed [`ScratchPool`] encode
+//! allocates nothing at all.
+//!
+//! The library crates forbid `unsafe`; this integration test is its own
+//! crate, and the `GlobalAlloc` impl below is the standard counting
+//! wrapper around the system allocator.
+
+use poe_crypto::digest::Digest;
+use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+use poe_kernel::codec::{decode_envelope, decode_msg, encode_envelope, encode_msg, ScratchPool};
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::messages::{Envelope, ProtocolMsg};
+use poe_kernel::request::{Batch, ClientRequest};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Minimum allocation count of `f` across a few runs (the minimum
+/// filters out one-off interference from the test harness).
+fn min_allocs(mut f: impl FnMut()) -> usize {
+    (0..5)
+        .map(|_| {
+            let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+            f();
+            ALLOC_EVENTS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .expect("non-empty")
+}
+
+#[test]
+fn decode_and_pooled_encode_allocation_budgets() {
+    let km = KeyMaterial::generate(4, 2, 3, CryptoMode::Cmac, CertScheme::MultiSig, 1);
+
+    // --- fixed-size messages decode with ZERO heap allocations -------
+    let digest_msgs = vec![
+        ProtocolMsg::PoeSupportMac { view: View(1), seq: SeqNum(2), digest: Digest::of(b"d") },
+        ProtocolMsg::PbftPrepare { view: View(1), seq: SeqNum(2), digest: Digest::of(b"d") },
+        ProtocolMsg::PbftCommit { view: View(1), seq: SeqNum(2), digest: Digest::of(b"d") },
+        ProtocolMsg::Checkpoint { seq: SeqNum(9), state_digest: Digest::of(b"s") },
+        ProtocolMsg::HsNewView { height: 4, high_qc: None },
+        ProtocolMsg::PoeSupport {
+            view: View(1),
+            seq: SeqNum(2),
+            share: km.replica(1).ts_share(b"m"),
+        },
+    ];
+    for msg in &digest_msgs {
+        let bytes = encode_msg(msg);
+        let allocs = min_allocs(|| {
+            let decoded = decode_msg(&bytes).expect("decode");
+            std::hint::black_box(&decoded);
+        });
+        assert_eq!(allocs, 0, "decoding {} allocated", msg.label());
+    }
+
+    // --- certificate decode allocates only its two output Vecs -------
+    let cert = {
+        let providers: Vec<_> = (0..4).map(|i| km.replica(i)).collect();
+        let shares: Vec<_> = providers.iter().map(|p| p.ts_share(b"m")).collect();
+        providers[0].ts_aggregate(b"m", &shares).expect("aggregate")
+    };
+    let cert_msg = ProtocolMsg::PoeCertify { view: View(1), seq: SeqNum(2), cert };
+    let bytes = encode_msg(&cert_msg);
+    let allocs = min_allocs(|| {
+        let decoded = decode_msg(&bytes).expect("decode");
+        std::hint::black_box(&decoded);
+    });
+    assert_eq!(allocs, 2, "cert decode should allocate exactly signers + sigs Vecs");
+
+    // --- envelope decode: no allocation beyond the message's own -----
+    let env = Envelope {
+        from: NodeId::Replica(ReplicaId(3)),
+        auth: km.replica(3).authenticate(0, b"body"),
+        msg: ProtocolMsg::PbftPrepare { view: View(0), seq: SeqNum(1), digest: Digest::of(b"x") },
+    };
+    let bytes = encode_envelope(&env);
+    let allocs = min_allocs(|| {
+        let decoded = decode_envelope(&bytes).expect("decode");
+        std::hint::black_box(&decoded);
+    });
+    assert_eq!(allocs, 0, "fixed-size envelope decode allocated");
+
+    // --- request decode allocates only the op buffer ------------------
+    let req_msg = ProtocolMsg::Request(ClientRequest {
+        client: ClientId(0),
+        req_id: 7,
+        op: Arc::new(vec![1, 2, 3, 4]),
+        signature: None,
+    });
+    let bytes = encode_msg(&req_msg);
+    let allocs = min_allocs(|| {
+        let decoded = decode_msg(&bytes).expect("decode");
+        std::hint::black_box(&decoded);
+    });
+    // One Arc<Vec<u8>> = 2 allocation events (Arc block + Vec data).
+    assert!(allocs <= 2, "request decode allocated {allocs} times (expected <= 2)");
+
+    // --- warmed ScratchPool encodes allocate NOTHING -------------------
+    let batch_msg = ProtocolMsg::PoePropose {
+        view: View(0),
+        seq: SeqNum(0),
+        batch: Batch::new(vec![ClientRequest {
+            client: ClientId(0),
+            req_id: 1,
+            op: Arc::new(vec![9u8; 100]),
+            signature: None,
+        }]),
+    };
+    let mut pool = ScratchPool::new();
+    // Warm-up: the first encode may allocate the backing buffer.
+    let buf = pool.encode_msg(&batch_msg);
+    pool.recycle(buf);
+    let allocs = min_allocs(|| {
+        let buf = pool.encode_msg(&batch_msg);
+        std::hint::black_box(&buf);
+        pool.recycle(buf);
+    });
+    assert_eq!(allocs, 0, "warmed pooled encode allocated");
+
+    let env_allocs = {
+        let buf = pool.encode_envelope(&env);
+        pool.recycle(buf);
+        min_allocs(|| {
+            let buf = pool.encode_envelope(&env);
+            std::hint::black_box(&buf);
+            pool.recycle(buf);
+        })
+    };
+    assert_eq!(env_allocs, 0, "warmed pooled envelope encode allocated");
+}

@@ -48,9 +48,7 @@ impl BlockProof {
                 cert.encode(&mut buf);
                 buf
             }
-            BlockProof::Committee(ids) => {
-                ids.iter().flat_map(|r| r.0.to_le_bytes()).collect()
-            }
+            BlockProof::Committee(ids) => ids.iter().flat_map(|r| r.0.to_le_bytes()).collect(),
         }
     }
 }

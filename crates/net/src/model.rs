@@ -159,10 +159,8 @@ mod tests {
 
     #[test]
     fn uniform_delay_in_bounds() {
-        let model = DelayModel::Uniform {
-            min: Duration::from_millis(1),
-            max: Duration::from_millis(5),
-        };
+        let model =
+            DelayModel::Uniform { min: Duration::from_millis(1), max: Duration::from_millis(5) };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let d = model.sample(&mut rng);
@@ -186,9 +184,7 @@ mod tests {
     fn drops_follow_probability() {
         let m = NetworkModel::new(DelayModel::Constant(Duration::ZERO)).with_drop_prob(0.5);
         let mut rng = StdRng::seed_from_u64(3);
-        let delivered = (0..10_000)
-            .filter(|_| m.route(r(0), r(1), &mut rng).is_some())
-            .count();
+        let delivered = (0..10_000).filter(|_| m.route(r(0), r(1), &mut rng).is_some()).count();
         assert!((4_000..6_000).contains(&delivered), "delivered {delivered}");
     }
 

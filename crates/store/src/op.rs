@@ -126,10 +126,9 @@ impl Transaction {
             let tag = take(buf, &mut pos, 1)?[0];
             let op = match tag {
                 0 => Op::Get { key: get_slice16(buf, &mut pos)? },
-                1 => Op::Put {
-                    key: get_slice16(buf, &mut pos)?,
-                    value: get_slice32(buf, &mut pos)?,
-                },
+                1 => {
+                    Op::Put { key: get_slice16(buf, &mut pos)?, value: get_slice32(buf, &mut pos)? }
+                }
                 2 => Op::Delete { key: get_slice16(buf, &mut pos)? },
                 3 => Op::ReadModifyWrite {
                     key: get_slice16(buf, &mut pos)?,

@@ -13,10 +13,10 @@
 
 use crate::op::{Op, Transaction};
 use crate::table::KvTable;
+use poe_crypto::Digest;
 use poe_kernel::ids::SeqNum;
 use poe_kernel::request::Batch;
 use poe_kernel::statemachine::{ExecOutcome, StateMachine};
-use poe_crypto::Digest;
 
 /// One reversible effect of an executed operation.
 #[derive(Clone, Debug)]
@@ -116,7 +116,7 @@ impl Default for SpeculativeStore {
 impl StateMachine for SpeculativeStore {
     fn apply(&mut self, seq: SeqNum, batch: &Batch) -> ExecOutcome {
         debug_assert!(
-            self.frontier.map_or(true, |f| seq > f),
+            self.frontier.is_none_or(|f| seq > f),
             "batches must be applied in increasing sequence order"
         );
         let mut log = Vec::new();
@@ -215,10 +215,13 @@ mod tests {
         s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("k", "old")]));
         let out = s.apply(
             SeqNum(1),
-            &batch_of(1, vec![Transaction::single(Op::ReadModifyWrite {
-                key: b"k".to_vec(),
-                value: b"new".to_vec(),
-            })]),
+            &batch_of(
+                1,
+                vec![Transaction::single(Op::ReadModifyWrite {
+                    key: b"k".to_vec(),
+                    value: b"new".to_vec(),
+                })],
+            ),
         );
         assert_eq!(out.results[0], b"old");
         assert_eq!(s.table().get(b"k"), Some(&b"new".to_vec()));
@@ -230,13 +233,14 @@ mod tests {
         s.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("a", "1")]));
         let digest_after_0 = s.state_digest();
 
-        s.apply(SeqNum(1), &batch_of(1, vec![
-            Transaction::put("a", "2"),
-            Transaction::put("b", "x"),
-        ]));
-        s.apply(SeqNum(2), &batch_of(2, vec![
-            Transaction::single(Op::Delete { key: b"a".to_vec() }),
-        ]));
+        s.apply(
+            SeqNum(1),
+            &batch_of(1, vec![Transaction::put("a", "2"), Transaction::put("b", "x")]),
+        );
+        s.apply(
+            SeqNum(2),
+            &batch_of(2, vec![Transaction::single(Op::Delete { key: b"a".to_vec() })]),
+        );
         assert_ne!(s.state_digest(), digest_after_0);
 
         s.rollback_to(Some(SeqNum(0)));
@@ -263,10 +267,13 @@ mod tests {
         for round in 0..5u64 {
             s.apply(
                 SeqNum(round),
-                &batch_of(round, vec![
-                    Transaction::put(crate::table::ycsb_key(7), format!("v{round}")),
-                    Transaction::single(Op::Delete { key: crate::table::ycsb_key(8) }),
-                ]),
+                &batch_of(
+                    round,
+                    vec![
+                        Transaction::put(crate::table::ycsb_key(7), format!("v{round}")),
+                        Transaction::single(Op::Delete { key: crate::table::ycsb_key(8) }),
+                    ],
+                ),
             );
         }
         s.rollback_to(None);
@@ -311,10 +318,13 @@ mod tests {
             for round in 0..10u64 {
                 s.apply(
                     SeqNum(round),
-                    &batch_of(round, vec![
-                        Transaction::put(crate::table::ycsb_key((round as usize) % 50), "w"),
-                        Transaction::get(crate::table::ycsb_key(((round + 3) as usize) % 50)),
-                    ]),
+                    &batch_of(
+                        round,
+                        vec![
+                            Transaction::put(crate::table::ycsb_key((round as usize) % 50), "w"),
+                            Transaction::get(crate::table::ycsb_key(((round + 3) as usize) % 50)),
+                        ],
+                    ),
                 );
             }
             s

@@ -118,12 +118,7 @@ fn reply_key(view: View, seq: SeqNum, result: &[u8]) -> Digest {
 
 /// Zyzzyva spec-response key: additionally matches the history digest.
 fn zyz_key(view: View, seq: SeqNum, history: &Digest, result: &[u8]) -> Digest {
-    digest_concat(&[
-        &view.0.to_le_bytes(),
-        &seq.0.to_le_bytes(),
-        history.as_bytes(),
-        result,
-    ])
+    digest_concat(&[&view.0.to_le_bytes(), &seq.0.to_le_bytes(), history.as_bytes(), result])
 }
 
 struct InFlight {
@@ -206,27 +201,26 @@ impl WorkloadClient {
                 let bytes = ClientRequest::signing_bytes(self.cfg.id, req_id, &op);
                 self.crypto.sign(&bytes)
             });
-            let request = ClientRequest {
-                client: self.cfg.id,
-                req_id,
-                op: Arc::new(op),
-                signature,
-            };
+            let request =
+                ClientRequest { client: self.cfg.id, req_id, op: Arc::new(op), signature };
             let primary = self.view_hint.primary(self.cfg.n);
             out.send(primary, ProtocolMsg::Request(request.clone()));
             out.set_timer(TimerKind::ClientRetry(req_id), self.cfg.retry);
             if self.cfg.policy == ReplyPolicy::Zyzzyva {
                 out.set_timer(TimerKind::ZyzFastPath(req_id), self.cfg.zyz_fast_window);
             }
-            self.inflight.insert(req_id, InFlight {
-                request,
-                submitted_at: now,
-                votes: MatchingVotes::new(),
-                zyz_meta: HashMap::new(),
-                commit_sent: false,
-                local_commits: MatchingVotes::new(),
-                retries: 0,
-            });
+            self.inflight.insert(
+                req_id,
+                InFlight {
+                    request,
+                    submitted_at: now,
+                    votes: MatchingVotes::new(),
+                    zyz_meta: HashMap::new(),
+                    commit_sent: false,
+                    local_commits: MatchingVotes::new(),
+                    retries: 0,
+                },
+            );
         }
     }
 
@@ -259,15 +253,13 @@ impl WorkloadClient {
             return; // Reply for a different incarnation of this id.
         }
         match (self.cfg.policy, reply.kind) {
-            (ReplyPolicy::Matching { quorum }, k)
-                if matches!(
-                    k,
-                    ReplyKind::PoeInform
-                        | ReplyKind::PbftReply
-                        | ReplyKind::SbftExecuteAck
-                        | ReplyKind::HsReply
-                ) =>
-            {
+            (
+                ReplyPolicy::Matching { quorum },
+                ReplyKind::PoeInform
+                | ReplyKind::PbftReply
+                | ReplyKind::SbftExecuteAck
+                | ReplyKind::HsReply,
+            ) => {
                 let key = reply_key(reply.view, reply.seq, &reply.result);
                 entry.votes.insert(reply.replica, key);
                 if entry.votes.count_for(&key) >= quorum {
@@ -287,7 +279,7 @@ impl WorkloadClient {
             (ReplyPolicy::Zyzzyva, ReplyKind::ZyzLocalCommit) => {
                 let key = reply_key(reply.view, reply.seq, &reply.result);
                 entry.local_commits.insert(reply.replica, key);
-                if entry.local_commits.count_for(&key) >= self.cfg.f + 1 {
+                if entry.local_commits.count_for(&key) > self.cfg.f {
                     self.complete(req_id, now, out);
                 }
             }
@@ -323,12 +315,7 @@ impl WorkloadClient {
         if let Some((key, (view, seq, history))) = candidate {
             let replicas: Vec<_> = entry.votes.voters_for(&key).collect();
             entry.commit_sent = true;
-            out.broadcast(ProtocolMsg::ZyzCommit(ZyzCommitCert {
-                view,
-                seq,
-                history,
-                replicas,
-            }));
+            out.broadcast(ProtocolMsg::ZyzCommit(ZyzCommitCert { view, seq, history, replicas }));
             // Await f+1 local commits; the retry timer still guards us.
         } else {
             // Not enough matching responses: re-arm and keep waiting; the
@@ -497,10 +484,10 @@ mod tests {
         c.on_event(Time::ZERO, Event::Init, &mut out);
         let mut out2 = Outbox::new();
         c.on_event(Time(1), Event::Timeout(TimerKind::ClientRetry(0)), &mut out2);
-        assert!(out2.actions().iter().any(|a| matches!(
-            a,
-            Action::Broadcast { msg: ProtocolMsg::RequestBroadcast(_) }
-        )));
+        assert!(out2
+            .actions()
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { msg: ProtocolMsg::RequestBroadcast(_) })));
     }
 
     #[test]
@@ -552,14 +539,14 @@ mod tests {
         deliver(&mut c, 0, 0, ReplyKind::ZyzSpecResponse, b"ok", h, Time(1));
         let mut out2 = Outbox::new();
         c.on_event(Time(2), Event::Timeout(TimerKind::ZyzFastPath(0)), &mut out2);
-        assert!(out2.actions().iter().any(|a| matches!(
-            a,
-            Action::SetTimer { kind: TimerKind::ZyzFastPath(0), .. }
-        )));
-        assert!(!out2.actions().iter().any(|a| matches!(
-            a,
-            Action::Broadcast { msg: ProtocolMsg::ZyzCommit(_) }
-        )));
+        assert!(out2
+            .actions()
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::ZyzFastPath(0), .. })));
+        assert!(!out2
+            .actions()
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { msg: ProtocolMsg::ZyzCommit(_) })));
     }
 
     #[test]

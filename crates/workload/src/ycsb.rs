@@ -132,11 +132,8 @@ mod tests {
 
     #[test]
     fn zero_payload_is_empty() {
-        let mut w = YcsbWorkload::new(YcsbConfig {
-            zero_payload: true,
-            records: 10,
-            ..Default::default()
-        });
+        let mut w =
+            YcsbWorkload::new(YcsbConfig { zero_payload: true, records: 10, ..Default::default() });
         let txn = w.next_transaction();
         assert!(txn.ops.is_empty());
         // Encoded form is tiny (just the op count).

@@ -1,0 +1,114 @@
+//! End-to-end smoke of the public API surface: cluster key setup,
+//! batched signature verification, batched authenticator checks, the
+//! allocation-free codec path, and speculative execution with rollback.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use proof_of_execution::crypto::ed25519::verify_batch;
+use proof_of_execution::crypto::provider::{AuthTag, NodeIndex};
+use proof_of_execution::crypto::{CertScheme, CryptoMode, KeyMaterial};
+use proof_of_execution::kernel::codec::{decode_envelope, encode_msg, ScratchPool};
+use proof_of_execution::kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
+use proof_of_execution::kernel::messages::{Envelope, ProtocolMsg};
+use proof_of_execution::kernel::request::{Batch, ClientRequest};
+use proof_of_execution::kernel::statemachine::StateMachine;
+use proof_of_execution::store::{Op, SpeculativeStore, Transaction};
+use std::sync::Arc;
+
+fn main() {
+    // --- cluster setup: 4 replicas, 2 clients, threshold nf = 3 -------
+    let km = KeyMaterial::generate(4, 2, 3, CryptoMode::Ed25519, CertScheme::MultiSig, 42);
+    let primary = km.replica(0);
+
+    // --- batched Ed25519 verification ---------------------------------
+    let msgs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 48]).collect();
+    let items: Vec<_> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let signer = km.replica(i % 4);
+            (signer.index(), m.as_slice(), signer.sign(m))
+        })
+        .collect();
+    assert!(primary.verify_batch_from(&items), "honest batch must verify");
+    let mut forged = items.clone();
+    forged[17].2 = km.replica(0).sign(b"other message");
+    assert!(!primary.verify_batch_from(&forged), "forged batch must fail");
+    let raw: Vec<_> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let signer = km.replica(i % 4);
+            let pk = *signer.verifying_key_of(signer.index()).expect("own key");
+            (m.as_slice(), pk, signer.sign(m))
+        })
+        .collect();
+    assert!(verify_batch(&raw), "raw ed25519 batch must verify");
+    println!("verify_batch: 64/64 signatures OK, forgery detected");
+
+    // --- batched authenticator checks ----------------------------------
+    let tags: Vec<(NodeIndex, AuthTag)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let peer = km.replica(1 + i % 3);
+            (peer.index(), peer.authenticate(0, m))
+        })
+        .collect();
+    let tag_items: Vec<(NodeIndex, &[u8], &AuthTag)> =
+        msgs.iter().zip(&tags).map(|(m, (p, t))| (*p, m.as_slice(), t)).collect();
+    assert!(primary.check_batch(&tag_items), "auth-tag batch must check");
+    println!("check_batch:  64/64 authenticators OK");
+
+    // --- allocation-free codec path ------------------------------------
+    let batch = Batch::new(vec![ClientRequest {
+        client: ClientId(0),
+        req_id: 1,
+        op: Arc::new(Transaction::put("k", "v").encode()),
+        signature: None,
+    }]);
+    let msg = ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(1), batch };
+    let mut pool = ScratchPool::new();
+    let mut wire_len = 0;
+    for _ in 0..1000 {
+        let body = pool.encode_msg(&msg);
+        let auth = primary.authenticate(1, &body);
+        pool.recycle(body);
+        let env = Envelope { from: NodeId::Replica(ReplicaId(0)), auth, msg: msg.clone() };
+        let wire = pool.encode_envelope(&env);
+        wire_len = wire.len();
+        let decoded = decode_envelope(&wire).expect("roundtrip");
+        let rebody = encode_msg(&decoded.msg);
+        assert!(km.replica(1).check(0, &rebody, &decoded.auth));
+        pool.recycle(wire);
+    }
+    let (hits, misses) = pool.stats();
+    assert!(misses <= 2, "steady state must reuse buffers (misses={misses})");
+    println!(
+        "codec:        1000 envelope roundtrips of {wire_len} B, pool hits={hits} misses={misses}"
+    );
+
+    // --- speculative execution + rollback ------------------------------
+    let mut store = SpeculativeStore::with_ycsb_table(1_000, 16);
+    let base = store.state_digest();
+    for seq in 0..5u64 {
+        let b = Batch::new(vec![ClientRequest {
+            client: ClientId(1),
+            req_id: seq,
+            op: Arc::new(
+                Transaction::single(Op::Put { key: b"spec".to_vec(), value: vec![seq as u8] })
+                    .encode(),
+            ),
+            signature: None,
+        }]);
+        store.apply(SeqNum(seq), &b);
+    }
+    assert_ne!(store.state_digest(), base);
+    store.rollback_to(None);
+    assert_eq!(store.state_digest(), base, "rollback must restore the pre-speculation state");
+    println!("store:        5 speculative batches applied and rolled back, digest restored");
+
+    println!("quickstart OK");
+}

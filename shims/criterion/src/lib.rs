@@ -1,0 +1,541 @@
+//! Offline, criterion-API-compatible benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this shim implements
+//! the slice of the `criterion` API the `poe-bench` crate uses, with a
+//! real measurement loop:
+//!
+//! 1. **Warm-up** — the routine runs for [`Criterion::warmup_ms`] to fill
+//!    caches and settle frequency scaling, and to estimate its cost.
+//! 2. **Adaptive sampling** — the iteration count per sample is chosen so
+//!    one sample lasts ≈ [`Criterion::sample_ms`]; `samples` independent
+//!    samples are taken.
+//! 3. **Statistics** — per-iteration mean, median, and standard deviation
+//!    across samples, in nanoseconds.
+//!
+//! Results are printed as a table and written as JSON (one file per bench
+//! binary) so the repository can commit perf baselines. Output directory:
+//! `$POE_BENCH_OUT`, else `<workspace>/bench-results`.
+//!
+//! Environment knobs: `POE_BENCH_SAMPLES`, `POE_BENCH_SAMPLE_MS`,
+//! `POE_BENCH_WARMUP_MS`, `POE_BENCH_FAST=1` (minimal settings for CI
+//! smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (normalizes reported rates).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (used when the group name already says it all).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the shim always re-runs setup per measured batch).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs the measured loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` value each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut` state.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Samples actually taken.
+    pub samples: u64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Standard deviation of per-sample means, ns.
+    pub stddev_ns: f64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"group\":{},\"id\":{},\"samples\":{},\"iters_per_sample\":{},\
+             \"mean_ns\":{:.1},\"median_ns\":{:.1},\"stddev_ns\":{:.1}",
+            json_str(&self.group),
+            json_str(&self.id),
+            self.samples,
+            self.iters_per_sample,
+            self.mean_ns,
+            self.median_ns,
+            self.stddev_ns,
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let _ = write!(
+                    s,
+                    ",\"elements\":{n},\"elems_per_sec\":{:.1}",
+                    n as f64 * 1e9 / self.mean_ns
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let _ = write!(
+                    s,
+                    ",\"bytes\":{n},\"bytes_per_sec\":{:.1}",
+                    n as f64 * 1e9 / self.mean_ns
+                );
+            }
+            None => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    records: Vec<Record>,
+    filter: Option<String>,
+    list_only: bool,
+    samples: u64,
+    sample_ms: u64,
+    warmup_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_env()
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Prints a progress line, ignoring a closed stdout (e.g. when the
+/// output is piped into `head`) instead of panicking like `println!`.
+fn out_line(line: std::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+impl Criterion {
+    /// Builds a driver configured from the environment and CLI arguments.
+    pub fn from_env() -> Criterion {
+        let fast = std::env::var("POE_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+        let (samples, sample_ms, warmup_ms) = if fast { (3, 2, 2) } else { (15, 20, 50) };
+        // cargo passes user args after `--`; a bare positional arg is a
+        // substring filter, like real criterion. `--test`/`--list` come
+        // from `cargo test --benches`.
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--bench" => {}
+                "--list" => list_only = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            records: Vec::new(),
+            filter,
+            list_only,
+            samples: env_u64("POE_BENCH_SAMPLES", samples),
+            sample_ms: env_u64("POE_BENCH_SAMPLE_MS", sample_ms),
+            warmup_ms: env_u64("POE_BENCH_WARMUP_MS", warmup_ms),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark (group name = bench id).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: String,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let full = format!("{group}/{id}");
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            out_line(format_args!("{full}: bench"));
+            return;
+        }
+
+        // Warm-up + cost estimate: run single iterations until the warmup
+        // budget elapses.
+        let warmup = Duration::from_millis(self.warmup_ms);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let target_sample_ns = (self.sample_ms as f64) * 1e6;
+        let iters = ((target_sample_ns / est_per_iter).floor() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = per_iter_ns.len();
+        let mean = per_iter_ns.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            per_iter_ns[n / 2]
+        } else {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2.0
+        };
+        let var = per_iter_ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let record = Record {
+            group,
+            id,
+            samples: self.samples,
+            iters_per_sample: iters,
+            mean_ns: mean,
+            median_ns: median,
+            stddev_ns: var.sqrt(),
+            throughput,
+        };
+        out_line(format_args!(
+            "{:<56} mean {:>14} median {:>14} ±{:>12}",
+            full,
+            fmt_ns(record.mean_ns),
+            fmt_ns(record.median_ns),
+            fmt_ns(record.stddev_ns),
+        ));
+        self.records.push(record);
+    }
+
+    /// All records measured so far (used by tests and custom reporters).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Prints the summary and writes the JSON report. Called by
+    /// [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&self) {
+        if self.list_only || self.records.is_empty() {
+            return;
+        }
+        let bench_name = std::env::args()
+            .next()
+            .map(|argv0| {
+                let stem = PathBuf::from(argv0)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "bench".to_string());
+                // Strip cargo's `-<metadata hash>` suffix.
+                match stem.rsplit_once('-') {
+                    Some((base, tail))
+                        if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                    {
+                        base.to_string()
+                    }
+                    _ => stem,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+
+        let out_dir = std::env::var("POE_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+            // The bench binary runs with cwd = package root
+            // (crates/bench); the workspace root is two levels up.
+            let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+            let p = PathBuf::from(manifest);
+            p.ancestors().nth(2).unwrap_or(&p).join("bench-results")
+        });
+        if std::fs::create_dir_all(&out_dir).is_err() {
+            eprintln!("criterion-shim: cannot create {}", out_dir.display());
+            return;
+        }
+        let mut json = String::from("{\n");
+        let _ = write!(json, "  \"bench\": {},\n  \"results\": [\n", json_str(&bench_name));
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str("    ");
+            json.push_str(&r.json());
+            json.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        let path = out_dir.join(format!("{bench_name}.json"));
+        match std::fs::write(&path, json) {
+            Ok(()) => out_line(format_args!("wrote {}", path.display())),
+            Err(e) => eprintln!("criterion-shim: write {} failed: {e}", path.display()),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (the shim sizes samples itself).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (the shim times samples itself).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let throughput = self.throughput;
+        self.c.run_one(self.name.clone(), id.id, throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_env();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("POE_BENCH_FAST", "1");
+        let mut c = Criterion::from_env();
+        c.filter = None;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert!(r.mean_ns > 0.0);
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.group, "g");
+        assert_eq!(r.id, "sum");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("POE_BENCH_FAST", "1");
+        let mut c = Criterion::from_env();
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.records().len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn record_json_is_wellformed() {
+        let r = Record {
+            group: "g".into(),
+            id: "x/1".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            mean_ns: 1.5,
+            median_ns: 1.4,
+            stddev_ns: 0.1,
+            throughput: Some(Throughput::Elements(64)),
+        };
+        let j = r.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"elements\":64"));
+    }
+}

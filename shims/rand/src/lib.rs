@@ -1,0 +1,261 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched. This shim provides API-compatible
+//! `Rng`, `SeedableRng`, and `rngs::StdRng` implementations backed by
+//! xoshiro256++ (Blackman/Vigna), seeded through SplitMix64. Statistical
+//! quality is more than adequate for workload generation and network
+//! delay sampling; the streams do **not** match upstream `rand`'s
+//! `StdRng` (which is ChaCha12), but nothing in this repository depends
+//! on upstream's exact streams — only on determinism per seed.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from an `Rng` (shim for the
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision (matches upstream's
+    /// `Standard` for f64).
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        uniform_u64(rng, self.start, self.end - 1)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        uniform_u64(rng, lo, hi)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        uniform_u64(rng, self.start as u64, (self.end - 1) as u64) as usize
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform draw from the inclusive range [lo, hi] via Lemire's
+/// widening-multiply rejection method (no modulo bias).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    let span = hi.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return lo + (m >> 64) as u64;
+        }
+        // Rejected: retry keeps the distribution exactly uniform.
+    }
+}
+
+/// Slices fillable with random bytes (shim for `rand::Fill`).
+pub trait Fill {
+    /// Overwrites `self` with random data.
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut chunks = self.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = rng.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+/// The random-number-generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic seeding (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ generator (shim stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match rng.gen_range(0u64..=3) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                1 | 2 => {}
+                _ => panic!("out of range"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn fill_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_range_f64_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+}
