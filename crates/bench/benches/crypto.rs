@@ -119,5 +119,36 @@ fn bench_cert_verify(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_verify, bench_sign, bench_auth_modes, bench_cert_verify);
+/// Share aggregation: the per-slot cost the PoE primary pays to turn an
+/// `nf`-share SUPPORT flood into a CERTIFY certificate. `aggregate`
+/// batch-verifies the whole share set in one pass; the `serial` point is
+/// the check-each-share-then-assemble alternative it replaced.
+fn bench_share_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_aggregate");
+    for n in [4usize, 16, 64] {
+        let threshold = n - n / 3;
+        let km =
+            KeyMaterial::generate(n, 0, threshold, CryptoMode::Ed25519, CertScheme::MultiSig, 5);
+        let providers: Vec<_> = (0..n).map(|i| km.replica(i)).collect();
+        let msg = prng_bytes(2, 32);
+        let shares: Vec<_> = providers.iter().take(threshold).map(|p| p.ts_share(&msg)).collect();
+        g.throughput(Throughput::Elements(threshold as u64));
+        g.bench_function(BenchmarkId::new("batched", format!("nf{threshold}")), |b| {
+            b.iter(|| providers[0].ts_aggregate(black_box(&msg), &shares).is_ok())
+        });
+        g.bench_function(BenchmarkId::new("serial", format!("nf{threshold}")), |b| {
+            b.iter(|| shares.iter().all(|s| providers[0].ts_verify_share(black_box(&msg), s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_sign,
+    bench_auth_modes,
+    bench_cert_verify,
+    bench_share_aggregate
+);
 criterion_main!(benches);

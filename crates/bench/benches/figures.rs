@@ -1,8 +1,67 @@
-//! Placeholder for paper-figure reproduction runs (Figures 8/11):
-//! end-to-end protocol throughput/latency sweeps over crypto modes and
-//! message delays. Gated on the simulator and fabric runtimes, which are
-//! still under construction (see ROADMAP "Open items"); the micro-level
-//! costs they compose are measured today by `crypto.rs`, `kernel.rs`,
-//! `protocol_step.rs`, and `store.rs`.
+//! Paper-figure reproduction points over the discrete-event simulator.
+//!
+//! These measure *host CPU per simulated request* for end-to-end PoE
+//! cluster runs — the composition the micro benches (`crypto.rs`,
+//! `protocol_step.rs`, `store.rs`) bound individually:
+//!
+//! * `sim_poe/throughput/{ts,mac}` — Figure 8's support-mode comparison
+//!   shape: an n = 4 cluster completing a fixed workload under both
+//!   SUPPORT modes.
+//! * `sim_poe/delay/<ms>` — Figure 11's message-delay sweep shape: the
+//!   same workload under growing constant link delays (virtual time
+//!   absorbs the delay; host cost stays ~flat, which is the point of
+//!   simulating).
+//!
+//! Full-scale figure reproduction (request-rate vs wall-clock plots)
+//! remains a runtime concern: see `examples/sim_cluster.rs` for the
+//! printable-throughput entry point.
 
-fn main() {}
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use poe_consensus::SupportMode;
+use poe_kernel::time::{Duration, Time};
+use poe_net::DelayModel;
+use poe_sim::{build_poe_cluster, PoeClusterConfig};
+
+const REQUESTS: u64 = 200;
+
+fn run_cluster(cfg: &PoeClusterConfig) -> u64 {
+    let mut sim = build_poe_cluster(cfg);
+    let done = sim.run_until_completed(cfg.total_requests(), Time(Duration::from_secs(300).0));
+    assert!(done, "simulated workload must complete");
+    sim.completed_requests()
+}
+
+fn small_config(support: SupportMode) -> PoeClusterConfig {
+    let mut cfg = PoeClusterConfig::new(4, support);
+    cfg.n_clients = 2;
+    cfg.requests_per_client = REQUESTS / 2;
+    cfg
+}
+
+fn bench_support_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_poe");
+    for (label, support) in [("ts", SupportMode::Threshold), ("mac", SupportMode::Mac)] {
+        let cfg = small_config(support);
+        g.throughput(Throughput::Elements(REQUESTS));
+        g.bench_function(BenchmarkId::new("throughput", label), |b| {
+            b.iter(|| run_cluster(black_box(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_delay_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_poe");
+    for delay_ms in [1u64, 10, 40] {
+        let mut cfg = small_config(SupportMode::Threshold);
+        cfg.delay = DelayModel::Constant(Duration::from_millis(delay_ms));
+        g.throughput(Throughput::Elements(REQUESTS));
+        g.bench_function(BenchmarkId::new("delay", format!("{delay_ms}ms")), |b| {
+            b.iter(|| run_cluster(black_box(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_support_modes, bench_delay_sweep);
+criterion_main!(benches);

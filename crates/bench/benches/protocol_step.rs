@@ -5,11 +5,19 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use poe_bench::sample_batch;
+use poe_consensus::{PoeReplica, SupportMode};
 use poe_crypto::provider::{AuthTag, NodeIndex};
 use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+use poe_kernel::automaton::{Action, Event, Outbox, ReplicaAutomaton};
 use poe_kernel::codec::{decode_envelope, encode_envelope, encode_msg, ScratchPool};
-use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
 use poe_kernel::messages::{Envelope, ProtocolMsg};
+use poe_kernel::request::ClientRequest;
+use poe_kernel::statemachine::NullStateMachine;
+use poe_kernel::time::Time;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Full PREPREPARE path: primary encodes + authenticates a 100-request
 /// propose; replica decodes and checks the link tag.
@@ -105,5 +113,87 @@ fn bench_support_flood(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_preprepare_roundtrip, bench_support_flood);
+/// One full PoE consensus slot across a hand-pumped 4-replica cluster:
+/// batch ingestion at the primary, PROPOSE → SUPPORT → CERTIFY, and the
+/// speculative execute/inform fan-out — the per-slot CPU the simulator's
+/// cost model composes. `multisig` pays real Ed25519 shares; `sim` uses
+/// dealer-keyed HMAC shares (large simulation runs).
+fn bench_poe_slot(c: &mut Criterion) {
+    const N: usize = 4;
+    const BATCH: usize = 10;
+    let mut g = c.benchmark_group("poe_slot");
+    for (label, scheme, mode) in [
+        ("ts_multisig", CertScheme::MultiSig, SupportMode::Threshold),
+        ("ts_sim", CertScheme::Simulated, SupportMode::Threshold),
+        ("mac", CertScheme::Simulated, SupportMode::Mac),
+    ] {
+        let cfg = ClusterConfig::new(N)
+            .with_crypto_mode(CryptoMode::None)
+            .with_cert_scheme(scheme)
+            .with_batch_size(BATCH)
+            .with_checkpoint_interval(64);
+        let km = KeyMaterial::generate(N, 1, cfg.nf(), CryptoMode::None, scheme, 11);
+        let mut replicas: Vec<PoeReplica> = (0..N)
+            .map(|i| {
+                PoeReplica::new(
+                    cfg.clone(),
+                    ReplicaId(i as u32),
+                    mode,
+                    km.replica(i),
+                    Box::new(NullStateMachine::new()),
+                )
+            })
+            .collect();
+        let mut queue: VecDeque<(usize, NodeId, ProtocolMsg)> = VecDeque::new();
+        let mut req_id = 0u64;
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_function(BenchmarkId::new("slot", label), |b| {
+            b.iter(|| {
+                // One batch worth of requests enters the primary…
+                for _ in 0..BATCH {
+                    req_id += 1;
+                    let req = ClientRequest {
+                        client: ClientId(0),
+                        req_id,
+                        op: Arc::new(vec![0u8; 16]),
+                        signature: None,
+                    };
+                    queue.push_back((0, NodeId::Client(ClientId(0)), ProtocolMsg::Request(req)));
+                }
+                // …and the whole slot is pumped to quiescence.
+                while let Some((to, from, msg)) = queue.pop_front() {
+                    let mut out = Outbox::new();
+                    replicas[to].on_event(Time::ZERO, Event::Deliver { from, msg }, &mut out);
+                    for action in out.drain() {
+                        match action {
+                            Action::Send { to: NodeId::Replica(r), msg } => {
+                                queue.push_back((
+                                    r.index(),
+                                    NodeId::Replica(ReplicaId(to as u32)),
+                                    msg,
+                                ));
+                            }
+                            Action::Broadcast { msg } => {
+                                for dest in 0..N {
+                                    if dest != to {
+                                        queue.push_back((
+                                            dest,
+                                            NodeId::Replica(ReplicaId(to as u32)),
+                                            msg.clone(),
+                                        ));
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                black_box(replicas[0].execution_frontier())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprepare_roundtrip, bench_support_flood, bench_poe_slot);
 criterion_main!(benches);

@@ -507,6 +507,49 @@ fn base_point() -> &'static Point {
     })
 }
 
+/// The precomputed wide-window (comb) table for the base point `B`:
+/// `table[i][j - 1] = j · 16^i · B` for every 4-bit window position
+/// `i < 64` and window value `j ∈ 1..=15`.
+///
+/// [`Point::scalar_mul`] rebuilds a 16-entry window table and runs a
+/// 255-step doubling chain on *every* call; for the fixed, globally known
+/// point `B` that work can be hoisted into a static table computed once
+/// per process (~150 KiB). [`base_mul`] then needs only one table lookup
+/// and at most one point addition per nonzero nibble — no doublings at
+/// all — which speeds up every signing operation and the `s·B` half of
+/// serial verification.
+fn base_table() -> &'static Vec<[Point; 15]> {
+    static TABLE: OnceLock<Vec<[Point; 15]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = Vec::with_capacity(64);
+        let mut window_base = *base_point(); // 16^i · B
+        for _ in 0..64 {
+            let mut row = [window_base; 15];
+            for j in 1..15 {
+                row[j] = row[j - 1].add(&window_base);
+            }
+            // 16^(i+1) · B = 15·16^i·B + 16^i·B.
+            window_base = row[14].add(&window_base);
+            table.push(row);
+        }
+        table
+    })
+}
+
+/// Fixed-base scalar multiplication `scalar · B` via the static comb
+/// table: Σᵢ nibbleᵢ(scalar) · 16ⁱ · B, one addition per nonzero nibble.
+pub(crate) fn base_mul(scalar: &[u8; 32]) -> Point {
+    let table = base_table();
+    let mut acc = Point::identity();
+    for (i, row) in table.iter().enumerate() {
+        let n = nibble(scalar, i);
+        if n != 0 {
+            acc = acc.add(&row[n as usize - 1]);
+        }
+    }
+    acc
+}
+
 // ---------------------------------------------------------------------------
 // Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
 // ---------------------------------------------------------------------------
@@ -719,7 +762,7 @@ impl VerifyingKey {
         h.update(msg);
         let k = reduce_mod_l(&h.finalize());
 
-        let lhs = base_point().scalar_mul(&s_bytes);
+        let lhs = base_mul(&s_bytes);
         let rhs = r.add(&a.scalar_mul(&k));
         // Multiply both sides by the cofactor 8 (three doublings) before
         // comparing, killing any small-order component of the error.
@@ -903,7 +946,7 @@ impl SigningKey {
         scalar[31] &= 127;
         scalar[31] |= 64;
         let prefix: [u8; 32] = h[32..].try_into().expect("split");
-        let a = base_point().scalar_mul(&scalar);
+        let a = base_mul(&scalar);
         let public = VerifyingKey(a.compress());
         SigningKey { seed: *seed, scalar, prefix, public }
     }
@@ -937,7 +980,7 @@ impl SigningKey {
             h.update(msg);
             reduce_mod_l(&h.finalize())
         };
-        let r_point = base_point().scalar_mul(&r_scalar);
+        let r_point = base_mul(&r_scalar);
         let r_bytes = r_point.compress();
         let k = {
             let mut h = Sha512::new();
@@ -1408,6 +1451,30 @@ mod tests {
                 verify_batch(&[(msg, honest.verifying_key(), honest_sig), (msg, sk.public, sig),]),
                 serial,
                 "mixed batch verdict must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn base_mul_matches_generic_scalar_mul() {
+        // Edge scalars plus pseudo-random ones: the static comb table
+        // must agree with the generic windowed ladder everywhere.
+        let mut scalars: Vec<[u8; 32]> = vec![[0u8; 32], [0xffu8; 32]];
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        scalars.push(one);
+        let mut top = [0u8; 32];
+        top[31] = 0xf0;
+        scalars.push(top);
+        for seed in 0..8u64 {
+            let bytes = prng_bytes(seed.wrapping_mul(0x9e37), 32);
+            scalars.push(bytes.try_into().unwrap());
+        }
+        for s in scalars {
+            assert_eq!(
+                base_mul(&s).compress(),
+                base_point().scalar_mul(&s).compress(),
+                "scalar {s:02x?}"
             );
         }
     }

@@ -315,18 +315,27 @@ impl ThresholdSigner {
 
     /// Aggregates at least `threshold` valid shares from distinct signers
     /// into a certificate.
+    ///
+    /// All shares cover the **same** message — the ideal batch shape —
+    /// so in `MultiSig` mode the whole selected share set is verified in
+    /// one [`crate::ed25519::verify_batch`] pass (one shared doubling
+    /// chain instead of one per share). Only when that combined check
+    /// fails does aggregation fall back to per-share verification, to
+    /// attribute blame: the honest-primary hot path never pays the
+    /// serial cost, and a byzantine replica that submits a bad share is
+    /// still identified (by ascending signer index) so the caller can
+    /// discard it and retry with the remaining shares.
     pub fn aggregate(
         &self,
         msg: &[u8],
         shares: &[SignatureShare],
     ) -> Result<ThresholdCert, ThresholdError> {
+        // Select up to `threshold` shares from distinct signers, in the
+        // order supplied (first-come wins, as the primary collects them).
         let mut seen = std::collections::BTreeMap::new();
         for share in shares {
             if seen.contains_key(&share.signer) {
                 return Err(ThresholdError::DuplicateSigner(share.signer));
-            }
-            if !self.verify_share(msg, share) {
-                return Err(ThresholdError::InvalidShare(share.signer));
             }
             seen.insert(share.signer, share.clone());
             if seen.len() == self.threshold {
@@ -336,19 +345,51 @@ impl ThresholdSigner {
         if seen.len() < self.threshold {
             return Err(ThresholdError::NotEnoughShares);
         }
-        let signers: Vec<u32> = seen.keys().copied().collect();
-        let proof = match self.scheme {
-            CertScheme::MultiSig => CertProof::Multi(
-                seen.values()
-                    .map(|s| match &s.payload {
+        match self.scheme {
+            CertScheme::MultiSig => {
+                let mut batch = Vec::with_capacity(seen.len());
+                for share in seen.values() {
+                    let sig = match &share.payload {
                         SharePayload::Ed(sig) => *sig,
-                        SharePayload::Sim(_) => unreachable!("verified scheme above"),
-                    })
-                    .collect(),
-            ),
-            CertScheme::Simulated => CertProof::Sim(self.sim_cert_tag(msg, &signers)),
-        };
-        Ok(ThresholdCert { signers, proof })
+                        SharePayload::Sim(_) => {
+                            return Err(ThresholdError::InvalidShare(share.signer))
+                        }
+                    };
+                    match self.ed_public.get(share.signer as usize) {
+                        Some(pk) => batch.push((msg, *pk, sig)),
+                        None => return Err(ThresholdError::InvalidShare(share.signer)),
+                    }
+                }
+                if !crate::ed25519::verify_batch(&batch) {
+                    // Attribute blame serially; report the lowest-index
+                    // offender.
+                    for share in seen.values() {
+                        if !self.verify_share(msg, share) {
+                            return Err(ThresholdError::InvalidShare(share.signer));
+                        }
+                    }
+                    // The combined check fails on any invalid signature
+                    // except with probability 2⁻¹²⁸; reaching this line
+                    // means that event occurred — treat as not enough
+                    // *provably* valid shares rather than minting a
+                    // certificate we could not re-verify.
+                    return Err(ThresholdError::NotEnoughShares);
+                }
+                let signers: Vec<u32> = seen.keys().copied().collect();
+                let sigs = batch.iter().map(|(_, _, sig)| *sig).collect();
+                Ok(ThresholdCert { signers, proof: CertProof::Multi(sigs) })
+            }
+            CertScheme::Simulated => {
+                for share in seen.values() {
+                    if !self.verify_share(msg, share) {
+                        return Err(ThresholdError::InvalidShare(share.signer));
+                    }
+                }
+                let signers: Vec<u32> = seen.keys().copied().collect();
+                let proof = CertProof::Sim(self.sim_cert_tag(msg, &signers));
+                Ok(ThresholdCert { signers, proof })
+            }
+        }
     }
 
     fn sim_cert_tag(&self, msg: &[u8], signers: &[u32]) -> [u8; 32] {
@@ -475,6 +516,38 @@ mod tests {
         assert!(!signers[1].verify_share(msg, &forged));
         let shares = vec![forged, signers[1].share(msg), signers[2].share(msg)];
         assert_eq!(signers[0].aggregate(msg, &shares), Err(ThresholdError::InvalidShare(0)));
+    }
+
+    #[test]
+    fn aggregate_blames_offender_and_succeeds_without_it() {
+        let signers = cluster(CertScheme::MultiSig, 7, 5);
+        let msg = b"m";
+        let mut shares: Vec<_> = signers.iter().take(5).map(|s| s.share(msg)).collect();
+        // Replica 6 forges a share claiming to be replica 2: the batch
+        // check fails and the serial fallback names the offender.
+        let mut forged = signers[6].share(msg);
+        forged.signer = 2;
+        shares[2] = forged;
+        assert_eq!(signers[0].aggregate(msg, &shares), Err(ThresholdError::InvalidShare(2)));
+        // The caller discards the blamed share and retries with a
+        // replacement — the batch path then succeeds.
+        shares[2] = signers[5].share(msg);
+        let cert = signers[0].aggregate(msg, &shares).expect("aggregate after retry");
+        assert!(signers[1].verify_cert(msg, &cert));
+    }
+
+    #[test]
+    fn aggregate_ignores_shares_beyond_threshold() {
+        // A bad share that is never selected (it arrives after the
+        // threshold is already met) cannot poison aggregation.
+        let signers = cluster(CertScheme::MultiSig, 5, 3);
+        let msg = b"m";
+        let mut shares: Vec<_> = signers.iter().take(3).map(|s| s.share(msg)).collect();
+        let mut forged = signers[4].share(msg);
+        forged.payload = SharePayload::Ed(Signature::from_bytes([7u8; 64]));
+        shares.push(forged);
+        let cert = signers[0].aggregate(msg, &shares).expect("aggregate");
+        assert_eq!(cert.signers, vec![0, 1, 2]);
     }
 
     #[test]

@@ -89,6 +89,34 @@ pub enum Notification {
     },
 }
 
+impl Notification {
+    /// A stable single-line rendering, used by the simulator's
+    /// notification trace. Two runs of the same seeded simulation must
+    /// produce byte-identical trace lines, so this goes through explicit
+    /// fields only (digests, ids, sequence numbers) — never through
+    /// `Debug` formatting of nested structures.
+    pub fn trace_line(&self) -> String {
+        match self {
+            Notification::Executed { view, seq, batch, results_digest } => {
+                format!(
+                    "executed {view} {seq} reqs={} batch={} results={}",
+                    batch.len(),
+                    batch.digest.short_hex(),
+                    results_digest.short_hex()
+                )
+            }
+            Notification::RolledBack { to: Some(seq) } => format!("rolledback to={seq}"),
+            Notification::RolledBack { to: None } => "rolledback to=genesis".to_string(),
+            Notification::ViewChanged { view } => format!("viewchanged {view}"),
+            Notification::CheckpointStable { seq } => format!("checkpoint {seq}"),
+            Notification::Decided { seq } => format!("decided {seq}"),
+            Notification::RequestComplete { client, req_id, submitted_at } => {
+                format!("complete {client} req={req_id} submitted={}", submitted_at.as_nanos())
+            }
+        }
+    }
+}
+
 /// An output of an automaton.
 #[derive(Clone, Debug)]
 pub enum Action {
@@ -192,6 +220,17 @@ pub trait ReplicaAutomaton: Send {
     /// The next sequence number this replica has not yet executed
     /// (the contiguous execution frontier).
     fn execution_frontier(&self) -> SeqNum;
+
+    /// Digest of the replica's application state, for cross-replica
+    /// convergence audits (the runtimes assert all live replicas agree
+    /// at quiescence).
+    fn state_digest(&self) -> Digest;
+
+    /// Digest of the replica's committed ledger history (sequence
+    /// numbers, views, and batch digests — proof-independent, so it is
+    /// comparable across replicas even in MAC mode where acceptance
+    /// proofs are local evidence).
+    fn ledger_digest(&self) -> Digest;
 
     /// Protocol name for reports.
     fn protocol_name(&self) -> &'static str;

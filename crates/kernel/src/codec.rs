@@ -168,10 +168,20 @@ fn put_auth_tag<S: Sink>(out: &mut S, tag: &AuthTag) {
     tag.encode(out);
 }
 
+fn put_opt_cert<S: Sink>(out: &mut S, cert: &Option<ThresholdCert>) {
+    match cert {
+        None => out.put_u8(0),
+        Some(c) => {
+            out.put_u8(1);
+            put_cert(out, c);
+        }
+    }
+}
+
 fn put_exec_entry<S: Sink>(out: &mut S, e: &ExecEntry) {
     put_view(out, e.view);
     put_seq(out, e.seq);
-    put_cert(out, &e.cert);
+    put_opt_cert(out, &e.cert);
     put_batch(out, &e.batch);
 }
 
@@ -504,11 +514,19 @@ fn get_cert(r: &mut Reader<'_>) -> Option<ThresholdCert> {
     (used == raw.len()).then_some(cert)
 }
 
+fn get_opt_cert(r: &mut Reader<'_>) -> Option<Option<ThresholdCert>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(get_cert(r)?)),
+        _ => None,
+    }
+}
+
 fn get_exec_entry(r: &mut Reader<'_>) -> Option<ExecEntry> {
     Some(ExecEntry {
         view: View(r.u64()?),
         seq: SeqNum(r.u64()?),
-        cert: get_cert(r)?,
+        cert: get_opt_cert(r)?,
         batch: get_batch(r)?,
     })
 }
@@ -951,12 +969,15 @@ mod tests {
             from: ReplicaId(2),
             view: View(3),
             stable_seq: Some(SeqNum(10)),
-            entries: vec![ExecEntry {
-                view: View(3),
-                seq: SeqNum(11),
-                cert: sample_cert(),
-                batch: sample_batch(),
-            }],
+            entries: vec![
+                ExecEntry {
+                    view: View(3),
+                    seq: SeqNum(11),
+                    cert: Some(sample_cert()),
+                    batch: sample_batch(),
+                },
+                ExecEntry { view: View(3), seq: SeqNum(12), cert: None, batch: sample_batch() },
+            ],
             signature: km().replica(2).sign(b"vc"),
         }
     }

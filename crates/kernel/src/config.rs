@@ -38,6 +38,10 @@ pub struct ClusterConfig {
     pub ooo_window: usize,
     /// Checkpoint period in sequence numbers.
     pub checkpoint_interval: u64,
+    /// How long the primary lets a partial batch sit before flushing it
+    /// (the batch-cut timer of the paper's Figure 6 pipeline; full
+    /// batches are cut immediately).
+    pub batch_cut_delay: Duration,
     /// Base timeout before a replica suspects the primary.
     pub base_timeout: Duration,
     /// Client retransmission timeout.
@@ -64,6 +68,7 @@ impl ClusterConfig {
             batch_size: 100,
             ooo_window: 256,
             checkpoint_interval: 1_000,
+            batch_cut_delay: Duration::from_millis(5),
             base_timeout: Duration::from_secs(3),
             client_timeout: Duration::from_secs(3),
             crypto_mode: CryptoMode::Cmac,
@@ -125,6 +130,12 @@ impl ClusterConfig {
     /// Sets the client retransmission timeout.
     pub fn with_client_timeout(mut self, t: Duration) -> Self {
         self.client_timeout = t;
+        self
+    }
+
+    /// Sets the batch-cut delay for partial batches.
+    pub fn with_batch_cut_delay(mut self, t: Duration) -> Self {
+        self.batch_cut_delay = t;
         self
     }
 

@@ -26,7 +26,12 @@ pub struct ExecEntry {
     /// The sequence number.
     pub seq: SeqNum,
     /// The CERTIFY certificate proving `nf` replicas supported it.
-    pub cert: ThresholdCert,
+    ///
+    /// `None` in the MAC support mode (Appendix A): MAC-authenticated
+    /// SUPPORT votes produce no transferable certificate, so the new
+    /// primary instead requires an entry to appear in `f + 1` distinct
+    /// VC-REQUESTs before adopting it.
+    pub cert: Option<ThresholdCert>,
     /// The batch itself.
     pub batch: Arc<Batch>,
 }

@@ -191,6 +191,28 @@ impl Ledger {
         self.blocks.iter()
     }
 
+    /// Digest of the committed *history*: a fold over each block's
+    /// `(seq, view, batch_digest)`, excluding acceptance proofs.
+    ///
+    /// [`Ledger::head_hash`] covers proofs, which are only canonical in
+    /// certificate-carrying protocols (PoE-TS, SBFT, HotStuff). In MAC
+    /// mode every replica commits on its *own* `nf` matching SUPPORT
+    /// votes, so the recorded committee — and hence the block hash — can
+    /// legitimately differ across replicas that agree on the history.
+    /// Convergence audits therefore compare this digest instead.
+    pub fn history_digest(&self) -> Digest {
+        let mut acc = self.genesis_hash;
+        for b in &self.blocks {
+            acc = digest_concat(&[
+                acc.as_bytes(),
+                &b.seq.0.to_le_bytes(),
+                &b.view.0.to_le_bytes(),
+                b.batch_digest.as_bytes(),
+            ]);
+        }
+        acc
+    }
+
     /// Audits the whole chain: hash links, consecutive sequence numbers.
     pub fn verify_chain(&self) -> Result<(), ChainError> {
         let mut prev_hash = self.genesis_hash;
@@ -289,6 +311,21 @@ mod tests {
         l.truncate_above(None);
         assert!(l.is_empty());
         assert_eq!(l.head_hash(), l.genesis_hash());
+    }
+
+    #[test]
+    fn history_digest_ignores_proofs_but_not_history() {
+        let mut a = ledger();
+        let mut b = ledger();
+        a.append(SeqNum(0), View(0), d("b0"), BlockProof::Committee(vec![ReplicaId(0)]));
+        b.append(SeqNum(0), View(0), d("b0"), BlockProof::Committee(vec![ReplicaId(1)]));
+        // Same history, different local acceptance evidence.
+        assert_ne!(a.head_hash(), b.head_hash());
+        assert_eq!(a.history_digest(), b.history_digest());
+        // Different history diverges.
+        a.append(SeqNum(1), View(0), d("b1"), BlockProof::Genesis);
+        b.append(SeqNum(1), View(0), d("b1'"), BlockProof::Genesis);
+        assert_ne!(a.history_digest(), b.history_digest());
     }
 
     #[test]

@@ -1,0 +1,1163 @@
+//! The PoE replica automaton (paper Figures 3 and 5).
+//!
+//! Sans-I/O: the replica consumes [`Event`]s and emits [`Action`]s; the
+//! simulator and fabric runtimes interpret them. All internal maps are
+//! ordered (`BTreeMap`/`BTreeSet`) so the action stream is a pure
+//! function of the event stream — the determinism the discrete-event
+//! simulator's replayable traces rely on.
+
+use poe_crypto::digest::{digest_concat, Digest};
+use poe_crypto::ed25519::Signature;
+use poe_crypto::provider::{CryptoMode, CryptoProvider, NodeIndex};
+use poe_crypto::threshold::{SignatureShare, ThresholdCert, ThresholdError};
+use poe_kernel::automaton::{Event, Notification, Outbox, ReplicaAutomaton};
+use poe_kernel::codec::poe_vc_signing_bytes;
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::messages::{ClientReply, ExecEntry, PoeVcRequest, ProtocolMsg, ReplyKind};
+use poe_kernel::quorum::MatchingVotes;
+use poe_kernel::request::{Batch, Batcher, ClientRequest};
+use poe_kernel::statemachine::{ExecOutcome, StateMachine};
+use poe_kernel::time::Time;
+use poe_kernel::timer::TimerKind;
+use poe_kernel::watermark::{ContiguousTracker, Watermarks};
+use poe_ledger::{BlockProof, Ledger};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Cap on buffered future-view messages (delivery races around a view
+/// change); beyond this, newcomers are dropped and client retransmission
+/// recovers.
+const MAX_STASHED: usize = 4096;
+
+/// How SUPPORT votes are authenticated and certified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SupportMode {
+    /// Figure 3: backups send signature shares to the primary, which
+    /// aggregates `nf` of them into a CERTIFY certificate.
+    Threshold,
+    /// Appendix A: backups broadcast SUPPORT digests; every replica
+    /// certifies locally once it holds `nf` matching votes. No
+    /// transferable certificate exists, so view changes adopt entries
+    /// appearing in `f + 1` distinct VC-REQUESTs instead.
+    Mac,
+}
+
+impl SupportMode {
+    /// The paper's pairing of support mode to authentication mode: MAC
+    /// clusters (CMAC/HMAC) run the Appendix-A variant, signature
+    /// clusters the threshold variant.
+    pub fn for_crypto(mode: CryptoMode) -> SupportMode {
+        match mode {
+            CryptoMode::Hmac | CryptoMode::Cmac => SupportMode::Mac,
+            CryptoMode::None | CryptoMode::Ed25519 => SupportMode::Threshold,
+        }
+    }
+}
+
+/// The digest `h = D(v ‖ k ‖ D(⟨T⟩c))` that SUPPORT shares and CERTIFY
+/// certificates cover (Figure 3 Line 15).
+pub fn support_digest(view: View, seq: SeqNum, batch_digest: &Digest) -> Digest {
+    digest_concat(&[
+        b"poe-support",
+        &view.0.to_le_bytes(),
+        &seq.0.to_le_bytes(),
+        batch_digest.as_bytes(),
+    ])
+}
+
+/// Per-sequence-number consensus state.
+struct Slot {
+    batch: Option<Arc<Batch>>,
+    proposed_view: View,
+    /// `h` for the accepted proposal (valid when `batch` is set).
+    digest: Digest,
+    /// TS mode, primary: collected signature shares (own included).
+    shares: BTreeMap<u32, SignatureShare>,
+    /// MAC mode: SUPPORT votes per digest from distinct replicas.
+    mac_votes: MatchingVotes<Digest>,
+    /// CERTIFY that arrived before its PROPOSE (verified once the batch
+    /// is known).
+    pending_cert: Option<ThresholdCert>,
+    /// The verified certificate (TS mode).
+    cert: Option<ThresholdCert>,
+    committed: bool,
+    executed: bool,
+    results: Option<ExecOutcome>,
+    informed: bool,
+    certify_sent: bool,
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot {
+            batch: None,
+            proposed_view: View::ZERO,
+            digest: Digest::EMPTY,
+            shares: BTreeMap::new(),
+            mac_votes: MatchingVotes::new(),
+            pending_cert: None,
+            cert: None,
+            committed: false,
+            executed: false,
+            results: None,
+            informed: false,
+            certify_sent: false,
+        }
+    }
+}
+
+impl Slot {
+    fn matches(&self, batch_digest: &Digest) -> bool {
+        self.batch.as_ref().is_some_and(|b| b.digest == *batch_digest)
+    }
+}
+
+/// In-progress view change.
+struct VcState {
+    target: View,
+}
+
+/// The PoE replica automaton.
+pub struct PoeReplica {
+    cfg: ClusterConfig,
+    id: ReplicaId,
+    mode: SupportMode,
+    crypto: CryptoProvider,
+    store: Box<dyn StateMachine>,
+    ledger: Ledger,
+    view: View,
+    view_change: Option<VcState>,
+    /// Consecutive view changes without progress (exponential back-off,
+    /// Theorem 7); reset when a slot commits.
+    vc_attempts: u32,
+    watermarks: Watermarks,
+    /// Primary: next sequence number to assign.
+    next_seq: SeqNum,
+    batcher: Batcher,
+    pending_batches: VecDeque<Arc<Batch>>,
+    batch_timer_armed: bool,
+    slots: BTreeMap<SeqNum, Slot>,
+    /// Contiguous speculative-execution frontier (Figure 3 Line 20).
+    exec: ContiguousTracker,
+    /// Contiguous view-commit frontier; drives the watermark window.
+    committed: ContiguousTracker,
+    stable_seq: Option<SeqNum>,
+    checkpoint_votes: BTreeMap<SeqNum, MatchingVotes<Digest>>,
+    /// Client requests we forwarded to the primary and are watching
+    /// (failure-detection rule 1, §II-C).
+    forwarded: BTreeSet<Digest>,
+    /// Primary: request digests already batched or proposed (dedup).
+    proposed: BTreeSet<Digest>,
+    /// Executed request digest → slot, for re-INFORM on retransmission.
+    executed_reqs: BTreeMap<Digest, SeqNum>,
+    /// VC-REQUESTs per *target* view (the view being moved into).
+    pending_vc: BTreeMap<View, BTreeMap<ReplicaId, PoeVcRequest>>,
+    /// Target views for which we already broadcast NV-PROPOSE.
+    nv_sent: BTreeSet<View>,
+    /// Messages from views ahead of ours, replayed after a view change.
+    stashed: Vec<(NodeId, ProtocolMsg)>,
+}
+
+impl PoeReplica {
+    /// Builds a replica. `crypto` must be the provider for `id`; `store`
+    /// is the replicated application (must support rollback).
+    pub fn new(
+        cfg: ClusterConfig,
+        id: ReplicaId,
+        mode: SupportMode,
+        crypto: CryptoProvider,
+        store: Box<dyn StateMachine>,
+    ) -> PoeReplica {
+        assert_eq!(crypto.index(), id.0, "crypto provider must belong to this replica");
+        let initial_primary = View::ZERO.primary(cfg.n);
+        let primary_key =
+            *crypto.verifying_key_of(initial_primary.0).expect("initial primary key exists");
+        let batch_size = cfg.batch_size;
+        let window = cfg.ooo_window;
+        PoeReplica {
+            cfg,
+            id,
+            mode,
+            crypto,
+            store,
+            ledger: Ledger::new(initial_primary, &primary_key),
+            view: View::ZERO,
+            view_change: None,
+            vc_attempts: 0,
+            watermarks: Watermarks::new(window),
+            next_seq: SeqNum::ZERO,
+            batcher: Batcher::new(batch_size),
+            pending_batches: VecDeque::new(),
+            batch_timer_armed: false,
+            slots: BTreeMap::new(),
+            exec: ContiguousTracker::new(),
+            committed: ContiguousTracker::new(),
+            stable_seq: None,
+            checkpoint_votes: BTreeMap::new(),
+            forwarded: BTreeSet::new(),
+            proposed: BTreeSet::new(),
+            executed_reqs: BTreeMap::new(),
+            pending_vc: BTreeMap::new(),
+            nv_sent: BTreeSet::new(),
+            stashed: Vec::new(),
+        }
+    }
+
+    /// The support mode in use.
+    pub fn support_mode(&self) -> SupportMode {
+        self.mode
+    }
+
+    /// Whether a view change is currently in progress.
+    pub fn in_view_change(&self) -> bool {
+        self.view_change.is_some()
+    }
+
+    /// The last stable checkpoint.
+    pub fn stable_seq(&self) -> Option<SeqNum> {
+        self.stable_seq
+    }
+
+    /// The committed ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of live consensus slots (bounded by window + GC).
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The contiguous view-commit frontier.
+    pub fn commit_frontier(&self) -> SeqNum {
+        self.committed.frontier()
+    }
+
+    /// The low/high watermark window.
+    pub fn watermarks(&self) -> &Watermarks {
+        &self.watermarks
+    }
+
+    // ----------------------------------------------------------- helpers
+
+    fn primary_of(&self, v: View) -> ReplicaId {
+        v.primary(self.cfg.n)
+    }
+
+    fn is_primary(&self) -> bool {
+        self.view_change.is_none() && self.primary_of(self.view) == self.id
+    }
+
+    fn nf(&self) -> usize {
+        self.cfg.nf()
+    }
+
+    fn current_timeout(&self) -> poe_kernel::time::Duration {
+        self.cfg.view_change_timeout(self.vc_attempts)
+    }
+
+    fn client_index(&self, client: poe_kernel::ids::ClientId) -> NodeIndex {
+        self.cfg.n as u32 + client.0
+    }
+
+    /// Verifies a client request signature under the cluster's crypto
+    /// mode (`None` ⇒ unsigned requests are accepted).
+    fn client_request_ok(&self, req: &ClientRequest) -> bool {
+        match self.cfg.crypto_mode {
+            CryptoMode::None => true,
+            _ => match &req.signature {
+                Some(sig) => {
+                    let bytes = ClientRequest::signing_bytes(req.client, req.req_id, &req.op);
+                    self.crypto.verify_from(self.client_index(req.client), &bytes, sig)
+                }
+                None => false,
+            },
+        }
+    }
+
+    fn stash(&mut self, from: NodeId, msg: ProtocolMsg) {
+        if self.stashed.len() < MAX_STASHED {
+            self.stashed.push((from, msg));
+        }
+    }
+
+    // ------------------------------------------------------ client path
+
+    fn on_client_request(&mut self, req: ClientRequest, out: &mut Outbox) {
+        let digest = req.digest();
+        // Retransmission of an already-executed request: answer from the
+        // cached results instead of re-ordering it (PBFT-style reply
+        // cache; keeps re-proposals from double-executing).
+        if let Some(seq) = self.executed_reqs.get(&digest).copied() {
+            self.reinform(seq, &digest, out);
+            return;
+        }
+        if self.view_change.is_some() {
+            return; // Client retry re-drives after the view change.
+        }
+        if self.is_primary() {
+            if self.proposed.contains(&digest) || !self.client_request_ok(&req) {
+                return;
+            }
+            self.proposed.insert(digest);
+            if let Some(batch) = self.batcher.push(req) {
+                self.enqueue_proposal(batch, out);
+            } else if !self.batch_timer_armed {
+                self.batch_timer_armed = true;
+                out.set_timer(TimerKind::BatchCut, self.cfg.batch_cut_delay);
+            }
+        } else {
+            // Forward to the primary and start the progress detector
+            // (§II-B / failure-detection rule 1).
+            let primary = self.primary_of(self.view);
+            out.send(primary, ProtocolMsg::Forward(req));
+            self.forwarded.insert(digest);
+            out.set_timer(TimerKind::RequestProgress(digest), self.current_timeout());
+        }
+    }
+
+    /// Re-sends the INFORM for an executed request (client retransmitted
+    /// after missing replies).
+    fn reinform(&self, seq: SeqNum, req_digest: &Digest, out: &mut Outbox) {
+        let Some(slot) = self.slots.get(&seq) else { return };
+        if !slot.committed {
+            return;
+        }
+        let (Some(batch), Some(results)) = (&slot.batch, &slot.results) else { return };
+        for (i, req) in batch.requests.iter().enumerate() {
+            if req.digest() == *req_digest {
+                out.send(
+                    NodeId::Client(req.client),
+                    ProtocolMsg::Reply(ClientReply {
+                        kind: ReplyKind::PoeInform,
+                        view: slot.proposed_view,
+                        seq,
+                        req_digest: *req_digest,
+                        req_id: req.req_id,
+                        result: results.results[i].clone(),
+                        replica: self.id,
+                        history: None,
+                    }),
+                );
+                return;
+            }
+        }
+    }
+
+    // ----------------------------------------------------- normal case
+
+    fn enqueue_proposal(&mut self, batch: Arc<Batch>, out: &mut Outbox) {
+        self.pending_batches.push_back(batch);
+        self.drain_proposals(out);
+    }
+
+    /// Opens consensus slots while the out-of-order window has headroom
+    /// (§II-F).
+    fn drain_proposals(&mut self, out: &mut Outbox) {
+        while self.is_primary()
+            && !self.pending_batches.is_empty()
+            && self.watermarks.in_window(self.next_seq)
+        {
+            let batch = self.pending_batches.pop_front().expect("checked non-empty");
+            let seq = self.next_seq;
+            self.next_seq = seq.next();
+            let view = self.view;
+            out.broadcast(ProtocolMsg::PoePropose { view, seq, batch: batch.clone() });
+            self.accept_proposal(self.id, view, seq, batch, out);
+        }
+    }
+
+    fn on_propose(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        batch: Arc<Batch>,
+        out: &mut Outbox,
+    ) {
+        if view > self.view {
+            self.stash(NodeId::Replica(from), ProtocolMsg::PoePropose { view, seq, batch });
+            return;
+        }
+        if view < self.view || self.view_change.is_some() || from != self.primary_of(view) {
+            return;
+        }
+        if !self.watermarks.in_window(seq) {
+            return;
+        }
+        // Backups validate the client signatures the primary vouched for
+        // (Figure 3 Line 14) — in one batched pass.
+        if self.cfg.crypto_mode != CryptoMode::None {
+            let bodies: Vec<Vec<u8>> = batch
+                .requests
+                .iter()
+                .map(|r| ClientRequest::signing_bytes(r.client, r.req_id, &r.op))
+                .collect();
+            let mut items: Vec<(NodeIndex, &[u8], Signature)> =
+                Vec::with_capacity(batch.requests.len());
+            for (req, body) in batch.requests.iter().zip(&bodies) {
+                match &req.signature {
+                    Some(sig) => items.push((self.client_index(req.client), body.as_slice(), *sig)),
+                    None => return,
+                }
+            }
+            if !self.crypto.verify_batch_from(&items) {
+                return;
+            }
+        }
+        self.accept_proposal(from, view, seq, batch, out);
+    }
+
+    fn accept_proposal(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        batch: Arc<Batch>,
+        out: &mut Outbox,
+    ) {
+        let digest = support_digest(view, seq, &batch.digest);
+        let slot = self.slots.entry(seq).or_default();
+        if slot.batch.is_some() {
+            // Duplicate (or equivocating) proposal: first accepted wins.
+            return;
+        }
+        slot.batch = Some(batch);
+        slot.digest = digest;
+        slot.proposed_view = view;
+        // The proposal carries the primary's own support.
+        slot.mac_votes.insert(from, digest);
+        let i_am_primary = from == self.id;
+        match self.mode {
+            SupportMode::Threshold => {
+                let share = self.crypto.ts_share(digest.as_bytes());
+                if i_am_primary {
+                    slot.shares.insert(self.id.0, share);
+                } else {
+                    out.send(from, ProtocolMsg::PoeSupport { view, seq, share });
+                }
+            }
+            SupportMode::Mac => {
+                slot.mac_votes.insert(self.id, digest);
+                if !i_am_primary {
+                    out.broadcast(ProtocolMsg::PoeSupportMac { view, seq, digest });
+                }
+            }
+        }
+        if !slot.committed {
+            out.set_timer(TimerKind::SlotProgress(seq), self.current_timeout());
+        }
+        // A CERTIFY that raced ahead of this PROPOSE can be checked now.
+        let pending = self.slots.get_mut(&seq).and_then(|s| s.pending_cert.take());
+        if let Some(cert) = pending {
+            self.on_certify(self.primary_of(view), view, seq, cert, out);
+        }
+        self.try_execute(out);
+        self.try_aggregate(seq, out);
+        self.try_mac_commit(seq, out);
+    }
+
+    fn on_support(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        share: SignatureShare,
+        out: &mut Outbox,
+    ) {
+        if view > self.view {
+            self.stash(NodeId::Replica(from), ProtocolMsg::PoeSupport { view, seq, share });
+            return;
+        }
+        if self.mode != SupportMode::Threshold
+            || view < self.view
+            || self.view_change.is_some()
+            || self.primary_of(view) != self.id
+            || share.signer != from.0
+        {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if slot.batch.is_none() || slot.certify_sent || slot.shares.contains_key(&share.signer) {
+            // Unknown slot, already certified, or duplicate share from
+            // this replica: either way the vote cannot advance anything
+            // (Proposition 2's single-SUPPORT rule).
+            return;
+        }
+        slot.shares.insert(share.signer, share);
+        self.try_aggregate(seq, out);
+    }
+
+    /// Primary, TS mode: aggregate `nf` shares into a CERTIFY
+    /// certificate. Shares are *not* verified on arrival — aggregation
+    /// batch-verifies the whole set in one pass and only attributes
+    /// blame serially if that fails, discarding the offender.
+    fn try_aggregate(&mut self, seq: SeqNum, out: &mut Outbox) {
+        if self.mode != SupportMode::Threshold || !self.is_primary() {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if slot.batch.is_none() || slot.certify_sent || slot.shares.len() < self.cfg.nf() {
+            return;
+        }
+        loop {
+            let shares: Vec<SignatureShare> = slot.shares.values().cloned().collect();
+            match self.crypto.ts_aggregate(slot.digest.as_bytes(), &shares) {
+                Ok(cert) => {
+                    slot.certify_sent = true;
+                    let view = slot.proposed_view;
+                    out.broadcast(ProtocolMsg::PoeCertify { view, seq, cert: cert.clone() });
+                    self.commit_slot(seq, Some(cert), out);
+                    return;
+                }
+                Err(ThresholdError::InvalidShare(signer)) => {
+                    slot.shares.remove(&signer);
+                    if slot.shares.len() < self.cfg.nf() {
+                        return; // Wait for replacement shares.
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn on_support_mac(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        digest: Digest,
+        out: &mut Outbox,
+    ) {
+        if view > self.view {
+            self.stash(NodeId::Replica(from), ProtocolMsg::PoeSupportMac { view, seq, digest });
+            return;
+        }
+        if self.mode != SupportMode::Mac
+            || view < self.view
+            || self.view_change.is_some()
+            || !self.watermarks.in_window(seq)
+        {
+            // The window check also bounds the slot table: a byzantine
+            // replica voting on arbitrary far-future sequence numbers
+            // must not materialize slots outside the active window.
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.mac_votes.insert(from, digest);
+        self.try_mac_commit(seq, out);
+    }
+
+    fn try_mac_commit(&mut self, seq: SeqNum, out: &mut Outbox) {
+        if self.mode != SupportMode::Mac {
+            return;
+        }
+        let Some(slot) = self.slots.get(&seq) else { return };
+        if slot.batch.is_none() || slot.committed {
+            return;
+        }
+        if slot.mac_votes.count_for(&slot.digest) >= self.nf() {
+            self.commit_slot(seq, None, out);
+        }
+    }
+
+    fn on_certify(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        seq: SeqNum,
+        cert: ThresholdCert,
+        out: &mut Outbox,
+    ) {
+        if view > self.view {
+            self.stash(NodeId::Replica(from), ProtocolMsg::PoeCertify { view, seq, cert });
+            return;
+        }
+        if self.mode != SupportMode::Threshold
+            || view < self.view
+            || self.view_change.is_some()
+            || from != self.primary_of(view)
+        {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        if slot.committed {
+            return;
+        }
+        if slot.batch.is_none() {
+            slot.pending_cert = Some(cert); // Raced ahead of its PROPOSE.
+            return;
+        }
+        let valid = cert.signers.len() >= self.cfg.nf()
+            && self.crypto.ts_verify_cert(slot.digest.as_bytes(), &cert);
+        if valid {
+            self.commit_slot(seq, Some(cert), out);
+        }
+    }
+
+    /// View-commit (Figure 3 Line 23): the proposal is certified at this
+    /// replica.
+    fn commit_slot(&mut self, seq: SeqNum, cert: Option<ThresholdCert>, out: &mut Outbox) {
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if slot.committed {
+            return;
+        }
+        slot.committed = true;
+        slot.cert = cert;
+        out.cancel_timer(TimerKind::SlotProgress(seq));
+        // Progress: reset the view-change back-off (Theorem 7).
+        self.vc_attempts = 0;
+        self.committed.complete(seq);
+        self.watermarks.advance_to(self.committed.frontier());
+        out.notify(Notification::Decided { seq });
+        self.try_inform(seq, out);
+        self.try_append_ledger();
+        self.drain_proposals(out);
+    }
+
+    /// Speculative execution at the contiguous frontier (Figure 3
+    /// Line 20: execute `k` only once `k − 1` has executed).
+    fn try_execute(&mut self, out: &mut Outbox) {
+        loop {
+            let next = self.exec.frontier();
+            let Some(slot) = self.slots.get_mut(&next) else { break };
+            let Some(batch) = slot.batch.clone() else { break };
+            if slot.executed {
+                break;
+            }
+            let outcome = self.store.apply(next, &batch);
+            let results_digest = outcome.digest();
+            slot.executed = true;
+            slot.results = Some(outcome);
+            let view = slot.proposed_view;
+            self.exec.complete(next);
+            out.notify(Notification::Executed {
+                view,
+                seq: next,
+                batch: batch.clone(),
+                results_digest,
+            });
+            for req in &batch.requests {
+                let d = req.digest();
+                self.executed_reqs.insert(d, next);
+                if self.forwarded.remove(&d) {
+                    out.cancel_timer(TimerKind::RequestProgress(d));
+                }
+            }
+            if (next.0 + 1).is_multiple_of(self.cfg.checkpoint_interval) {
+                let state_digest = self.store.state_digest();
+                out.broadcast(ProtocolMsg::Checkpoint { seq: next, state_digest });
+                self.checkpoint_votes.entry(next).or_default().insert(self.id, state_digest);
+                self.try_stable_checkpoint(next, out);
+            }
+            self.try_inform(next, out);
+        }
+        self.try_append_ledger();
+    }
+
+    /// INFORM the clients once a slot is both executed and view-committed.
+    fn try_inform(&mut self, seq: SeqNum, out: &mut Outbox) {
+        let Some(slot) = self.slots.get_mut(&seq) else { return };
+        if !slot.committed || !slot.executed || slot.informed {
+            return;
+        }
+        let (Some(batch), Some(results)) = (&slot.batch, &slot.results) else { return };
+        slot.informed = true;
+        for (i, req) in batch.requests.iter().enumerate() {
+            out.send(
+                NodeId::Client(req.client),
+                ProtocolMsg::Reply(ClientReply {
+                    kind: ReplyKind::PoeInform,
+                    view: slot.proposed_view,
+                    seq,
+                    req_digest: req.digest(),
+                    req_id: req.req_id,
+                    result: results.results[i].clone(),
+                    replica: self.id,
+                    history: None,
+                }),
+            );
+        }
+    }
+
+    /// Appends executed-and-committed slots to the ledger in order
+    /// (§III-A; the proof of acceptance is the CERTIFY certificate in TS
+    /// mode, the locally observed committee in MAC mode).
+    fn try_append_ledger(&mut self) {
+        loop {
+            let next = self.ledger.head_seq().map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+            let Some(slot) = self.slots.get(&next) else { break };
+            if !slot.committed || !slot.executed {
+                break;
+            }
+            let Some(batch) = &slot.batch else { break };
+            let proof = match &slot.cert {
+                Some(cert) => BlockProof::Certificate(cert.clone()),
+                None => BlockProof::Committee(slot.mac_votes.voters_for(&slot.digest).collect()),
+            };
+            self.ledger.append(next, slot.proposed_view, batch.digest, proof);
+        }
+        self.gc_stable_slots();
+    }
+
+    /// Drops consensus slots that are both stable (at or below the last
+    /// stable checkpoint) and fully retired (committed, executed, and on
+    /// the ledger). A slot whose CERTIFY is still in flight when its
+    /// checkpoint stabilizes survives until it commits — otherwise the
+    /// commit would be lost and the ledger would hold a permanent gap.
+    fn gc_stable_slots(&mut self) {
+        let Some(stable) = self.stable_seq else { return };
+        let appended = self.ledger.head_seq().map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        let bound = SeqNum(stable.next().0.min(appended.0));
+        if self.slots.first_key_value().is_none_or(|(s, _)| *s >= bound) {
+            return;
+        }
+        let live = self.slots.split_off(&bound);
+        let dead = std::mem::replace(&mut self.slots, live);
+        for slot in dead.values() {
+            if let Some(batch) = &slot.batch {
+                for req in &batch.requests {
+                    let d = req.digest();
+                    self.proposed.remove(&d);
+                    self.executed_reqs.remove(&d);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------- checkpoints
+
+    fn on_checkpoint_vote(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNum,
+        state_digest: Digest,
+        out: &mut Outbox,
+    ) {
+        // Honest checkpoints sit on interval boundaries and at most one
+        // window ahead of us; anything else is noise and must not grow
+        // the vote table (byzantine flooding of far-future seqs).
+        let aligned = (seq.0 + 1).is_multiple_of(self.cfg.checkpoint_interval);
+        let in_range = seq.0 < self.watermarks.high().0 + self.cfg.checkpoint_interval;
+        if self.stable_seq.is_some_and(|s| seq <= s) || !aligned || !in_range {
+            return;
+        }
+        self.checkpoint_votes.entry(seq).or_default().insert(from, state_digest);
+        self.try_stable_checkpoint(seq, out);
+    }
+
+    /// `2f + 1` matching checkpoint votes (our own among them) make the
+    /// checkpoint stable: undo logs below it are garbage-collected and
+    /// the low watermark advances.
+    fn try_stable_checkpoint(&mut self, seq: SeqNum, out: &mut Outbox) {
+        if self.stable_seq.is_some_and(|s| seq <= s) {
+            return;
+        }
+        let quorum = 2 * self.cfg.f + 1;
+        let Some(votes) = self.checkpoint_votes.get(&seq) else { return };
+        let Some(digest) = votes.quorum_value(quorum).copied() else { return };
+        // We must agree with the stable value ourselves — otherwise the
+        // gap calls for state transfer, which is out of scope here.
+        if !votes.voters_for(&digest).any(|r| r == self.id) {
+            return;
+        }
+        self.stable_seq = Some(seq);
+        self.store.stabilize(seq);
+        // Retire what is already on the ledger; slots whose commit is
+        // still in flight are collected when it lands.
+        self.try_append_ledger();
+        self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
+        self.watermarks.advance_to(seq.next());
+        out.notify(Notification::CheckpointStable { seq });
+        self.drain_proposals(out);
+    }
+
+    // ----------------------------------------------------- view change
+
+    /// Requests a view change into `target` (Figure 5 Lines 1–5).
+    fn start_view_change(&mut self, target: View, out: &mut Outbox) {
+        if target <= self.view {
+            return;
+        }
+        if let Some(vc) = &self.view_change {
+            if vc.target >= target {
+                return;
+            }
+        }
+        self.view_change = Some(VcState { target });
+        if self.batch_timer_armed {
+            self.batch_timer_armed = false;
+            out.cancel_timer(TimerKind::BatchCut);
+        }
+        // E: the consecutive certified transactions after the stable
+        // checkpoint (Figure 5 Line 4).
+        let mut entries = Vec::new();
+        let mut s = self.stable_seq.map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        while let Some(slot) = self.slots.get(&s) {
+            if !slot.committed {
+                break;
+            }
+            let Some(batch) = &slot.batch else { break };
+            entries.push(ExecEntry {
+                view: slot.proposed_view,
+                seq: s,
+                cert: slot.cert.clone(),
+                batch: batch.clone(),
+            });
+            s = s.next();
+        }
+        let mut vc = PoeVcRequest {
+            from: self.id,
+            view: View(target.0 - 1),
+            stable_seq: self.stable_seq,
+            entries,
+            signature: Signature::from_bytes([0u8; 64]),
+        };
+        vc.signature = self.crypto.sign(&poe_vc_signing_bytes(&vc));
+        out.broadcast(ProtocolMsg::PoeVcRequest(vc.clone()));
+        self.pending_vc.entry(target).or_default().insert(self.id, vc);
+        out.set_timer(TimerKind::ViewChange(target), self.current_timeout());
+        self.vc_attempts = self.vc_attempts.saturating_add(1);
+        self.maybe_nv_propose(target, out);
+    }
+
+    fn on_vc_request(&mut self, from: ReplicaId, vc: PoeVcRequest, out: &mut Outbox) {
+        let target = vc.view.next();
+        if target <= self.view || vc.from != from {
+            return;
+        }
+        if !self.crypto.verify_from(vc.from.0, &poe_vc_signing_bytes(&vc), &vc.signature) {
+            return;
+        }
+        self.pending_vc.entry(target).or_default().insert(vc.from, vc);
+        // Join rule: f + 1 replicas demanding a newer view cannot all be
+        // faulty — move with them (Figure 5 Line 7).
+        let count = self.pending_vc.get(&target).map(|m| m.len()).unwrap_or(0);
+        let past_ours = self.view_change.as_ref().is_none_or(|s| s.target < target);
+        if past_ours && count >= self.cfg.f_plus_one() {
+            self.start_view_change(target, out);
+        }
+        self.maybe_nv_propose(target, out);
+    }
+
+    /// The primary-elect of `target` proposes the new view once it holds
+    /// `nf` VC-REQUESTs (Figure 5 Lines 9–11).
+    fn maybe_nv_propose(&mut self, target: View, out: &mut Outbox) {
+        if self.primary_of(target) != self.id
+            || self.view >= target
+            || self.nv_sent.contains(&target)
+        {
+            return;
+        }
+        let Some(requests) = self.pending_vc.get(&target) else { return };
+        if requests.len() < self.nf() {
+            return;
+        }
+        let chosen: Vec<PoeVcRequest> = requests.values().take(self.nf()).cloned().collect();
+        self.nv_sent.insert(target);
+        out.broadcast(ProtocolMsg::PoeNvPropose { new_view: target, requests: chosen.clone() });
+        self.enter_new_view(target, &chosen, out);
+    }
+
+    fn on_nv_propose(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        requests: Vec<PoeVcRequest>,
+        out: &mut Outbox,
+    ) {
+        if new_view <= self.view || from != self.primary_of(new_view) {
+            return;
+        }
+        if requests.len() < self.nf() {
+            return;
+        }
+        let mut senders = BTreeSet::new();
+        for vc in &requests {
+            if vc.view.next() != new_view
+                || !senders.insert(vc.from)
+                || !self.crypto.verify_from(vc.from.0, &poe_vc_signing_bytes(vc), &vc.signature)
+            {
+                return;
+            }
+        }
+        self.enter_new_view(new_view, &requests, out);
+    }
+
+    /// Installs view `w` from `nf` VC-REQUESTs: recover the certified
+    /// history, roll back speculative batches that did not survive
+    /// (Figure 5 Lines 12–15), and resume normal operation.
+    fn enter_new_view(&mut self, w: View, requests: &[PoeVcRequest], out: &mut Outbox) {
+        // Stable base: the highest checkpoint any participant proved.
+        let mut base = self.stable_seq;
+        for r in requests {
+            if r.stable_seq > base {
+                base = r.stable_seq;
+            }
+        }
+        let start = base.map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        let appended = self.ledger.head_seq().map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        if base.is_some_and(|b| !self.exec.is_complete(b)) || appended < start {
+            // We are behind the cluster's stable checkpoint — either we
+            // have not executed through it, or a lost commit left our
+            // ledger short of it (rebuilding only `start..` slots would
+            // freeze the ledger at the gap forever). The VC-REQUESTs
+            // cannot contain the batches we are missing. Adopt the view
+            // (stay live for forwarding) but keep our state; catching
+            // up requires state transfer (future work).
+            self.install_view(w, out);
+            return;
+        }
+        // Recover the new history (Figure 5 Lines 9–10): per sequence
+        // number the best provably-supported entry.
+        let mut recovered: BTreeMap<SeqNum, ExecEntry> = BTreeMap::new();
+        match self.mode {
+            SupportMode::Threshold => {
+                for r in requests {
+                    for e in &r.entries {
+                        if e.seq < start {
+                            continue;
+                        }
+                        let Some(cert) = &e.cert else { continue };
+                        let better = recovered.get(&e.seq).is_none_or(|prev| e.view > prev.view);
+                        if !better {
+                            continue;
+                        }
+                        let h = support_digest(e.view, e.seq, &e.batch.digest);
+                        if cert.signers.len() >= self.nf()
+                            && self.crypto.ts_verify_cert(h.as_bytes(), cert)
+                        {
+                            recovered.insert(e.seq, e.clone());
+                        }
+                    }
+                }
+            }
+            SupportMode::Mac => {
+                // No transferable certificates: adopt entries vouched for
+                // by f + 1 distinct replicas (at least one non-faulty).
+                let mut counts: BTreeMap<(SeqNum, View, Digest), BTreeSet<ReplicaId>> =
+                    BTreeMap::new();
+                for r in requests {
+                    for e in &r.entries {
+                        if e.seq < start {
+                            continue;
+                        }
+                        counts.entry((e.seq, e.view, e.batch.digest)).or_default().insert(r.from);
+                    }
+                }
+                for r in requests {
+                    for e in &r.entries {
+                        if e.seq < start {
+                            continue;
+                        }
+                        let supporters =
+                            counts.get(&(e.seq, e.view, e.batch.digest)).map(|s| s.len());
+                        if supporters.is_some_and(|c| c >= self.cfg.f_plus_one()) {
+                            let better =
+                                recovered.get(&e.seq).is_none_or(|prev| e.view > prev.view);
+                            if better {
+                                recovered.insert(e.seq, e.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Keep only the gap-free prefix.
+        let mut h_max: Option<SeqNum> = None;
+        let mut s = start;
+        while recovered.contains_key(&s) {
+            h_max = Some(s);
+            s = s.next();
+        }
+        match h_max {
+            Some(h) => recovered.retain(|k, _| *k <= h),
+            None => recovered.clear(),
+        }
+        // Longest locally-executed prefix that matches the recovered
+        // history survives; everything above rolls back.
+        let mut keep = base;
+        let mut s = start;
+        while h_max.is_some_and(|h| s <= h) {
+            let matches = self.exec.is_complete(s)
+                && self.slots.get(&s).is_some_and(|slot| slot.matches(&recovered[&s].batch.digest));
+            if !matches {
+                break;
+            }
+            keep = Some(s);
+            s = s.next();
+        }
+        let keep_frontier = keep.map(|k| k.next()).unwrap_or(SeqNum::ZERO);
+        if self.exec.frontier() > keep_frontier {
+            self.store.rollback_to(keep);
+            self.ledger.truncate_above(keep);
+            out.notify(Notification::RolledBack { to: keep });
+        }
+        // Rebuild the slot table around the recovered history.
+        let mut old = std::mem::take(&mut self.slots);
+        for (seq, entry) in recovered {
+            let mut slot = match old.remove(&seq) {
+                Some(s) if s.matches(&entry.batch.digest) => s,
+                _ => Slot::default(),
+            };
+            if seq >= keep_frontier {
+                slot.executed = false;
+                slot.results = None;
+                slot.informed = false;
+            }
+            slot.batch = Some(entry.batch.clone());
+            slot.digest = support_digest(entry.view, seq, &entry.batch.digest);
+            slot.proposed_view = entry.view;
+            slot.committed = true;
+            slot.cert = entry.cert;
+            slot.certify_sent = true;
+            self.slots.insert(seq, slot);
+        }
+        // Reset the trackers to the recovered history.
+        let committed_frontier = h_max.map(|h| h.next()).unwrap_or(start);
+        self.exec = ContiguousTracker::starting_at(keep_frontier);
+        self.committed = ContiguousTracker::starting_at(committed_frontier);
+        self.next_seq = committed_frontier;
+        self.watermarks.advance_to(committed_frontier);
+        // Request bookkeeping now reflects exactly the recovered slots.
+        self.proposed.clear();
+        self.executed_reqs.clear();
+        for (seq, slot) in &self.slots {
+            if let Some(batch) = &slot.batch {
+                for req in &batch.requests {
+                    let d = req.digest();
+                    self.proposed.insert(d);
+                    if slot.executed {
+                        self.executed_reqs.insert(d, *seq);
+                    }
+                }
+            }
+        }
+        self.install_view(w, out);
+        self.try_execute(out);
+    }
+
+    /// Common tail of a view installation: bookkeeping, notification,
+    /// and replay of stashed future-view messages.
+    fn install_view(&mut self, w: View, out: &mut Outbox) {
+        out.cancel_timer(TimerKind::ViewChange(w));
+        self.view = w;
+        self.view_change = None;
+        self.pending_vc = self.pending_vc.split_off(&w.next());
+        self.batcher = Batcher::new(self.cfg.batch_size);
+        self.pending_batches.clear();
+        for d in std::mem::take(&mut self.forwarded) {
+            out.cancel_timer(TimerKind::RequestProgress(d));
+        }
+        out.notify(Notification::ViewChanged { view: w });
+        let stashed = std::mem::take(&mut self.stashed);
+        for (from, msg) in stashed {
+            self.dispatch(from, msg, out);
+        }
+    }
+
+    // -------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self, from: NodeId, msg: ProtocolMsg, out: &mut Outbox) {
+        match (from, msg) {
+            (_, ProtocolMsg::Request(req)) | (_, ProtocolMsg::RequestBroadcast(req)) => {
+                self.on_client_request(req, out)
+            }
+            (NodeId::Replica(_), ProtocolMsg::Forward(req)) if self.is_primary() => {
+                self.on_client_request(req, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::PoePropose { view, seq, batch }) => {
+                self.on_propose(r, view, seq, batch, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::PoeSupport { view, seq, share }) => {
+                self.on_support(r, view, seq, share, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::PoeSupportMac { view, seq, digest }) => {
+                self.on_support_mac(r, view, seq, digest, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::PoeCertify { view, seq, cert }) => {
+                self.on_certify(r, view, seq, cert, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::PoeVcRequest(vc)) => self.on_vc_request(r, vc, out),
+            (NodeId::Replica(r), ProtocolMsg::PoeNvPropose { new_view, requests }) => {
+                self.on_nv_propose(r, new_view, requests, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::Checkpoint { seq, state_digest }) => {
+                self.on_checkpoint_vote(r, seq, state_digest, out)
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timeout(&mut self, kind: TimerKind, out: &mut Outbox) {
+        match kind {
+            TimerKind::BatchCut => {
+                self.batch_timer_armed = false;
+                if self.is_primary() {
+                    if let Some(batch) = self.batcher.flush() {
+                        self.enqueue_proposal(batch, out);
+                    }
+                }
+            }
+            TimerKind::RequestProgress(d)
+                if self.view_change.is_none() && self.forwarded.contains(&d) =>
+            {
+                self.start_view_change(self.view.next(), out);
+            }
+            TimerKind::SlotProgress(seq) => {
+                let stalled = self
+                    .slots
+                    .get(&seq)
+                    .is_some_and(|slot| slot.batch.is_some() && !slot.committed);
+                if self.view_change.is_none() && stalled {
+                    self.start_view_change(self.view.next(), out);
+                }
+            }
+            TimerKind::ViewChange(target)
+                if self.view_change.as_ref().is_some_and(|vc| vc.target == target) =>
+            {
+                // The new primary never materialized: escalate (Theorem
+                // 7's exponential back-off keeps this live).
+                self.start_view_change(target.next(), out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl ReplicaAutomaton for PoeReplica {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_event(&mut self, _now: Time, event: Event, out: &mut Outbox) {
+        match event {
+            Event::Init => {}
+            Event::Deliver { from, msg } => self.dispatch(from, msg, out),
+            Event::Timeout(kind) => self.on_timeout(kind, out),
+        }
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn execution_frontier(&self) -> SeqNum {
+        self.exec.frontier()
+    }
+
+    fn state_digest(&self) -> Digest {
+        self.store.state_digest()
+    }
+
+    fn ledger_digest(&self) -> Digest {
+        self.ledger.history_digest()
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "poe"
+    }
+}

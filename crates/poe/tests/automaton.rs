@@ -1,0 +1,498 @@
+//! Automaton-level tests for the PoE replica: a hand-driven message pump
+//! (no simulator) delivering actions between four replicas, with manual
+//! timer firing so failure scenarios are exact.
+
+use poe_consensus::{support_digest, PoeReplica, SupportMode};
+use poe_crypto::{CertScheme, CryptoMode, Digest, KeyMaterial};
+use poe_kernel::automaton::{Action, Event, Notification, Outbox, ReplicaAutomaton};
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
+use poe_kernel::messages::{ClientReply, ProtocolMsg};
+use poe_kernel::request::ClientRequest;
+use poe_kernel::time::Time;
+use poe_kernel::timer::TimerKind;
+use poe_store::{SpeculativeStore, Transaction};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+const N: usize = 4;
+
+struct Pump {
+    queue: VecDeque<(usize, NodeId, ProtocolMsg)>,
+    replies: Vec<(usize, ClientReply)>,
+    notes: Vec<(usize, Notification)>,
+    timers: Vec<(usize, TimerKind)>,
+    crashed: BTreeSet<usize>,
+}
+
+impl Pump {
+    fn new() -> Pump {
+        Pump {
+            queue: VecDeque::new(),
+            replies: Vec::new(),
+            notes: Vec::new(),
+            timers: Vec::new(),
+            crashed: BTreeSet::new(),
+        }
+    }
+
+    fn crash(&mut self, idx: usize) {
+        self.crashed.insert(idx);
+        self.queue.retain(|(to, _, _)| *to != idx);
+        self.timers.retain(|(r, _)| *r != idx);
+    }
+
+    fn collect(&mut self, from: usize, out: &mut Outbox) {
+        for action in out.drain() {
+            match action {
+                Action::Send { to: NodeId::Replica(r), msg } => {
+                    if !self.crashed.contains(&r.index()) {
+                        self.queue.push_back((
+                            r.index(),
+                            NodeId::Replica(ReplicaId(from as u32)),
+                            msg,
+                        ));
+                    }
+                }
+                Action::Send { to: NodeId::Client(_), msg } => {
+                    if let ProtocolMsg::Reply(reply) = msg {
+                        self.replies.push((from, reply));
+                    }
+                }
+                Action::Broadcast { msg } => {
+                    for to in 0..N {
+                        if to != from && !self.crashed.contains(&to) {
+                            self.queue.push_back((
+                                to,
+                                NodeId::Replica(ReplicaId(from as u32)),
+                                msg.clone(),
+                            ));
+                        }
+                    }
+                }
+                Action::SetTimer { kind, .. } => {
+                    self.timers.retain(|(r, k)| !(*r == from && *k == kind));
+                    self.timers.push((from, kind));
+                }
+                Action::CancelTimer { kind } => {
+                    self.timers.retain(|(r, k)| !(*r == from && *k == kind));
+                }
+                Action::Notify(n) => self.notes.push((from, n)),
+            }
+        }
+    }
+
+    fn run(&mut self, replicas: &mut [PoeReplica]) {
+        while let Some((to, from, msg)) = self.queue.pop_front() {
+            if self.crashed.contains(&to) {
+                continue;
+            }
+            let mut out = Outbox::new();
+            replicas[to].on_event(Time::ZERO, Event::Deliver { from, msg }, &mut out);
+            self.collect(to, &mut out);
+        }
+    }
+
+    fn inject(&mut self, to: usize, from: NodeId, msg: ProtocolMsg) {
+        self.queue.push_back((to, from, msg));
+    }
+
+    /// Fires every currently armed timer of `kind_matches` on live
+    /// replicas, then pumps to quiescence.
+    fn fire_timers(&mut self, replicas: &mut [PoeReplica], want: impl Fn(&TimerKind) -> bool) {
+        let due: Vec<(usize, TimerKind)> = self
+            .timers
+            .iter()
+            .filter(|(r, k)| !self.crashed.contains(r) && want(k))
+            .cloned()
+            .collect();
+        self.timers.retain(|(r, k)| !want(k) || self.crashed.contains(r));
+        for (r, kind) in due {
+            let mut out = Outbox::new();
+            replicas[r].on_event(Time::ZERO, Event::Timeout(kind), &mut out);
+            self.collect(r, &mut out);
+        }
+        self.run(replicas);
+    }
+}
+
+fn cluster(
+    mode: SupportMode,
+    crypto_mode: CryptoMode,
+    scheme: CertScheme,
+    tweak: impl Fn(ClusterConfig) -> ClusterConfig,
+) -> (Vec<PoeReplica>, Arc<KeyMaterial>) {
+    let cfg = tweak(ClusterConfig::new(N).with_batch_size(1).with_crypto_mode(crypto_mode));
+    let km = KeyMaterial::generate(N, 2, cfg.nf(), crypto_mode, scheme, 77);
+    let replicas = (0..N)
+        .map(|i| {
+            PoeReplica::new(
+                cfg.clone(),
+                ReplicaId(i as u32),
+                mode,
+                km.replica(i),
+                Box::new(SpeculativeStore::new()),
+            )
+        })
+        .collect();
+    (replicas, km)
+}
+
+fn request(
+    km: &Arc<KeyMaterial>,
+    crypto_mode: CryptoMode,
+    req_id: u64,
+    key: &str,
+) -> ClientRequest {
+    let op = Transaction::put(key, format!("v{req_id}")).encode();
+    let signature = (crypto_mode != CryptoMode::None)
+        .then(|| km.client(0).sign(&ClientRequest::signing_bytes(ClientId(0), req_id, &op)));
+    ClientRequest { client: ClientId(0), req_id, op: Arc::new(op), signature }
+}
+
+fn assert_converged(replicas: &[PoeReplica], skip: &BTreeSet<usize>) {
+    let mut reference: Option<(Digest, Digest, SeqNum)> = None;
+    for (i, r) in replicas.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let tuple = (r.state_digest(), r.ledger_digest(), r.execution_frontier());
+        match &reference {
+            None => reference = Some(tuple),
+            Some(expect) => assert_eq!(*expect, tuple, "replica {i} diverged"),
+        }
+    }
+}
+
+#[test]
+fn happy_path_threshold_commits_executes_informs() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    let client = NodeId::Client(ClientId(0));
+    pump.inject(0, client, ProtocolMsg::Request(request(&km, CryptoMode::None, 0, "a")));
+    pump.run(&mut replicas);
+
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(r.execution_frontier(), SeqNum(1), "replica {i}");
+        assert_eq!(r.commit_frontier(), SeqNum(1), "replica {i}");
+        assert_eq!(r.ledger().len(), 1, "replica {i}");
+        assert_eq!(r.current_view(), View(0));
+    }
+    assert_converged(&replicas, &BTreeSet::new());
+    // Every replica INFORMs the client.
+    let informs = pump.replies.iter().filter(|(_, r)| r.req_id == 0).count();
+    assert_eq!(informs, N);
+    // Everyone decided and executed exactly once.
+    let decided =
+        pump.notes.iter().filter(|(_, n)| matches!(n, Notification::Decided { .. })).count();
+    assert_eq!(decided, N);
+}
+
+#[test]
+fn happy_path_mac_mode_with_signed_clients() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Mac, CryptoMode::Cmac, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    let client = NodeId::Client(ClientId(0));
+    for req_id in 0..3 {
+        pump.inject(0, client, ProtocolMsg::Request(request(&km, CryptoMode::Cmac, req_id, "k")));
+    }
+    pump.run(&mut replicas);
+    for r in &replicas {
+        assert_eq!(r.execution_frontier(), SeqNum(3));
+        assert_eq!(r.ledger().len(), 3);
+    }
+    assert_converged(&replicas, &BTreeSet::new());
+    assert_eq!(pump.replies.iter().filter(|(_, r)| r.req_id == 2).count(), N);
+}
+
+#[test]
+fn tampered_client_signature_is_not_proposed() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::Cmac, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    let mut req = request(&km, CryptoMode::Cmac, 0, "a");
+    req.op = Arc::new(Transaction::put("tampered", "x").encode());
+    pump.inject(0, NodeId::Client(ClientId(0)), ProtocolMsg::Request(req));
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].execution_frontier(), SeqNum(0));
+    assert!(pump.replies.is_empty());
+}
+
+/// Satellite: a duplicate SUPPORT share from one replica must not count
+/// toward the `nf` threshold (Proposition 2's single-SUPPORT argument).
+#[test]
+fn duplicate_support_share_does_not_reach_quorum() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    // Drive the primary alone: propose, then feed SUPPORT shares by hand.
+    pump.crash(1);
+    pump.crash(2);
+    pump.crash(3);
+    pump.inject(
+        0,
+        NodeId::Client(ClientId(0)),
+        ProtocolMsg::Request(request(&km, CryptoMode::None, 0, "a")),
+    );
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].commit_frontier(), SeqNum(0), "no quorum yet");
+
+    let batch_digest = replicas[0].ledger().genesis_hash(); // placeholder, not used
+    let _ = batch_digest;
+    let h = {
+        // Reconstruct h for the proposed batch.
+        let batch = poe_kernel::request::Batch::new(vec![request(&km, CryptoMode::None, 0, "a")]);
+        support_digest(View(0), SeqNum(0), &batch.digest)
+    };
+    let share1 = {
+        let signer = km.replica(1);
+        signer.ts_share(h.as_bytes())
+    };
+    // The same share twice: still only 2 distinct supporters (primary +
+    // R1), below nf = 3.
+    for _ in 0..2 {
+        pump.inject(
+            0,
+            NodeId::Replica(ReplicaId(1)),
+            ProtocolMsg::PoeSupport { view: View(0), seq: SeqNum(0), share: share1.clone() },
+        );
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].commit_frontier(), SeqNum(0), "duplicate share must not commit");
+
+    // A third distinct supporter tips it over.
+    let share2 = km.replica(2).ts_share(h.as_bytes());
+    pump.inject(
+        0,
+        NodeId::Replica(ReplicaId(2)),
+        ProtocolMsg::PoeSupport { view: View(0), seq: SeqNum(0), share: share2 },
+    );
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].commit_frontier(), SeqNum(1));
+}
+
+/// Satellite: SUPPORT votes from an abandoned view must not count after
+/// the view change (votes straddling a view change).
+#[test]
+fn support_from_old_view_ignored_after_view_change() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Mac, CryptoMode::None, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    // Stage precisely: deliver the PROPOSE to R1 only, so it holds 2 of
+    // the 3 required votes (its own + the primary's implicit one) and
+    // stays uncommitted while having executed speculatively.
+    let batch = poe_kernel::request::Batch::new(vec![request(&km, CryptoMode::None, 0, "a")]);
+    let h = support_digest(View(0), SeqNum(0), &batch.digest);
+    pump.crash(0);
+    pump.crash(2);
+    pump.crash(3);
+    pump.inject(
+        1,
+        NodeId::Replica(ReplicaId(0)),
+        ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(0), batch: batch.clone() },
+    );
+    pump.run(&mut replicas);
+    assert_eq!(replicas[1].execution_frontier(), SeqNum(1), "speculative execution");
+    assert_eq!(replicas[1].commit_frontier(), SeqNum(0), "2 of 3 votes: uncommitted");
+
+    // Now the cluster abandons view 0: R1 receives VC-REQUESTs from R2
+    // and R3, joins, and (as primary of view 1) installs the new view.
+    pump.crashed.clear();
+    pump.crash(0);
+    for from in [2u32, 3u32] {
+        let mut vc = poe_kernel::messages::PoeVcRequest {
+            from: ReplicaId(from),
+            view: View(0),
+            stable_seq: None,
+            entries: vec![],
+            signature: poe_crypto::ed25519::Signature::from_bytes([0u8; 64]),
+        };
+        vc.signature =
+            km.replica(from as usize).sign(&poe_kernel::codec::poe_vc_signing_bytes(&vc));
+        pump.inject(1, NodeId::Replica(ReplicaId(from)), ProtocolMsg::PoeVcRequest(vc));
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[1].current_view(), View(1));
+    assert!(!replicas[1].in_view_change());
+    // The uncertified speculative batch was rolled back.
+    assert_eq!(replicas[1].execution_frontier(), SeqNum(0));
+    assert!(pump
+        .notes
+        .iter()
+        .any(|(r, n)| *r == 1 && matches!(n, Notification::RolledBack { to: None })));
+
+    // Straddling votes: SUPPORTs for view 0 arrive late. They must not
+    // resurrect the dead slot.
+    for from in [2u32, 3u32] {
+        pump.inject(
+            1,
+            NodeId::Replica(ReplicaId(from)),
+            ProtocolMsg::PoeSupportMac { view: View(0), seq: SeqNum(0), digest: h },
+        );
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[1].commit_frontier(), SeqNum(0), "old-view votes must not commit");
+    assert_eq!(replicas[1].execution_frontier(), SeqNum(0));
+}
+
+/// Satellite: checkpoint garbage collection at the low watermark.
+#[test]
+fn checkpoint_stability_garbage_collects_and_advances_watermark() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::Simulated, |c| {
+            c.with_checkpoint_interval(2)
+        });
+    let mut pump = Pump::new();
+    for req_id in 0..4 {
+        pump.inject(
+            0,
+            NodeId::Client(ClientId(0)),
+            ProtocolMsg::Request(request(&km, CryptoMode::None, req_id, "k")),
+        );
+    }
+    pump.run(&mut replicas);
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(r.execution_frontier(), SeqNum(4), "replica {i}");
+        // Checkpoints at seq 1 and seq 3 both stabilized.
+        assert_eq!(r.stable_seq(), Some(SeqNum(3)), "replica {i}");
+        // Undo logs and consensus slots at or below the checkpoint are
+        // gone; the watermark window starts above it.
+        assert_eq!(r.live_slots(), 0, "replica {i}");
+        assert_eq!(r.watermarks().low(), SeqNum(4), "replica {i}");
+    }
+    let stable_notes = pump
+        .notes
+        .iter()
+        .filter(|(_, n)| matches!(n, Notification::CheckpointStable { seq: SeqNum(3) }))
+        .count();
+    assert_eq!(stable_notes, N);
+    // The ledger still holds the full history (GC only drops undo state).
+    assert_eq!(replicas[0].ledger().len(), 4);
+    assert_converged(&replicas, &BTreeSet::new());
+}
+
+/// Primary crash: backups time out, view-change, and the committed
+/// prefix survives while the uncertified speculative suffix rolls back.
+#[test]
+fn primary_crash_triggers_view_change_and_rollback() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    let client = NodeId::Client(ClientId(0));
+    // Request 0 commits everywhere.
+    pump.inject(0, client, ProtocolMsg::Request(request(&km, CryptoMode::None, 0, "a")));
+    pump.run(&mut replicas);
+    for r in &replicas {
+        assert_eq!(r.commit_frontier(), SeqNum(1));
+    }
+
+    // Request 1: the PROPOSE goes out, backups execute speculatively,
+    // and then the primary crashes before certifying.
+    let req1 = request(&km, CryptoMode::None, 1, "b");
+    let batch1 = poe_kernel::request::Batch::new(vec![req1.clone()]);
+    for to in 1..N {
+        pump.inject(
+            to,
+            NodeId::Replica(ReplicaId(0)),
+            ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(1), batch: batch1.clone() },
+        );
+    }
+    pump.crash(0);
+    pump.run(&mut replicas);
+    for (i, r) in replicas.iter().enumerate().skip(1) {
+        assert_eq!(r.execution_frontier(), SeqNum(2), "speculative at {i}");
+        assert_eq!(r.commit_frontier(), SeqNum(1), "uncertified at {i}");
+    }
+
+    // The slot-progress detectors fire; the view change runs among the
+    // three live replicas (nf = 3 exactly).
+    pump.fire_timers(&mut replicas, |k| matches!(k, TimerKind::SlotProgress(_)));
+    let live: Vec<usize> = (1..N).collect();
+    for &i in &live {
+        assert_eq!(replicas[i].current_view(), View(1), "replica {i}");
+        assert!(!replicas[i].in_view_change(), "replica {i}");
+        assert_eq!(replicas[i].execution_frontier(), SeqNum(1), "rolled back at {i}");
+    }
+    assert!(pump
+        .notes
+        .iter()
+        .any(|(_, n)| matches!(n, Notification::RolledBack { to: Some(SeqNum(0)) })));
+    let vc_notes = pump
+        .notes
+        .iter()
+        .filter(|(r, n)| *r != 0 && matches!(n, Notification::ViewChanged { view: View(1) }))
+        .count();
+    assert_eq!(vc_notes, 3);
+
+    // The client retransmits request 1; the new primary (R1) re-proposes
+    // and it commits under the new view.
+    for to in 1..N {
+        pump.inject(to, client, ProtocolMsg::RequestBroadcast(req1.clone()));
+    }
+    pump.run(&mut replicas);
+    for &i in &live {
+        assert_eq!(replicas[i].commit_frontier(), SeqNum(2), "replica {i}");
+        assert_eq!(replicas[i].ledger().len(), 2, "replica {i}");
+    }
+    let crashed: BTreeSet<usize> = [0usize].into_iter().collect();
+    assert_converged(&replicas, &crashed);
+    // The client eventually hears nf INFORMs for the retried request.
+    let informs = pump.replies.iter().filter(|(_, r)| r.req_id == 1 && r.seq == SeqNum(1)).count();
+    assert!(informs >= 3, "got {informs} INFORMs");
+}
+
+/// A committed-but-only-at-one-replica entry survives the view change in
+/// TS mode: the single certificate in one VC-REQUEST is proof enough.
+#[test]
+fn committed_entry_survives_view_change_from_single_certificate() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::MultiSig, |c| c);
+    let mut pump = Pump::new();
+    let client = NodeId::Client(ClientId(0));
+    pump.inject(0, client, ProtocolMsg::Request(request(&km, CryptoMode::None, 0, "a")));
+    pump.run(&mut replicas);
+
+    // Fresh staging: R1 committed seq 1, R2/R3 never saw it.
+    let req1 = request(&km, CryptoMode::None, 1, "b");
+    let batch1 = poe_kernel::request::Batch::new(vec![req1.clone()]);
+    let h1 = support_digest(View(0), SeqNum(1), &batch1.digest);
+    let cert = {
+        let shares: Vec<_> = (0..3).map(|i| km.replica(i).ts_share(h1.as_bytes())).collect();
+        km.replica(0).ts_aggregate(h1.as_bytes(), &shares).expect("aggregate")
+    };
+    pump.inject(
+        1,
+        NodeId::Replica(ReplicaId(0)),
+        ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(1), batch: batch1.clone() },
+    );
+    pump.inject(
+        1,
+        NodeId::Replica(ReplicaId(0)),
+        ProtocolMsg::PoeCertify { view: View(0), seq: SeqNum(1), cert },
+    );
+    pump.crash(0);
+    pump.run(&mut replicas);
+    assert_eq!(replicas[1].commit_frontier(), SeqNum(2));
+    assert_eq!(replicas[2].commit_frontier(), SeqNum(1));
+
+    // View change: R1's VC-REQUEST carries the certificate, so the new
+    // history includes seq 1 and R2/R3 adopt (and execute) it.
+    pump.fire_timers(&mut replicas, |k| matches!(k, TimerKind::SlotProgress(_)));
+    // R1 committed everything it knows — its progress timers are gone;
+    // R2/R3 had no slot for seq 1. Kick the view change via a client
+    // retransmission timing out at R2/R3 instead.
+    for to in 2..N {
+        pump.inject(to, client, ProtocolMsg::RequestBroadcast(req1.clone()));
+    }
+    pump.run(&mut replicas);
+    pump.fire_timers(&mut replicas, |k| matches!(k, TimerKind::RequestProgress(_)));
+    let crashed: BTreeSet<usize> = [0usize].into_iter().collect();
+    for (i, r) in replicas.iter().enumerate().skip(1) {
+        assert_eq!(r.current_view(), View(1), "replica {i}");
+        assert_eq!(r.commit_frontier(), SeqNum(2), "replica {i}");
+        assert_eq!(r.execution_frontier(), SeqNum(2), "replica {i}");
+    }
+    assert_converged(&replicas, &crashed);
+}

@@ -1,0 +1,104 @@
+//! Ready-to-run PoE clusters: replicas (PoE automaton over the
+//! speculative store), workload-driven clients, key material, and the
+//! network model, wired into a [`Simulator`].
+
+use crate::engine::Simulator;
+use poe_consensus::{PoeReplica, SupportMode};
+use poe_crypto::KeyMaterial;
+use poe_kernel::automaton::{ClientAutomaton, ReplicaAutomaton};
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{ClientId, ReplicaId};
+use poe_net::{DelayModel, NetworkModel};
+use poe_store::SpeculativeStore;
+use poe_workload::{ClientConfig, WorkloadClient, YcsbConfig, YcsbWorkload};
+
+/// Configuration of a simulated PoE cluster.
+#[derive(Clone, Debug)]
+pub struct PoeClusterConfig {
+    /// Shared cluster parameters (n, f, batch size, timeouts, crypto).
+    pub cluster: ClusterConfig,
+    /// SUPPORT mode: threshold shares (Fig. 3) or MAC votes (App. A).
+    pub support: SupportMode,
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Requests each client submits before stopping.
+    pub requests_per_client: u64,
+    /// Per-client in-flight window (closed loop when 1).
+    pub client_outstanding: usize,
+    /// Per-message delay distribution (§IV-I).
+    pub delay: DelayModel,
+    /// I.i.d. message drop probability.
+    pub drop_prob: f64,
+    /// Workload shape (defaults to the laptop-scale YCSB table).
+    pub ycsb: YcsbConfig,
+}
+
+impl PoeClusterConfig {
+    /// A small n-replica cluster with simulation-friendly defaults:
+    /// unauthenticated links (crypto cost is measured by `poe-bench`,
+    /// not simulated runs), dealer-keyed threshold certificates, 1 ms
+    /// constant delay, no drops.
+    pub fn new(n: usize, support: SupportMode) -> PoeClusterConfig {
+        let cluster = ClusterConfig::new(n)
+            .with_crypto_mode(poe_crypto::CryptoMode::None)
+            .with_cert_scheme(poe_crypto::CertScheme::Simulated)
+            .with_batch_size(20);
+        PoeClusterConfig {
+            cluster,
+            support,
+            n_clients: 4,
+            requests_per_client: 250,
+            client_outstanding: 4,
+            delay: DelayModel::Constant(poe_kernel::time::Duration::from_millis(1)),
+            drop_prob: 0.0,
+            ycsb: YcsbConfig::small(),
+        }
+    }
+
+    /// Total requests the clients will submit.
+    pub fn total_requests(&self) -> u64 {
+        self.n_clients as u64 * self.requests_per_client
+    }
+}
+
+/// Builds the simulator for a PoE cluster described by `cfg`.
+pub fn build_poe_cluster(cfg: &PoeClusterConfig) -> Simulator {
+    let cluster = &cfg.cluster;
+    let km = KeyMaterial::generate(
+        cluster.n,
+        cfg.n_clients,
+        cluster.nf(),
+        cluster.crypto_mode,
+        cluster.cert_scheme,
+        cluster.seed,
+    );
+    let replicas: Vec<Box<dyn ReplicaAutomaton>> = (0..cluster.n)
+        .map(|i| {
+            Box::new(PoeReplica::new(
+                cluster.clone(),
+                ReplicaId(i as u32),
+                cfg.support,
+                km.replica(i),
+                Box::new(SpeculativeStore::new()),
+            )) as Box<dyn ReplicaAutomaton>
+        })
+        .collect();
+    let clients: Vec<Box<dyn ClientAutomaton>> = (0..cfg.n_clients)
+        .map(|c| {
+            let mut ccfg =
+                ClientConfig::matching(ClientId(c as u32), cluster.n, cluster.f, cluster.nf())
+                    .with_outstanding(cfg.client_outstanding)
+                    .with_max_requests(cfg.requests_per_client)
+                    .with_retry(cluster.client_timeout);
+            ccfg.sign = cluster.crypto_mode != poe_crypto::CryptoMode::None;
+            let source = YcsbWorkload::new(YcsbConfig {
+                seed: cluster.seed ^ (0xC0FFEE + c as u64),
+                ..cfg.ycsb.clone()
+            });
+            Box::new(WorkloadClient::new(ccfg, km.client(c), Box::new(source)))
+                as Box<dyn ClientAutomaton>
+        })
+        .collect();
+    let net = NetworkModel::new(cfg.delay).with_drop_prob(cfg.drop_prob);
+    Simulator::new(net, cluster.seed, replicas, clients)
+}

@@ -1,0 +1,361 @@
+//! The discrete-event engine: a seeded, totally ordered event queue over
+//! virtual time.
+//!
+//! Determinism contract: given the same automatons, network model, seed,
+//! and fault schedule, two runs produce byte-identical notification
+//! traces. Everything that could introduce ambiguity is pinned down —
+//! events are ordered by `(time, insertion id)`, network randomness
+//! comes from one seeded RNG drawn in event order, and automatons are
+//! required to emit actions deterministically (the PoE implementation
+//! uses only ordered containers).
+
+use poe_kernel::automaton::{Action, ClientAutomaton, Event, Notification, ReplicaAutomaton};
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
+use poe_kernel::messages::ProtocolMsg;
+use poe_kernel::time::{Duration, Time};
+use poe_kernel::timer::{TimerKind, TimerTable};
+use poe_net::NetworkModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// An injectable fault, applied when its scheduled time arrives.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// The node halts: no further events (messages or timers) reach it.
+    /// Messages already in flight are still delivered to others.
+    Crash(NodeId),
+    /// The replica keeps running but all its *outbound* messages vanish
+    /// (a mute primary: it still reads, executes, and times out).
+    Mute(ReplicaId),
+    /// Undo a [`Fault::Mute`].
+    Unmute(ReplicaId),
+    /// Cut the node off at the network layer in both directions.
+    Isolate(NodeId),
+    /// Undo a [`Fault::Isolate`].
+    Reconnect(NodeId),
+}
+
+enum Queued {
+    Init { node: NodeId },
+    Deliver { to: NodeId, from: NodeId, msg: ProtocolMsg },
+    Timer { node: NodeId, kind: TimerKind, gen: u64 },
+    Fault(Fault),
+}
+
+struct Scheduled {
+    at: Time,
+    id: u64,
+    queued: Queued,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    /// Reversed: `BinaryHeap` is a max-heap and we want earliest-first,
+    /// with insertion order breaking ties.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.id).cmp(&(self.at, self.id))
+    }
+}
+
+/// Aggregate counters over one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Messages delivered to a live automaton.
+    pub delivered: u64,
+    /// Messages dropped (network, mute, or dead destination).
+    pub dropped: u64,
+    /// Timer events that fired while still armed.
+    pub timer_fires: u64,
+    /// Client requests completed (`RequestComplete` notifications).
+    pub completed_requests: u64,
+    /// Batches speculatively executed across all replicas.
+    pub executed_batches: u64,
+    /// Consensus decisions (view-commits) across all replicas.
+    pub decided: u64,
+    /// `ViewChanged` notifications across all replicas.
+    pub view_changes: u64,
+    /// `RolledBack` notifications across all replicas.
+    pub rollbacks: u64,
+    /// `CheckpointStable` notifications across all replicas.
+    pub checkpoints: u64,
+}
+
+/// The deterministic simulator.
+pub struct Simulator {
+    now: Time,
+    queue: BinaryHeap<Scheduled>,
+    next_id: u64,
+    replicas: Vec<Box<dyn ReplicaAutomaton>>,
+    clients: Vec<Box<dyn ClientAutomaton>>,
+    replica_timers: Vec<TimerTable>,
+    client_timers: Vec<TimerTable>,
+    net: NetworkModel,
+    rng: StdRng,
+    crashed: BTreeSet<NodeId>,
+    muted: BTreeSet<NodeId>,
+    trace: Vec<String>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Builds a simulator over the given automatons; every node receives
+    /// [`Event::Init`] at time zero (replicas first, then clients).
+    pub fn new(
+        net: NetworkModel,
+        seed: u64,
+        replicas: Vec<Box<dyn ReplicaAutomaton>>,
+        clients: Vec<Box<dyn ClientAutomaton>>,
+    ) -> Simulator {
+        let replica_timers = replicas.iter().map(|_| TimerTable::new()).collect();
+        let client_timers = clients.iter().map(|_| TimerTable::new()).collect();
+        let mut sim = Simulator {
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            next_id: 0,
+            replicas,
+            clients,
+            replica_timers,
+            client_timers,
+            net,
+            rng: StdRng::seed_from_u64(seed),
+            crashed: BTreeSet::new(),
+            muted: BTreeSet::new(),
+            trace: Vec::new(),
+            stats: SimStats::default(),
+        };
+        for i in 0..sim.replicas.len() {
+            sim.push(Time::ZERO, Queued::Init { node: NodeId::Replica(ReplicaId(i as u32)) });
+        }
+        for c in 0..sim.clients.len() {
+            sim.push(Time::ZERO, Queued::Init { node: NodeId::Client(ClientId(c as u32)) });
+        }
+        sim
+    }
+
+    fn push(&mut self, at: Time, queued: Queued) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(Scheduled { at, id, queued });
+    }
+
+    /// Schedules a fault for injection at virtual time `at`.
+    pub fn schedule_fault(&mut self, at: Time, fault: Fault) {
+        self.push(at, Queued::Fault(fault));
+    }
+
+    /// The virtual clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The notification trace: one line per notification (and fault), in
+    /// delivery order. Byte-identical across runs with the same seed.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// The whole trace as one byte string (for divergence checks).
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        self.trace.join("\n").into_bytes()
+    }
+
+    /// Read access to replica `i`.
+    pub fn replica(&self, i: usize) -> &dyn ReplicaAutomaton {
+        &*self.replicas[i]
+    }
+
+    /// Read access to client `i`.
+    pub fn client(&self, i: usize) -> &dyn ClientAutomaton {
+        &*self.clients[i]
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Total requests completed across all clients.
+    pub fn completed_requests(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed()).sum()
+    }
+
+    /// Whether `node` has crashed (via fault injection).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Processes a single event; `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Scheduled { at, queued, .. }) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match queued {
+            Queued::Init { node } => self.deliver(node, Event::Init),
+            Queued::Deliver { to, from, msg } => {
+                if self.crashed.contains(&to) {
+                    self.stats.dropped += 1;
+                } else {
+                    self.stats.delivered += 1;
+                    self.deliver(to, Event::Deliver { from, msg });
+                }
+            }
+            Queued::Timer { node, kind, gen } => {
+                if self.crashed.contains(&node) {
+                    return true;
+                }
+                let current = match node {
+                    NodeId::Replica(r) => self.replica_timers[r.index()].fire(&kind, gen),
+                    NodeId::Client(c) => self.client_timers[c.index()].fire(&kind, gen),
+                };
+                if current {
+                    self.stats.timer_fires += 1;
+                    self.deliver(node, Event::Timeout(kind));
+                }
+            }
+            Queued::Fault(fault) => self.apply_fault(fault),
+        }
+        true
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        let line = match &fault {
+            Fault::Crash(n) => {
+                self.crashed.insert(*n);
+                format!("fault crash {n:?}")
+            }
+            Fault::Mute(r) => {
+                self.muted.insert(NodeId::Replica(*r));
+                format!("fault mute {r:?}")
+            }
+            Fault::Unmute(r) => {
+                self.muted.remove(&NodeId::Replica(*r));
+                format!("fault unmute {r:?}")
+            }
+            Fault::Isolate(n) => {
+                self.net.isolate(*n);
+                format!("fault isolate {n:?}")
+            }
+            Fault::Reconnect(n) => {
+                self.net.reconnect(*n);
+                format!("fault reconnect {n:?}")
+            }
+        };
+        self.trace.push(format!("{:>12} -- {line}", self.now.as_nanos()));
+    }
+
+    fn deliver(&mut self, node: NodeId, event: Event) {
+        let mut out = poe_kernel::automaton::Outbox::new();
+        match node {
+            NodeId::Replica(r) => self.replicas[r.index()].on_event(self.now, event, &mut out),
+            NodeId::Client(c) => self.clients[c.index()].on_event(self.now, event, &mut out),
+        }
+        for action in out.drain() {
+            self.apply_action(node, action);
+        }
+    }
+
+    fn apply_action(&mut self, from: NodeId, action: Action) {
+        match action {
+            Action::Send { to, msg } => self.route(from, to, msg),
+            Action::Broadcast { msg } => {
+                // Convention: a broadcast reaches every replica other
+                // than the sender (clients broadcast to all replicas).
+                for i in 0..self.replicas.len() {
+                    let to = NodeId::Replica(ReplicaId(i as u32));
+                    if to != from {
+                        self.route(from, to, msg.clone());
+                    }
+                }
+            }
+            Action::SetTimer { kind, delay } => {
+                let gen = match from {
+                    NodeId::Replica(r) => self.replica_timers[r.index()].arm(kind),
+                    NodeId::Client(c) => self.client_timers[c.index()].arm(kind),
+                };
+                let at = self.now + delay;
+                self.push(at, Queued::Timer { node: from, kind, gen });
+            }
+            Action::CancelTimer { kind } => match from {
+                NodeId::Replica(r) => self.replica_timers[r.index()].cancel(&kind),
+                NodeId::Client(c) => self.client_timers[c.index()].cancel(&kind),
+            },
+            Action::Notify(n) => self.record(from, n),
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: ProtocolMsg) {
+        if self.muted.contains(&from) || self.crashed.contains(&to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        match self.net.route(from, to, &mut self.rng) {
+            None => self.stats.dropped += 1,
+            Some(delay) => {
+                let at = self.now + delay;
+                self.push(at, Queued::Deliver { to, from, msg });
+            }
+        }
+    }
+
+    fn record(&mut self, node: NodeId, n: Notification) {
+        match &n {
+            Notification::RequestComplete { .. } => self.stats.completed_requests += 1,
+            Notification::Executed { .. } => self.stats.executed_batches += 1,
+            Notification::Decided { .. } => self.stats.decided += 1,
+            Notification::ViewChanged { .. } => self.stats.view_changes += 1,
+            Notification::RolledBack { .. } => self.stats.rollbacks += 1,
+            Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
+        }
+        self.trace.push(format!("{:>12} {node:?} {}", self.now.as_nanos(), n.trace_line()));
+    }
+
+    /// Runs until the virtual clock reaches `deadline` (or the queue
+    /// empties). The clock lands exactly on `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while self.queue.peek().is_some_and(|s| s.at <= deadline) {
+            self.step();
+        }
+        self.now = deadline;
+    }
+
+    /// Runs for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Runs until `target` client requests have completed, checking at
+    /// `tick` granularity; gives up at `horizon`. Returns whether the
+    /// target was reached.
+    pub fn run_until_completed(&mut self, target: u64, horizon: Time) -> bool {
+        let tick = Duration::from_millis(50);
+        while self.now < horizon {
+            if self.completed_requests() >= target {
+                return true;
+            }
+            if self.queue.is_empty() {
+                break;
+            }
+            self.run_for(tick);
+        }
+        self.completed_requests() >= target
+    }
+}

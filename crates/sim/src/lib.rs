@@ -1,2 +1,34 @@
-//! (under construction)
-#![allow(dead_code)]
+//! # poe-sim
+//!
+//! The deterministic discrete-event simulator that drives n-replica
+//! clusters of any [`poe_kernel::automaton::ReplicaAutomaton`] /
+//! [`poe_kernel::automaton::ClientAutomaton`] pair — the runtime behind
+//! the paper's simulated experiments (§IV-I: "a simulation in which we
+//! control the behavior of the network", message delays drawn from
+//! [`poe_net::model::DelayModel`]).
+//!
+//! ## Map from code to paper
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | §IV-I controlled message delay | [`poe_net::NetworkModel`] sampled per message from the seeded RNG |
+//! | §II-B unreliable communication | drop probability + directed link blocking in the network model |
+//! | Crash / failed-primary experiments (Fig. 9a–d) | [`engine::Fault::Crash`] / [`engine::Fault::Mute`] injection |
+//! | Determinism of non-faulty replicas (§II-A) | one seeded event queue, `(time, insertion-id)` total order, byte-identical [`engine::Simulator::trace`] per seed |
+//! | Fig. 8 / Fig. 11 figure runs | [`cluster`] builds ready-to-run PoE clusters (both support modes) over `poe-workload` request sources |
+//!
+//! The engine is protocol-agnostic: it owns the event queue, the virtual
+//! clock, the per-node [`poe_kernel::timer::TimerTable`]s (implementing
+//! the `SetTimer`/`CancelTimer`/`Timeout` contract with generation-based
+//! cancellation), and fault injection. The [`cluster`] module wires the
+//! PoE automaton, `poe-workload` clients, and the speculative store into
+//! a runnable 4..n replica cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+
+pub use cluster::{build_poe_cluster, PoeClusterConfig};
+pub use engine::{Fault, SimStats, Simulator};

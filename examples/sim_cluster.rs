@@ -1,0 +1,61 @@
+//! Quickstart: a 4-replica simulated PoE cluster under both SUPPORT
+//! modes, with a primary-crash run to show the view change and rollback
+//! machinery, printing simulated throughput.
+//!
+//! ```sh
+//! cargo run --release --example sim_cluster
+//! ```
+
+use proof_of_execution::consensus::SupportMode;
+use proof_of_execution::kernel::ids::{NodeId, ReplicaId};
+use proof_of_execution::kernel::time::{Duration, Time};
+use proof_of_execution::sim::{build_poe_cluster, Fault, PoeClusterConfig};
+
+fn report(label: &str, cfg: &PoeClusterConfig, crash_primary_at: Option<Duration>) {
+    let mut sim = build_poe_cluster(cfg);
+    if let Some(at) = crash_primary_at {
+        sim.schedule_fault(Time(at.as_nanos()), Fault::Crash(NodeId::Replica(ReplicaId(0))));
+    }
+    let target = cfg.total_requests();
+    let ok = sim.run_until_completed(target, Time(Duration::from_secs(300).as_nanos()));
+    assert!(ok, "{label}: only {}/{} requests completed", sim.completed_requests(), target);
+    sim.run_for(Duration::from_secs(1));
+
+    let done = sim.completed_requests();
+    let virt = sim.now().as_secs_f64();
+    let stats = sim.stats();
+    println!(
+        "{label:<18} {done:>5} requests in {virt:>7.3}s simulated  →  {:>9.0} req/s \
+         (msgs={}, view-changes={}, rollbacks={})",
+        done as f64 / virt,
+        stats.delivered,
+        stats.view_changes,
+        stats.rollbacks,
+    );
+    // Convergence audit: every live replica agrees on state and ledger.
+    let mut reference = None;
+    for i in 0..sim.n_replicas() {
+        if sim.is_crashed(NodeId::Replica(ReplicaId(i as u32))) {
+            continue;
+        }
+        let r = sim.replica(i);
+        let tuple = (r.state_digest(), r.ledger_digest(), r.execution_frontier());
+        match &reference {
+            None => reference = Some(tuple),
+            Some(expect) => assert_eq!(*expect, tuple, "replica {i} diverged"),
+        }
+    }
+}
+
+fn main() {
+    println!("PoE simulated cluster: n=4, f=1, 1000 requests, batch 20, 1 ms links\n");
+    report("threshold (TS)", &PoeClusterConfig::new(4, SupportMode::Threshold), None);
+    report("MAC (Appendix A)", &PoeClusterConfig::new(4, SupportMode::Mac), None);
+
+    let mut crashy = PoeClusterConfig::new(4, SupportMode::Threshold);
+    crashy.n_clients = 2;
+    crashy.requests_per_client = 250;
+    report("TS + primary kill", &crashy, Some(Duration::from_millis(40)));
+
+    println!("\nall replicas converged; same seed ⇒ byte-identical trace (see poe-sim tests)");
+}

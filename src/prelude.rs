@@ -1,6 +1,8 @@
 //! One-stop imports for applications built on the PoE stack.
 
+pub use poe_consensus::{support_digest, PoeReplica, SupportMode};
 pub use poe_crypto::{CertScheme, CryptoMode, Digest};
 pub use poe_kernel::{
     Batch, ClientId, ClientRequest, ClusterConfig, Duration, NodeId, ReplicaId, SeqNum, Time, View,
 };
+pub use poe_sim::{build_poe_cluster, Fault, PoeClusterConfig, SimStats, Simulator};
