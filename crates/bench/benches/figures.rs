@@ -11,10 +11,15 @@
 //!   same workload under growing constant link delays (virtual time
 //!   absorbs the delay; host cost stays ~flat, which is the point of
 //!   simulating).
+//! * `sim_poe/n91/ts` — the paper's full-scale configuration (§IV:
+//!   n = 91, f = 30, nf = 61), practical since the zero-copy wire path
+//!   (encode-once broadcast + shared-frame decode) removed the
+//!   per-edge message copies.
 //!
 //! Full-scale figure reproduction (request-rate vs wall-clock plots)
-//! remains a runtime concern: see `examples/sim_cluster.rs` for the
-//! printable-throughput entry point.
+//! remains a runtime concern: see `examples/sim_cluster.rs` and
+//! `examples/fig8_scale.rs` (Fig. 8-shaped CSV across n up to 91) for
+//! the printable entry points.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use poe_consensus::SupportMode;
@@ -63,5 +68,20 @@ fn bench_delay_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_support_modes, bench_delay_sweep);
+/// Paper-scale point: 200 requests through a simulated n = 91 cluster
+/// (threshold support, the Fig. 8 TS configuration). Host CPU per
+/// simulated request is the figure of merit; the committed baseline
+/// documents that paper-scale runs are now routine.
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_poe");
+    let mut cfg = PoeClusterConfig::paper_scale(SupportMode::Threshold);
+    cfg.cluster = cfg.cluster.with_batch_size(20);
+    cfg.n_clients = 2;
+    cfg.requests_per_client = REQUESTS / 2;
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function(BenchmarkId::new("n91", "ts"), |b| b.iter(|| run_cluster(black_box(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_support_modes, bench_delay_sweep, bench_paper_scale);
 criterion_main!(benches);

@@ -17,7 +17,6 @@ use poe_kernel::request::ClientRequest;
 use poe_kernel::statemachine::NullStateMachine;
 use poe_kernel::time::Time;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// Full PREPREPARE path: primary encodes + authenticates a 100-request
 /// propose; replica decodes and checks the link tag.
@@ -152,12 +151,7 @@ fn bench_poe_slot(c: &mut Criterion) {
                 // One batch worth of requests enters the primary…
                 for _ in 0..BATCH {
                     req_id += 1;
-                    let req = ClientRequest {
-                        client: ClientId(0),
-                        req_id,
-                        op: Arc::new(vec![0u8; 16]),
-                        signature: None,
-                    };
+                    let req = ClientRequest::new(ClientId(0), req_id, vec![0u8; 16], None);
                     queue.push_back((0, NodeId::Client(ClientId(0)), ProtocolMsg::Request(req)));
                 }
                 // …and the whole slot is pumped to quiescence.

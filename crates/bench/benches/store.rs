@@ -25,12 +25,12 @@ fn write_batch(n: usize, round: u64) -> Arc<Batch> {
             .map(|i| {
                 let key = ycsb_key(((round as usize).wrapping_mul(31) + i * 7) % RECORDS);
                 let txn = Transaction::single(Op::Put { key, value: vec![0xabu8; VALUE] });
-                ClientRequest {
-                    client: ClientId((i % 16) as u32),
-                    req_id: round * 1_000 + i as u64,
-                    op: Arc::new(txn.encode()),
-                    signature: None,
-                }
+                ClientRequest::new(
+                    ClientId((i % 16) as u32),
+                    round * 1_000 + i as u64,
+                    txn.encode(),
+                    None,
+                )
             })
             .collect(),
     )

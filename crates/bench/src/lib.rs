@@ -50,11 +50,13 @@ pub fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
 pub fn sample_batch(n: usize, op_len: usize, seed: u64) -> Arc<Batch> {
     Batch::new(
         (0..n)
-            .map(|i| ClientRequest {
-                client: ClientId((i % 16) as u32),
-                req_id: seed * 100_000 + i as u64,
-                op: Arc::new(prng_bytes(seed ^ i as u64, op_len)),
-                signature: None,
+            .map(|i| {
+                ClientRequest::new(
+                    ClientId((i % 16) as u32),
+                    seed * 100_000 + i as u64,
+                    prng_bytes(seed ^ i as u64, op_len),
+                    None,
+                )
             })
             .collect(),
     )

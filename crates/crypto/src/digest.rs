@@ -38,12 +38,24 @@ impl Digest {
 
     /// Lowercase hex rendering (for logs and ledger dumps).
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        Self::hex_of(&self.0)
     }
 
     /// Short hex prefix for compact display.
     pub fn short_hex(&self) -> String {
-        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+        Self::hex_of(&self.0[..4])
+    }
+
+    /// One string, one allocation — no per-byte formatting machinery
+    /// (trace lines render digests on every simulated notification).
+    fn hex_of(bytes: &[u8]) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut out = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xf) as usize] as char);
+        }
+        out
     }
 }
 
@@ -71,12 +83,39 @@ impl AsRef<[u8]> for Digest {
 /// The length prefixes make the encoding injective, which the paper's
 /// collision-resistance assumption implicitly requires.
 pub fn digest_concat(parts: &[&[u8]]) -> Digest {
-    let mut h = Sha256::new();
+    let mut w = DigestWriter::new();
     for p in parts {
-        h.update(&(p.len() as u64).to_le_bytes());
-        h.update(p);
+        w.part(p);
     }
-    Digest(h.finalize())
+    w.finish()
+}
+
+/// Streaming form of [`digest_concat`]: feed parts one at a time instead
+/// of materializing a `&[&[u8]]` slice. Produces exactly the same digest
+/// as `digest_concat` over the same parts in the same order, without any
+/// heap allocation (the hash state lives on the stack) — the codec's
+/// zero-copy decode path computes batch digests through this.
+#[derive(Clone, Default)]
+pub struct DigestWriter {
+    h: Sha256,
+}
+
+impl DigestWriter {
+    /// A fresh accumulator.
+    pub fn new() -> DigestWriter {
+        DigestWriter { h: Sha256::new() }
+    }
+
+    /// Appends one length-prefixed part.
+    pub fn part(&mut self, p: &[u8]) {
+        self.h.update(&(p.len() as u64).to_le_bytes());
+        self.h.update(p);
+    }
+
+    /// Finishes the hash.
+    pub fn finish(self) -> Digest {
+        Digest(self.h.finalize())
+    }
 }
 
 #[cfg(test)]

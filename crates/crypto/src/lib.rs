@@ -51,7 +51,7 @@ pub mod sha2;
 pub mod sink;
 pub mod threshold;
 
-pub use digest::{digest_concat, Digest, DIGEST_LEN};
+pub use digest::{digest_concat, Digest, DigestWriter, DIGEST_LEN};
 pub use provider::{CryptoMode, CryptoProvider, KeyMaterial};
 pub use sink::Sink;
 pub use threshold::{CertScheme, SignatureShare, ThresholdCert};

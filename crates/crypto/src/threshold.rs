@@ -255,6 +255,11 @@ pub struct ThresholdSigner {
     ed_public: Vec<VerifyingKey>,
     /// Simulated: dealer master secret (shared by the simulation process).
     sim_master: [u8; 32],
+    /// Simulated: precomputed keyed HMAC state per replica (share
+    /// creation/verification run on every SUPPORT; re-deriving the share
+    /// key — two extra HMAC passes — per call would dominate large
+    /// simulation runs).
+    sim_share_macs: Vec<HmacSha256>,
 }
 
 impl ThresholdSigner {
@@ -267,7 +272,25 @@ impl ThresholdSigner {
         ed_public: Vec<VerifyingKey>,
         sim_master: [u8; 32],
     ) -> Self {
-        ThresholdSigner { scheme, threshold, my_index, ed_key, ed_public, sim_master }
+        let sim_share_macs = match scheme {
+            CertScheme::Simulated => (0..ed_public.len() as u32)
+                .map(|i| {
+                    let mut label = [0u8; 8];
+                    label[..4].copy_from_slice(&i.to_le_bytes());
+                    HmacSha256::new(&hmac_sha256(&sim_master, &label))
+                })
+                .collect(),
+            CertScheme::MultiSig => Vec::new(),
+        };
+        ThresholdSigner {
+            scheme,
+            threshold,
+            my_index,
+            ed_key,
+            ed_public,
+            sim_master,
+            sim_share_macs,
+        }
     }
 
     /// The number of shares required for a certificate (the paper's `nf`).
@@ -280,12 +303,6 @@ impl ThresholdSigner {
         self.scheme
     }
 
-    fn sim_share_key(&self, signer: u32) -> [u8; 32] {
-        let mut label = [0u8; 8];
-        label[..4].copy_from_slice(&signer.to_le_bytes());
-        hmac_sha256(&self.sim_master, &label)
-    }
-
     /// Produces this replica's share `s⟨msg⟩i`.
     pub fn share(&self, msg: &[u8]) -> SignatureShare {
         let payload = match self.scheme {
@@ -294,21 +311,23 @@ impl ThresholdSigner {
                 SharePayload::Ed(key.sign(msg))
             }
             CertScheme::Simulated => {
-                SharePayload::Sim(hmac_sha256(&self.sim_share_key(self.my_index), msg))
+                SharePayload::Sim(self.sim_share_macs[self.my_index as usize].tag(msg))
             }
         };
         SignatureShare { signer: self.my_index, payload }
     }
 
-    /// Verifies a share claimed to come from `share.signer`.
+    /// Verifies a share claimed to come from `share.signer` (an index
+    /// outside the replica set is rejected).
     pub fn verify_share(&self, msg: &[u8], share: &SignatureShare) -> bool {
         match (&share.payload, self.scheme) {
             (SharePayload::Ed(sig), CertScheme::MultiSig) => {
                 self.ed_public.get(share.signer as usize).is_some_and(|pk| pk.verify(msg, sig))
             }
-            (SharePayload::Sim(tag), CertScheme::Simulated) => {
-                HmacSha256::new(&self.sim_share_key(share.signer)).verify(msg, tag)
-            }
+            (SharePayload::Sim(tag), CertScheme::Simulated) => self
+                .sim_share_macs
+                .get(share.signer as usize)
+                .is_some_and(|mac| mac.verify(msg, tag)),
             _ => false,
         }
     }

@@ -190,6 +190,13 @@ impl Outbox {
         std::mem::take(&mut self.actions)
     }
 
+    /// Drains the queued actions in order while keeping the outbox's
+    /// capacity, so a runtime can recycle one outbox across events
+    /// instead of allocating a fresh action vector per delivery.
+    pub fn drain_iter(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
     /// Read-only view of queued actions (tests).
     pub fn actions(&self) -> &[Action] {
         &self.actions

@@ -7,6 +7,21 @@
 //! (`encoded_len`) without allocating — the simulator's bandwidth model
 //! uses that path on every send.
 //!
+//! Decoding has two modes sharing one grammar:
+//!
+//! * **owned** ([`decode_msg`] / [`decode_envelope`]) — payload byte
+//!   strings are copied out of the input slice;
+//! * **shared** ([`decode_msg_shared`] / [`decode_envelope_shared`]) —
+//!   the input is a refcounted [`WireBytes`] frame and every payload
+//!   (request `op`s, reply results) becomes a *view* into it, so nothing
+//!   is copied. With a warmed [`BatchPool`] the shared mode decodes a
+//!   full PROPOSE — request payloads included — without touching the
+//!   heap at all (proved by `tests/alloc_free_decode.rs`).
+//!
+//! Every top-level decode entry point ends with [`Reader::finish`], so a
+//! frame carrying trailing garbage after a well-formed message is
+//! rejected, not silently accepted.
+//!
 //! Signed view-change payloads (`PoeVcRequest`, `PbftViewChange`) expose
 //! `*_signing_bytes` helpers producing the exact byte string covered by
 //! their embedded Ed25519 signatures.
@@ -17,6 +32,7 @@ use crate::messages::{
     PoeVcRequest, ProtocolMsg, ReplyKind, ZyzCommitCert,
 };
 use crate::request::{Batch, ClientRequest};
+use crate::wire::WireBytes;
 use poe_crypto::digest::{Digest, DIGEST_LEN};
 use poe_crypto::ed25519::Signature;
 use poe_crypto::provider::AuthTag;
@@ -50,11 +66,18 @@ impl std::error::Error for DecodeError {}
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// In shared mode, the frame `buf` is a view of — byte-string fields
+    /// decode as sub-views of it instead of copies.
+    frame: Option<&'a WireBytes>,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader { buf, pos: 0, frame: None }
+    }
+
+    fn over_frame(frame: &'a WireBytes) -> Reader<'a> {
+        Reader { buf: frame, pos: 0, frame: Some(frame) }
     }
 
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
@@ -92,8 +115,31 @@ impl<'a> Reader<'a> {
         self.take(len)
     }
 
+    /// Reads a u32-length-prefixed byte string as a [`WireBytes`]. In
+    /// shared mode this is a zero-copy, zero-allocation sub-view of the
+    /// frame; in owned mode the bytes are copied into a fresh buffer.
+    fn wire_bytes(&mut self) -> Option<WireBytes> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let slice = self.take(len)?;
+        Some(match self.frame {
+            Some(f) => f.slice(start..start + len),
+            None => WireBytes::copy_from(slice),
+        })
+    }
+
     fn remainder(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Exhaustion check every top-level decode must end with: a
+    /// well-formed message followed by trailing bytes is malformed.
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.remainder() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError)
+        }
     }
 }
 
@@ -458,6 +504,13 @@ pub fn encoded_len(msg: &ProtocolMsg) -> usize {
     counter.0
 }
 
+/// Encodes `msg` once into a refcounted frame ready to be shared across
+/// all recipients of a broadcast (clone the view per edge, decode with
+/// [`decode_msg_shared`] at each receiver).
+pub fn encode_frame(msg: &ProtocolMsg) -> WireBytes {
+    WireBytes::from(encode_msg(msg))
+}
+
 /// The byte string a PoE VC-REQUEST signature covers (everything except
 /// the signature itself).
 pub fn poe_vc_signing_bytes(vc: &PoeVcRequest) -> Vec<u8> {
@@ -473,31 +526,131 @@ pub fn pbft_vc_signing_bytes(vc: &PbftViewChange) -> Vec<u8> {
     out
 }
 
+// ----------------------------------------------------------- batch pool
+
+/// A recycler of uniquely-owned `Arc<Batch>` allocations for
+/// allocation-free steady-state decode (the receive-side twin of
+/// [`ScratchPool`]).
+///
+/// Decoding a batch-carrying message needs one `Arc<Batch>` and its
+/// `requests` vector — the only heap objects left on the shared-decode
+/// path once payloads became [`WireBytes`] views. A warmed pool hands
+/// those back out, so a full PROPOSE decode performs **zero**
+/// allocations. Recycling only accepts batches with no other references
+/// (checked via `Arc::get_mut`), so a batch still referenced by a
+/// consensus slot is simply dropped from the pool's perspective.
+#[derive(Debug)]
+pub struct BatchPool {
+    free: Vec<Arc<Batch>>,
+    max_batches: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for BatchPool {
+    fn default() -> Self {
+        BatchPool::new()
+    }
+}
+
+impl BatchPool {
+    /// Default pool bound (matches [`ScratchPool::DEFAULT_MAX_BUFFERS`]).
+    pub const DEFAULT_MAX_BATCHES: usize = 64;
+
+    /// An empty pool with the default bound.
+    pub fn new() -> BatchPool {
+        BatchPool::with_max_batches(Self::DEFAULT_MAX_BATCHES)
+    }
+
+    /// An empty pool holding at most `max_batches` recycled batches.
+    pub fn with_max_batches(max_batches: usize) -> BatchPool {
+        BatchPool { free: Vec::new(), max_batches, hits: 0, misses: 0 }
+    }
+
+    /// Takes a uniquely-owned batch (recycled or freshly allocated).
+    fn take(&mut self) -> Arc<Batch> {
+        match self.free.pop() {
+            Some(b) => {
+                self.hits += 1;
+                b
+            }
+            None => {
+                self.misses += 1;
+                Arc::new(Batch { requests: Vec::new(), digest: Digest::EMPTY })
+            }
+        }
+    }
+
+    /// Returns a decoded batch for reuse. Kept only when the caller holds
+    /// the last reference and the pool has room; otherwise dropped. The
+    /// requests are cleared immediately (capacity retained) so a pooled
+    /// container never pins its last receive frame in memory.
+    pub fn recycle(&mut self, mut batch: Arc<Batch>) {
+        if self.free.len() < self.max_batches {
+            if let Some(b) = Arc::get_mut(&mut batch) {
+                b.requests.clear();
+                b.digest = Digest::EMPTY;
+                self.free.push(batch);
+            }
+        }
+    }
+
+    /// Batches currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `(reuse_hits, fresh_allocations)` counters, for instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Per-decode context: an optional batch recycler.
+struct DecodeCtx<'p> {
+    pool: Option<&'p mut BatchPool>,
+}
+
+impl DecodeCtx<'_> {
+    fn take_batch(&mut self, count: usize) -> Arc<Batch> {
+        match self.pool.as_deref_mut() {
+            Some(pool) => pool.take(),
+            None => Arc::new(Batch { requests: Vec::with_capacity(count), digest: Digest::EMPTY }),
+        }
+    }
+}
+
 // --------------------------------------------------------------- readers
 
 fn get_request(r: &mut Reader<'_>) -> Option<ClientRequest> {
     let client = ClientId(r.u32()?);
     let req_id = r.u64()?;
-    let op = Arc::new(r.bytes()?.to_vec());
+    let op = r.wire_bytes()?;
     let signature = match r.u8()? {
         0 => None,
         1 => Some(r.signature()?),
         _ => return None,
     };
-    Some(ClientRequest { client, req_id, op, signature })
+    Some(ClientRequest::new(client, req_id, op, signature))
 }
 
-fn get_batch(r: &mut Reader<'_>) -> Option<Arc<Batch>> {
+fn get_batch(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<Arc<Batch>> {
     let count = r.u32()? as usize;
     // Guard against absurd allocations from corrupt input.
     if count > r.remainder() {
         return None;
     }
-    let mut requests = Vec::with_capacity(count);
-    for _ in 0..count {
-        requests.push(get_request(r)?);
+    let mut arc = ctx.take_batch(count);
+    {
+        let batch = Arc::get_mut(&mut arc).expect("pool hands out uniquely owned batches");
+        batch.requests.clear();
+        batch.requests.reserve(count);
+        for _ in 0..count {
+            batch.requests.push(get_request(r)?);
+        }
+        batch.digest = Batch::digest_of(&batch.requests);
     }
-    Some(Batch::new(requests))
+    Some(arc)
 }
 
 fn get_share(r: &mut Reader<'_>) -> Option<SignatureShare> {
@@ -522,12 +675,12 @@ fn get_opt_cert(r: &mut Reader<'_>) -> Option<Option<ThresholdCert>> {
     }
 }
 
-fn get_exec_entry(r: &mut Reader<'_>) -> Option<ExecEntry> {
+fn get_exec_entry(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<ExecEntry> {
     Some(ExecEntry {
         view: View(r.u64()?),
         seq: SeqNum(r.u64()?),
         cert: get_opt_cert(r)?,
-        batch: get_batch(r)?,
+        batch: get_batch(r, ctx)?,
     })
 }
 
@@ -539,7 +692,7 @@ fn get_opt_seq(r: &mut Reader<'_>) -> Option<Option<SeqNum>> {
     }
 }
 
-fn get_vc_request(r: &mut Reader<'_>) -> Option<PoeVcRequest> {
+fn get_vc_request(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<PoeVcRequest> {
     let from = ReplicaId(r.u32()?);
     let view = View(r.u64()?);
     let stable_seq = get_opt_seq(r)?;
@@ -549,22 +702,22 @@ fn get_vc_request(r: &mut Reader<'_>) -> Option<PoeVcRequest> {
     }
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        entries.push(get_exec_entry(r)?);
+        entries.push(get_exec_entry(r, ctx)?);
     }
     let signature = r.signature()?;
     Some(PoeVcRequest { from, view, stable_seq, entries, signature })
 }
 
-fn get_pbft_prepared(r: &mut Reader<'_>) -> Option<PbftPreparedEntry> {
+fn get_pbft_prepared(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<PbftPreparedEntry> {
     Some(PbftPreparedEntry {
         view: View(r.u64()?),
         seq: SeqNum(r.u64()?),
         digest: r.digest()?,
-        batch: get_batch(r)?,
+        batch: get_batch(r, ctx)?,
     })
 }
 
-fn get_pbft_view_change(r: &mut Reader<'_>) -> Option<PbftViewChange> {
+fn get_pbft_view_change(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<PbftViewChange> {
     let from = ReplicaId(r.u32()?);
     let new_view = View(r.u64()?);
     let stable_seq = get_opt_seq(r)?;
@@ -574,7 +727,7 @@ fn get_pbft_view_change(r: &mut Reader<'_>) -> Option<PbftViewChange> {
     }
     let mut prepared = Vec::with_capacity(count);
     for _ in 0..count {
-        prepared.push(get_pbft_prepared(r)?);
+        prepared.push(get_pbft_prepared(r, ctx)?);
     }
     let signature = r.signature()?;
     Some(PbftViewChange { from, new_view, stable_seq, prepared, signature })
@@ -592,12 +745,12 @@ fn get_opt_qc(r: &mut Reader<'_>) -> Option<Option<HsQuorumCert>> {
     }
 }
 
-fn get_block(r: &mut Reader<'_>) -> Option<Arc<HsBlock>> {
+fn get_block(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<Arc<HsBlock>> {
     Some(Arc::new(HsBlock {
         height: r.u64()?,
         parent: r.digest()?,
         justify: get_opt_qc(r)?,
-        batch: get_batch(r)?,
+        batch: get_batch(r, ctx)?,
     }))
 }
 
@@ -617,7 +770,7 @@ fn get_reply(r: &mut Reader<'_>) -> Option<ClientReply> {
         seq: SeqNum(r.u64()?),
         req_digest: r.digest()?,
         req_id: r.u64()?,
-        result: r.bytes()?.to_vec(),
+        result: r.wire_bytes()?,
         replica: ReplicaId(r.u32()?),
         history: match r.u8()? {
             0 => None,
@@ -628,16 +781,41 @@ fn get_reply(r: &mut Reader<'_>) -> Option<ClientReply> {
 }
 
 /// Decodes one message from `buf` (must consume the entire buffer).
+/// Payload byte strings are copied; prefer [`decode_msg_shared`] when
+/// the input is a shared frame.
 pub fn decode_msg(buf: &[u8]) -> Result<ProtocolMsg, DecodeError> {
     let mut r = Reader::new(buf);
-    let msg = decode_inner(&mut r).ok_or(DecodeError)?;
-    if r.remainder() != 0 {
-        return Err(DecodeError);
-    }
+    let mut ctx = DecodeCtx { pool: None };
+    let msg = decode_inner(&mut r, &mut ctx).ok_or(DecodeError)?;
+    r.finish()?;
     Ok(msg)
 }
 
-fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
+/// Decodes one message from a shared frame (must consume it entirely).
+/// Request payloads and reply results become zero-copy views into
+/// `frame`; the frame stays alive as long as any decoded payload does.
+pub fn decode_msg_shared(frame: &WireBytes) -> Result<ProtocolMsg, DecodeError> {
+    let mut r = Reader::over_frame(frame);
+    let mut ctx = DecodeCtx { pool: None };
+    let msg = decode_inner(&mut r, &mut ctx).ok_or(DecodeError)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+/// [`decode_msg_shared`] with batch-container recycling: a warmed pool
+/// makes the whole decode allocation-free (request payloads included).
+pub fn decode_msg_pooled(
+    frame: &WireBytes,
+    pool: &mut BatchPool,
+) -> Result<ProtocolMsg, DecodeError> {
+    let mut r = Reader::over_frame(frame);
+    let mut ctx = DecodeCtx { pool: Some(pool) };
+    let msg = decode_inner(&mut r, &mut ctx).ok_or(DecodeError)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+fn decode_inner(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<ProtocolMsg> {
     Some(match r.u8()? {
         0 => ProtocolMsg::Request(get_request(r)?),
         1 => ProtocolMsg::RequestBroadcast(get_request(r)?),
@@ -646,7 +824,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
         10 => ProtocolMsg::PoePropose {
             view: View(r.u64()?),
             seq: SeqNum(r.u64()?),
-            batch: get_batch(r)?,
+            batch: get_batch(r, ctx)?,
         },
         11 => ProtocolMsg::PoeSupport {
             view: View(r.u64()?),
@@ -663,7 +841,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             seq: SeqNum(r.u64()?),
             cert: get_cert(r)?,
         },
-        14 => ProtocolMsg::PoeVcRequest(get_vc_request(r)?),
+        14 => ProtocolMsg::PoeVcRequest(get_vc_request(r, ctx)?),
         15 => {
             let new_view = View(r.u64()?);
             let count = r.u32()? as usize;
@@ -672,14 +850,14 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             }
             let mut requests = Vec::with_capacity(count);
             for _ in 0..count {
-                requests.push(get_vc_request(r)?);
+                requests.push(get_vc_request(r, ctx)?);
             }
             ProtocolMsg::PoeNvPropose { new_view, requests }
         }
         20 => ProtocolMsg::PbftPrePrepare {
             view: View(r.u64()?),
             seq: SeqNum(r.u64()?),
-            batch: get_batch(r)?,
+            batch: get_batch(r, ctx)?,
         },
         21 => ProtocolMsg::PbftPrepare {
             view: View(r.u64()?),
@@ -691,7 +869,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             seq: SeqNum(r.u64()?),
             digest: r.digest()?,
         },
-        23 => ProtocolMsg::PbftViewChangeMsg(get_pbft_view_change(r)?),
+        23 => ProtocolMsg::PbftViewChangeMsg(get_pbft_view_change(r, ctx)?),
         24 => {
             let new_view = View(r.u64()?);
             let vc_count = r.u32()? as usize;
@@ -700,7 +878,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             }
             let mut view_changes = Vec::with_capacity(vc_count);
             for _ in 0..vc_count {
-                view_changes.push(get_pbft_view_change(r)?);
+                view_changes.push(get_pbft_view_change(r, ctx)?);
             }
             let pp_count = r.u32()? as usize;
             if pp_count > r.remainder() {
@@ -709,7 +887,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             let mut pre_prepares = Vec::with_capacity(pp_count);
             for _ in 0..pp_count {
                 let seq = SeqNum(r.u64()?);
-                let batch = get_batch(r)?;
+                let batch = get_batch(r, ctx)?;
                 pre_prepares.push((seq, batch));
             }
             ProtocolMsg::PbftNewView { new_view, view_changes, pre_prepares }
@@ -718,7 +896,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             view: View(r.u64()?),
             seq: SeqNum(r.u64()?),
             history: r.digest()?,
-            batch: get_batch(r)?,
+            batch: get_batch(r, ctx)?,
         },
         31 => {
             let view = View(r.u64()?);
@@ -737,7 +915,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
         40 => ProtocolMsg::SbftPrePrepare {
             view: View(r.u64()?),
             seq: SeqNum(r.u64()?),
-            batch: get_batch(r)?,
+            batch: get_batch(r, ctx)?,
         },
         41 => ProtocolMsg::SbftSignShare {
             view: View(r.u64()?),
@@ -759,7 +937,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Option<ProtocolMsg> {
             seq: SeqNum(r.u64()?),
             cert: get_cert(r)?,
         },
-        50 => ProtocolMsg::HsProposal { block: get_block(r)? },
+        50 => ProtocolMsg::HsProposal { block: get_block(r, ctx)? },
         51 => ProtocolMsg::HsVote { height: r.u64()?, block: r.digest()?, share: get_share(r)? },
         52 => ProtocolMsg::HsNewView { height: r.u64()?, high_qc: get_opt_qc(r)? },
         60 => ProtocolMsg::Checkpoint { seq: SeqNum(r.u64()?), state_digest: r.digest()? },
@@ -914,9 +1092,33 @@ impl ScratchPool {
     }
 }
 
-/// Decodes an envelope.
+/// Decodes an envelope (payloads copied out of `buf`).
 pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, DecodeError> {
     let mut r = Reader::new(buf);
+    decode_envelope_inner(&mut r, &mut DecodeCtx { pool: None })
+}
+
+/// Decodes an envelope from a shared frame: the carried message's
+/// payloads become zero-copy views into `frame`.
+pub fn decode_envelope_shared(frame: &WireBytes) -> Result<Envelope, DecodeError> {
+    let mut r = Reader::over_frame(frame);
+    decode_envelope_inner(&mut r, &mut DecodeCtx { pool: None })
+}
+
+/// [`decode_envelope_shared`] with batch-container recycling (see
+/// [`BatchPool`]).
+pub fn decode_envelope_pooled(
+    frame: &WireBytes,
+    pool: &mut BatchPool,
+) -> Result<Envelope, DecodeError> {
+    let mut r = Reader::over_frame(frame);
+    decode_envelope_inner(&mut r, &mut DecodeCtx { pool: Some(pool) })
+}
+
+fn decode_envelope_inner(
+    r: &mut Reader<'_>,
+    ctx: &mut DecodeCtx<'_>,
+) -> Result<Envelope, DecodeError> {
     let from = match r.u8().ok_or(DecodeError)? {
         0 => NodeId::Replica(ReplicaId(r.u32().ok_or(DecodeError)?)),
         1 => NodeId::Client(ClientId(r.u32().ok_or(DecodeError)?)),
@@ -927,10 +1129,8 @@ pub fn decode_envelope(buf: &[u8]) -> Result<Envelope, DecodeError> {
     if used != auth_raw.len() {
         return Err(DecodeError);
     }
-    let msg = decode_inner(&mut r).ok_or(DecodeError)?;
-    if r.remainder() != 0 {
-        return Err(DecodeError);
-    }
+    let msg = decode_inner(r, ctx).ok_or(DecodeError)?;
+    r.finish()?;
     Ok(Envelope { from, msg, auth })
 }
 
@@ -945,12 +1145,7 @@ mod tests {
 
     fn sample_request(signed: bool) -> ClientRequest {
         let sig = signed.then(|| km().client(0).sign(b"x"));
-        ClientRequest {
-            client: ClientId(0),
-            req_id: 7,
-            op: Arc::new(vec![1, 2, 3, 4, 5]),
-            signature: sig,
-        }
+        ClientRequest::new(ClientId(0), 7, vec![1u8, 2, 3, 4, 5], sig)
     }
 
     fn sample_batch() -> Arc<Batch> {
@@ -993,7 +1188,7 @@ mod tests {
             seq: SeqNum(2),
             req_digest: d,
             req_id: 9,
-            result: vec![4, 5],
+            result: vec![4u8, 5].into(),
             replica: ReplicaId(3),
             history: Some(Digest::of(b"h")),
         };
@@ -1085,16 +1280,119 @@ mod tests {
                     "variant {} accepted truncation at {cut}",
                     msg.label()
                 );
+                let frame = WireBytes::copy_from(&bytes[..cut]);
+                assert!(
+                    decode_msg_shared(&frame).is_err(),
+                    "variant {} accepted truncation at {cut} (shared mode)",
+                    msg.label()
+                );
             }
         }
     }
 
+    /// The `finish()` exhaustion check: a well-formed message followed by
+    /// padding must be rejected, for every variant, in every decode mode.
     #[test]
-    fn trailing_garbage_rejected() {
-        let msg = ProtocolMsg::Checkpoint { seq: SeqNum(1), state_digest: Digest::of(b"s") };
-        let mut bytes = encode_msg(&msg);
-        bytes.push(0);
-        assert!(decode_msg(&bytes).is_err());
+    fn padded_frames_rejected_everywhere() {
+        let mut pool = BatchPool::new();
+        for msg in all_sample_messages() {
+            let mut bytes = encode_msg(&msg);
+            bytes.push(0);
+            assert!(decode_msg(&bytes).is_err(), "variant {} accepted padding", msg.label());
+            let frame = WireBytes::from(bytes);
+            assert!(
+                decode_msg_shared(&frame).is_err(),
+                "variant {} accepted padding (shared mode)",
+                msg.label()
+            );
+            assert!(
+                decode_msg_pooled(&frame, &mut pool).is_err(),
+                "variant {} accepted padding (pooled mode)",
+                msg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn padded_envelope_rejected() {
+        let env = Envelope {
+            from: NodeId::Client(ClientId(9)),
+            auth: AuthTag::None,
+            msg: ProtocolMsg::Request(sample_request(false)),
+        };
+        let mut bytes = encode_envelope(&env);
+        bytes.push(7);
+        assert!(decode_envelope(&bytes).is_err());
+        assert!(decode_envelope_shared(&WireBytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn shared_decode_matches_owned_everywhere() {
+        for msg in all_sample_messages() {
+            let frame = encode_frame(&msg);
+            let shared = decode_msg_shared(&frame).unwrap_or_else(|_| panic!("{}", msg.label()));
+            assert_eq!(shared, msg, "variant {}", msg.label());
+            let owned = decode_msg(&frame).expect("owned decode");
+            assert_eq!(shared, owned, "variant {}", msg.label());
+        }
+    }
+
+    /// Shared-mode payloads are views into the frame, not copies.
+    #[test]
+    fn shared_decode_is_zero_copy() {
+        let msg = ProtocolMsg::PoePropose { view: View(1), seq: SeqNum(2), batch: sample_batch() };
+        let frame = encode_frame(&msg);
+        let ProtocolMsg::PoePropose { batch, .. } = decode_msg_shared(&frame).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        for req in &batch.requests {
+            assert!(
+                req.op.shares_buffer_with(&frame),
+                "request payload must be a view into the receive frame"
+            );
+        }
+        // Reply results share the frame too.
+        let reply_msg = {
+            let mut m = all_sample_messages();
+            m.remove(3) // the Reply sample
+        };
+        let frame = encode_frame(&reply_msg);
+        let ProtocolMsg::Reply(r) = decode_msg_shared(&frame).expect("decode") else {
+            panic!("expected Reply, got {}", reply_msg.label());
+        };
+        assert!(r.result.shares_buffer_with(&frame));
+    }
+
+    /// A warmed [`BatchPool`] hands the same batch container back out.
+    #[test]
+    fn batch_pool_recycles_containers() {
+        let msg = ProtocolMsg::PoePropose { view: View(1), seq: SeqNum(2), batch: sample_batch() };
+        let frame = encode_frame(&msg);
+        let mut pool = BatchPool::new();
+
+        let ProtocolMsg::PoePropose { batch, .. } =
+            decode_msg_pooled(&frame, &mut pool).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        let first_ptr = Arc::as_ptr(&batch);
+        pool.recycle(batch);
+        assert_eq!(pool.available(), 1);
+
+        let ProtocolMsg::PoePropose { batch, .. } =
+            decode_msg_pooled(&frame, &mut pool).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(Arc::as_ptr(&batch), first_ptr, "second decode must reuse the container");
+        // A batch still referenced elsewhere is not recycled.
+        let held = batch.clone();
+        pool.recycle(batch);
+        assert_eq!(pool.available(), 0, "shared batch must not enter the pool");
+        drop(held);
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 1));
     }
 
     #[test]
@@ -1279,9 +1577,8 @@ mod tests {
             batch: Batch::new(
                 (0..100)
                     .map(|i| {
-                        let mut r = sample_request(true);
-                        r.req_id = i;
-                        r
+                        let r = sample_request(true);
+                        ClientRequest::new(r.client, i, r.op, r.signature)
                     })
                     .collect(),
             ),

@@ -23,6 +23,9 @@
 //! * [`statemachine`] — the replicated application interface with
 //!   *speculative execution support* (apply / rollback / checkpoint), the
 //!   hook that PoE's safe-rollback ingredient (I2) requires.
+//! * [`wire`] — refcounted wire-buffer views ([`wire::WireBytes`]): the
+//!   zero-copy unit shared by the codec's frame-backed decode mode, the
+//!   network substrates, and request/reply payloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod statemachine;
 pub mod time;
 pub mod timer;
 pub mod watermark;
+pub mod wire;
 
 pub use automaton::{Action, Event, Outbox, ReplicaAutomaton};
 pub use config::ClusterConfig;
@@ -46,3 +50,4 @@ pub use messages::{ClientReply, Envelope, ProtocolMsg};
 pub use request::{Batch, ClientRequest};
 pub use statemachine::{ExecOutcome, StateMachine};
 pub use time::{Duration, Time};
+pub use wire::WireBytes;

@@ -11,6 +11,7 @@
 
 use crate::ids::{ReplicaId, SeqNum, View};
 use crate::request::{Batch, ClientRequest};
+use crate::wire::WireBytes;
 use poe_crypto::digest::Digest;
 use poe_crypto::ed25519::Signature;
 use poe_crypto::provider::AuthTag;
@@ -165,8 +166,9 @@ pub struct ClientReply {
     /// Client-local request id (for matching).
     pub req_id: u64,
     /// Execution result bytes (empty when not executed yet, e.g. SBFT
-    /// collector acks).
-    pub result: Vec<u8>,
+    /// collector acks). A shared view: every replica's INFORM for the
+    /// same execution clones the view, not the bytes.
+    pub result: WireBytes,
     /// The replying replica.
     pub replica: ReplicaId,
     /// Zyzzyva: the replica's history digest up to and including `seq`.
@@ -445,12 +447,7 @@ mod tests {
     use std::sync::Arc as StdArc;
 
     fn sample_batch() -> StdArc<Batch> {
-        Batch::new(vec![ClientRequest {
-            client: ClientId(1),
-            req_id: 1,
-            op: StdArc::new(vec![1, 2, 3]),
-            signature: None,
-        }])
+        Batch::new(vec![ClientRequest::new(ClientId(1), 1, vec![1u8, 2, 3], None)])
     }
 
     #[test]

@@ -3,43 +3,93 @@
 //! A client `c` signs its transaction `T` and sends `⟨T⟩c` to the primary;
 //! the primary aggregates requests into batches (paper §III "Batching")
 //! and proposes whole batches under a single sequence number.
+//!
+//! Transaction bytes are carried as [`WireBytes`] views, so a request
+//! decoded from a network frame keeps pointing into that frame instead
+//! of owning a copy, and forwarding/proposing/executing it never
+//! duplicates the payload. The request digest `D(⟨T⟩c)` is computed at
+//! most once per request instance and cached — it is consulted on every
+//! hop (dedup, reply matching, INFORM, progress timers).
 
 use crate::ids::ClientId;
-use poe_crypto::digest::{digest_concat, Digest};
+use crate::wire::WireBytes;
+use poe_crypto::digest::{digest_concat, Digest, DigestWriter};
 use poe_crypto::ed25519::Signature;
-use std::sync::Arc;
+use poe_crypto::Sink;
+use std::sync::{Arc, OnceLock};
 
 /// A signed client request `⟨T⟩c`.
 ///
 /// The transaction body is opaque bytes at this layer; the replicated
-/// state machine (`poe-store`) interprets them.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// state machine (`poe-store`) interprets them. Construct with
+/// [`ClientRequest::new`] (the digest cache is not a public field).
+///
+/// **Invariant:** treat `client`, `req_id`, and `op` as immutable after
+/// construction — [`ClientRequest::digest`] caches its result, so
+/// mutating an identity field afterwards would leave a stale digest.
+/// Build a fresh request with `new` instead of editing one in place
+/// (`signature` is not covered by the digest and may be set freely).
+#[derive(Clone, Debug)]
 pub struct ClientRequest {
     /// The issuing client.
     pub client: ClientId,
     /// Client-local request number (monotonically increasing; also used
     /// for reply matching and retransmission de-duplication).
     pub req_id: u64,
-    /// Serialized transaction `T`.
-    pub op: Arc<Vec<u8>>,
+    /// Serialized transaction `T` (a view into the carrying frame when
+    /// the request was decoded from the wire).
+    pub op: WireBytes,
     /// The client's Ed25519 signature over `(client, req_id, op)`, absent
     /// only in `CryptoMode::None` runs.
     pub signature: Option<Signature>,
+    /// Lazily computed `D(⟨T⟩c)`; not part of the wire format or of
+    /// request equality.
+    digest: OnceLock<Digest>,
 }
 
+impl PartialEq for ClientRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.client == other.client
+            && self.req_id == other.req_id
+            && self.op == other.op
+            && self.signature == other.signature
+    }
+}
+
+impl Eq for ClientRequest {}
+
 impl ClientRequest {
+    /// Builds a request. The digest is computed lazily on first use.
+    pub fn new(
+        client: ClientId,
+        req_id: u64,
+        op: impl Into<WireBytes>,
+        signature: Option<Signature>,
+    ) -> ClientRequest {
+        ClientRequest { client, req_id, op: op.into(), signature, digest: OnceLock::new() }
+    }
+
     /// The byte string a client signs (and replicas verify).
     pub fn signing_bytes(client: ClientId, req_id: u64, op: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(op.len() + 16);
-        out.extend_from_slice(&client.0.to_le_bytes());
-        out.extend_from_slice(&req_id.to_le_bytes());
-        out.extend_from_slice(op);
+        Self::write_signing_bytes(&mut out, client, req_id, op);
         out
     }
 
-    /// Digest `D(⟨T⟩c)` identifying the request.
+    /// Streams the signing byte string into any sink (allocation-free
+    /// when the sink is a reused scratch buffer).
+    pub fn write_signing_bytes<S: Sink>(out: &mut S, client: ClientId, req_id: u64, op: &[u8]) {
+        out.put(&client.0.to_le_bytes());
+        out.put(&req_id.to_le_bytes());
+        out.put(op);
+    }
+
+    /// Digest `D(⟨T⟩c)` identifying the request (cached after the first
+    /// call on this instance; clones carry the cache along).
     pub fn digest(&self) -> Digest {
-        digest_concat(&[&self.client.0.to_le_bytes(), &self.req_id.to_le_bytes(), &self.op])
+        *self.digest.get_or_init(|| {
+            digest_concat(&[&self.client.0.to_le_bytes(), &self.req_id.to_le_bytes(), &self.op])
+        })
     }
 
     /// Approximate wire size in bytes (payload + ids + signature).
@@ -64,16 +114,25 @@ impl Batch {
         Arc::new(Batch { requests, digest })
     }
 
-    /// An empty batch (used by no-op proposals during view change).
+    /// The empty batch (used by no-op proposals during view change).
+    /// Process-wide cached: the batch-cut timer path and view-change
+    /// no-ops share one allocation instead of minting a fresh
+    /// `Arc<Batch>` per call.
     pub fn empty() -> Arc<Batch> {
-        Self::new(Vec::new())
+        static EMPTY: OnceLock<Arc<Batch>> = OnceLock::new();
+        EMPTY.get_or_init(|| Batch::new(Vec::new())).clone()
     }
 
-    /// Digest over the request digests (order-sensitive).
+    /// Digest over the request digests (order-sensitive). Streams
+    /// through [`DigestWriter`], so no intermediate buffers are
+    /// materialized (this runs on every batch construction, including
+    /// the codec's zero-copy decode path).
     pub fn digest_of(requests: &[ClientRequest]) -> Digest {
-        let digests: Vec<[u8; 32]> = requests.iter().map(|r| r.digest().0).collect();
-        let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
-        digest_concat(&parts)
+        let mut w = DigestWriter::new();
+        for r in requests {
+            w.part(&r.digest().0);
+        }
+        w.finish()
     }
 
     /// Number of requests.
@@ -135,12 +194,7 @@ mod tests {
     use super::*;
 
     fn req(client: u32, req_id: u64, op: &[u8]) -> ClientRequest {
-        ClientRequest {
-            client: ClientId(client),
-            req_id,
-            op: Arc::new(op.to_vec()),
-            signature: None,
-        }
+        ClientRequest::new(ClientId(client), req_id, op, None)
     }
 
     #[test]
@@ -153,6 +207,24 @@ mod tests {
     }
 
     #[test]
+    fn digest_cache_survives_clone_and_matches() {
+        let a = req(3, 9, b"payload");
+        let before = a.digest();
+        let b = a.clone();
+        assert_eq!(b.digest(), before);
+        // A fresh instance with identical fields computes the same value.
+        assert_eq!(req(3, 9, b"payload").digest(), before);
+    }
+
+    #[test]
+    fn equality_ignores_digest_cache() {
+        let a = req(1, 1, b"x");
+        let b = req(1, 1, b"x");
+        let _ = a.digest(); // warm only one side's cache
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn batch_digest_is_order_sensitive() {
         let a = req(1, 1, b"a");
         let b = req(1, 2, b"b");
@@ -162,10 +234,27 @@ mod tests {
     }
 
     #[test]
+    fn batch_digest_matches_concat_form() {
+        // digest_of must stay equal to the digest_concat-over-request-
+        // digests definition the wire format was built against.
+        let reqs = vec![req(1, 1, b"a"), req(2, 2, b"bb")];
+        let digests: Vec<[u8; 32]> = reqs.iter().map(|r| r.digest().0).collect();
+        let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
+        assert_eq!(Batch::digest_of(&reqs), digest_concat(&parts));
+    }
+
+    #[test]
     fn empty_batch() {
         let b = Batch::empty();
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_shared() {
+        let a = Batch::empty();
+        let b = Batch::empty();
+        assert!(Arc::ptr_eq(&a, &b), "Batch::empty must reuse one cached allocation");
     }
 
     #[test]
@@ -195,6 +284,10 @@ mod tests {
         assert_eq!(&bytes[..4], &7u32.to_le_bytes());
         assert_eq!(&bytes[4..12], &9u64.to_le_bytes());
         assert_eq!(&bytes[12..], b"payload");
+        // The streamed form writes the identical byte string.
+        let mut streamed = Vec::new();
+        ClientRequest::write_signing_bytes(&mut streamed, ClientId(7), 9, b"payload");
+        assert_eq!(streamed, bytes);
     }
 
     #[test]

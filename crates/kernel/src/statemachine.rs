@@ -9,26 +9,33 @@
 
 use crate::ids::SeqNum;
 use crate::request::Batch;
-use poe_crypto::Digest;
+use crate::wire::WireBytes;
+use poe_crypto::{Digest, DigestWriter};
 
 /// Result of executing one batch.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ExecOutcome {
     /// One opaque result blob per request, in batch order (the `r` the
-    /// INFORM message carries back to clients).
-    pub results: Vec<Vec<u8>>,
+    /// INFORM message carries back to clients). Shared views: the store
+    /// materializes each result once, and every INFORM/re-INFORM clones
+    /// the view.
+    pub results: Vec<WireBytes>,
 }
 
 impl ExecOutcome {
-    /// An outcome with one empty result per request.
+    /// An outcome with one empty result per request (all sharing the
+    /// cached empty buffer).
     pub fn empty(batch_len: usize) -> ExecOutcome {
-        ExecOutcome { results: vec![Vec::new(); batch_len] }
+        ExecOutcome { results: vec![WireBytes::empty(); batch_len] }
     }
 
     /// Digest of all results (used to compare replica agreement).
     pub fn digest(&self) -> Digest {
-        let parts: Vec<&[u8]> = self.results.iter().map(|r| r.as_slice()).collect();
-        poe_crypto::digest_concat(&parts)
+        let mut w = DigestWriter::new();
+        for r in &self.results {
+            w.part(r);
+        }
+        w.finish()
     }
 }
 
@@ -122,12 +129,7 @@ mod tests {
     use std::sync::Arc;
 
     fn batch(k: u64) -> Arc<Batch> {
-        Batch::new(vec![ClientRequest {
-            client: ClientId(0),
-            req_id: k,
-            op: Arc::new(vec![1, 2, 3]),
-            signature: None,
-        }])
+        Batch::new(vec![ClientRequest::new(ClientId(0), k, vec![1u8, 2, 3], None)])
     }
 
     #[test]
@@ -161,8 +163,8 @@ mod tests {
 
     #[test]
     fn outcome_digest_varies_with_results() {
-        let a = ExecOutcome { results: vec![vec![1], vec![2]] };
-        let b = ExecOutcome { results: vec![vec![1], vec![3]] };
+        let a = ExecOutcome { results: vec![vec![1u8].into(), vec![2u8].into()] };
+        let b = ExecOutcome { results: vec![vec![1u8].into(), vec![3u8].into()] };
         assert_ne!(a.digest(), b.digest());
         assert_eq!(a.digest(), a.digest());
     }

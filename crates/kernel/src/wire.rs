@@ -1,0 +1,245 @@
+//! Refcounted wire-buffer views.
+//!
+//! [`WireBytes`] is the unit of the zero-copy message path: a cheap-to-
+//! clone `{Arc<[u8]>, range}` view into a shared frame. A receive buffer
+//! is turned into one `WireBytes` frame; decoding slices request
+//! payloads and reply results straight out of it ([`crate::codec`]'s
+//! shared-decode mode), so the bytes are never copied between the wire
+//! and the consensus state. Broadcast works the other way around: the
+//! sender encodes a message once into a frame and hands clones of the
+//! view to all `n − 1` recipients.
+//!
+//! Digests, MAC tags, and signatures are computed over the view directly
+//! (`WireBytes` derefs to `[u8]`), so the crypto layer needs no copies
+//! either.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::{Arc, OnceLock};
+
+/// A cheap-to-clone view into a shared, immutable byte buffer.
+///
+/// Cloning bumps a reference count and copies two offsets; no bytes
+/// move. Equality, ordering, and hashing are by content, so a sliced
+/// view and an owned copy of the same bytes compare equal.
+#[derive(Clone)]
+pub struct WireBytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl WireBytes {
+    /// A view of the whole buffer.
+    pub fn new(buf: Arc<[u8]>) -> WireBytes {
+        let end = buf.len();
+        WireBytes { buf, start: 0, end }
+    }
+
+    /// The shared empty view (a process-wide cached allocation, so
+    /// empty payloads — zero-payload workloads, empty results — never
+    /// allocate).
+    pub fn empty() -> WireBytes {
+        static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+        WireBytes::new(EMPTY.get_or_init(|| Arc::from(&[][..])).clone())
+    }
+
+    /// Copies `bytes` into a fresh shared buffer (the one copy an owned
+    /// frame ever pays).
+    pub fn copy_from(bytes: &[u8]) -> WireBytes {
+        if bytes.is_empty() {
+            return WireBytes::empty();
+        }
+        WireBytes::new(Arc::from(bytes))
+    }
+
+    /// A sub-view of this view. `range` is relative to `self`; the
+    /// underlying buffer is shared, not copied.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> WireBytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        WireBytes {
+            buf: self.buf.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether two views share the same backing buffer (diagnostics and
+    /// zero-copy tests; unrelated to equality, which is by content).
+    pub fn shares_buffer_with(&self, other: &WireBytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Deref for WireBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for WireBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for WireBytes {
+    fn from(v: Vec<u8>) -> WireBytes {
+        if v.is_empty() {
+            return WireBytes::empty();
+        }
+        WireBytes::new(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for WireBytes {
+    fn from(s: &[u8]) -> WireBytes {
+        WireBytes::copy_from(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for WireBytes {
+    fn from(a: [u8; N]) -> WireBytes {
+        WireBytes::copy_from(&a)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for WireBytes {
+    fn from(a: &[u8; N]) -> WireBytes {
+        WireBytes::copy_from(a)
+    }
+}
+
+impl PartialEq for WireBytes {
+    fn eq(&self, other: &WireBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WireBytes {}
+
+impl PartialOrd for WireBytes {
+    fn partial_cmp(&self, other: &WireBytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WireBytes {
+    fn cmp(&self, other: &WireBytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for WireBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for WireBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WireBytes(len={}", self.len())?;
+        for b in self.as_slice().iter().take(8) {
+            write!(f, " {b:02x}")?;
+        }
+        if self.len() > 8 {
+            write!(f, " …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Default for WireBytes {
+    fn default() -> WireBytes {
+        WireBytes::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_buffer() {
+        let frame = WireBytes::copy_from(b"hello world");
+        let word = frame.slice(6..11);
+        assert_eq!(&word[..], b"world");
+        assert!(word.shares_buffer_with(&frame));
+        // Slicing a slice stays relative and shared.
+        let tail = word.slice(1..5);
+        assert_eq!(&tail[..], b"orld");
+        assert!(tail.shares_buffer_with(&frame));
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = WireBytes::copy_from(b"xabcx").slice(1..4);
+        let b = WireBytes::copy_from(b"abc");
+        assert_eq!(a, b);
+        assert!(!a.shares_buffer_with(&b));
+        assert_ne!(b, WireBytes::copy_from(b"abd"));
+    }
+
+    #[test]
+    fn empty_is_shared() {
+        let a = WireBytes::empty();
+        let b = WireBytes::empty();
+        let c = WireBytes::from(Vec::new());
+        assert!(a.shares_buffer_with(&b));
+        assert!(a.shares_buffer_with(&c));
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn from_vec_takes_contents() {
+        let w = WireBytes::from(vec![1u8, 2, 3]);
+        assert_eq!(&w[..], &[1, 2, 3]);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        WireBytes::copy_from(b"ab").slice(1..3).slice(0..3);
+    }
+
+    #[test]
+    fn clone_is_view_not_copy() {
+        let a = WireBytes::copy_from(b"shared");
+        let b = a.clone();
+        assert!(a.shares_buffer_with(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_content() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(WireBytes::copy_from(b"b"));
+        set.insert(WireBytes::copy_from(b"a"));
+        set.insert(WireBytes::copy_from(b"xax").slice(1..2));
+        assert_eq!(set.len(), 2);
+        assert_eq!(&set.iter().next().unwrap()[..], b"a");
+    }
+}

@@ -1,21 +1,27 @@
 //! In-process transport: crossbeam channels between fabric threads.
 //!
 //! Each node (replica or client) registers once and receives a consumer
-//! endpoint; anyone holding the hub can send encoded envelopes to any
+//! endpoint; anyone holding the hub can send encoded frames to any
 //! registered node. This plays the role of the datacenter network for the
 //! multi-threaded fabric runtime, while keeping everything in one process
 //! so experiments are self-contained.
+//!
+//! Frames are [`WireBytes`] views: a broadcast encodes its message once
+//! and every recipient queue receives a clone of the *view* (a refcount
+//! bump), not a copy of the bytes. Receivers decode with the codec's
+//! shared mode, so payloads keep pointing into the same frame end-to-end.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use poe_kernel::ids::NodeId;
+use poe_kernel::wire::WireBytes;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A shared message hub connecting all nodes of one cluster.
 #[derive(Clone, Default)]
 pub struct InprocHub {
-    inner: Arc<RwLock<HashMap<NodeId, Sender<Vec<u8>>>>>,
+    inner: Arc<RwLock<HashMap<NodeId, Sender<WireBytes>>>>,
 }
 
 impl InprocHub {
@@ -26,7 +32,7 @@ impl InprocHub {
 
     /// Registers `node`, returning its inbound queue. Re-registering
     /// replaces the previous endpoint (the old receiver starves).
-    pub fn register(&self, node: NodeId) -> Receiver<Vec<u8>> {
+    pub fn register(&self, node: NodeId) -> Receiver<WireBytes> {
         let (tx, rx) = unbounded();
         self.inner.write().insert(node, tx);
         rx
@@ -37,14 +43,30 @@ impl InprocHub {
         self.inner.write().remove(&node);
     }
 
-    /// Sends encoded bytes to `to`. Returns false if the node is unknown
-    /// or its receiver was dropped.
-    pub fn send(&self, to: NodeId, bytes: Vec<u8>) -> bool {
+    /// Sends an encoded frame to `to`. Returns false if the node is
+    /// unknown or its receiver was dropped.
+    pub fn send(&self, to: NodeId, frame: WireBytes) -> bool {
         let guard = self.inner.read();
         match guard.get(&to) {
-            Some(tx) => tx.send(bytes).is_ok(),
+            Some(tx) => tx.send(frame).is_ok(),
             None => false,
         }
+    }
+
+    /// Delivers one already-encoded frame to every *replica* except
+    /// `from` (the kernel's broadcast convention): the frame is cloned
+    /// per recipient — a refcount bump, never a byte copy. Returns the
+    /// number of queues reached.
+    pub fn broadcast(&self, from: NodeId, frame: &WireBytes) -> usize {
+        let guard = self.inner.read();
+        let mut reached = 0;
+        for (node, tx) in guard.iter() {
+            if *node != from && matches!(node, NodeId::Replica(_)) && tx.send(frame.clone()).is_ok()
+            {
+                reached += 1;
+            }
+        }
+        reached
     }
 
     /// Number of registered nodes.
@@ -67,18 +89,22 @@ mod tests {
         NodeId::Replica(ReplicaId(i))
     }
 
+    fn frame(bytes: &[u8]) -> WireBytes {
+        WireBytes::copy_from(bytes)
+    }
+
     #[test]
     fn register_send_receive() {
         let hub = InprocHub::new();
         let rx = hub.register(r(0));
-        assert!(hub.send(r(0), vec![1, 2, 3]));
-        assert_eq!(rx.recv().unwrap(), vec![1, 2, 3]);
+        assert!(hub.send(r(0), frame(&[1, 2, 3])));
+        assert_eq!(&rx.recv().unwrap()[..], &[1, 2, 3]);
     }
 
     #[test]
     fn unknown_destination_fails() {
         let hub = InprocHub::new();
-        assert!(!hub.send(r(9), vec![0]));
+        assert!(!hub.send(r(9), frame(&[0])));
     }
 
     #[test]
@@ -86,7 +112,7 @@ mod tests {
         let hub = InprocHub::new();
         let _rx = hub.register(r(0));
         hub.deregister(r(0));
-        assert!(!hub.send(r(0), vec![0]));
+        assert!(!hub.send(r(0), frame(&[0])));
         assert!(hub.is_empty());
     }
 
@@ -95,7 +121,7 @@ mod tests {
         let hub = InprocHub::new();
         let rx = hub.register(r(1));
         drop(rx);
-        assert!(!hub.send(r(1), vec![0]));
+        assert!(!hub.send(r(1), frame(&[0])));
     }
 
     #[test]
@@ -103,11 +129,37 @@ mod tests {
         let hub = InprocHub::new();
         let rx0 = hub.register(r(0));
         let rx1 = hub.register(NodeId::Client(ClientId(0)));
-        hub.send(r(0), vec![0]);
-        hub.send(NodeId::Client(ClientId(0)), vec![1]);
-        assert_eq!(rx0.recv().unwrap(), vec![0]);
-        assert_eq!(rx1.recv().unwrap(), vec![1]);
+        hub.send(r(0), frame(&[0]));
+        hub.send(NodeId::Client(ClientId(0)), frame(&[1]));
+        assert_eq!(&rx0.recv().unwrap()[..], &[0]);
+        assert_eq!(&rx1.recv().unwrap()[..], &[1]);
         assert_eq!(hub.len(), 2);
+    }
+
+    /// A broadcast shares one frame allocation across all recipients.
+    #[test]
+    fn broadcast_shares_one_frame() {
+        let hub = InprocHub::new();
+        let rx1 = hub.register(r(1));
+        let rx2 = hub.register(r(2));
+        let rx3 = hub.register(r(3));
+        let _client = hub.register(NodeId::Client(ClientId(0)));
+        let f = frame(b"propose");
+        assert_eq!(hub.broadcast(r(0), &f), 3, "replicas only, sender excluded");
+        for rx in [&rx1, &rx2, &rx3] {
+            let got = rx.recv().unwrap();
+            assert_eq!(&got[..], b"propose");
+            assert!(got.shares_buffer_with(&f), "recipients must share the sender's buffer");
+        }
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let hub = InprocHub::new();
+        let rx0 = hub.register(r(0));
+        let _rx1 = hub.register(r(1));
+        hub.broadcast(r(0), &frame(b"x"));
+        assert!(rx0.try_recv().is_err(), "sender must not hear its own broadcast");
     }
 
     #[test]
@@ -117,7 +169,7 @@ mod tests {
         let hub2 = hub.clone();
         let handle = std::thread::spawn(move || {
             for i in 0..100u8 {
-                assert!(hub2.send(r(0), vec![i]));
+                assert!(hub2.send(r(0), WireBytes::from(vec![i])));
             }
         });
         handle.join().unwrap();

@@ -9,9 +9,10 @@
 //!   (§II-B: "when the network is unreliable and messages do not get
 //!   delivered…") are expressed through this model.
 //! * [`inproc`] — the *in-process* transport: crossbeam channels carrying
-//!   encoded envelopes between the threads of the fabric runtime
-//!   (paper §III's multi-threaded pipelined architecture), exercising the
-//!   real wire codec.
+//!   encoded [`poe_kernel::wire::WireBytes`] frames between the threads
+//!   of the fabric runtime (paper §III's multi-threaded pipelined
+//!   architecture), exercising the real wire codec. Broadcasts encode
+//!   once and share the frame across every recipient queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

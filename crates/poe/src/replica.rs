@@ -157,6 +157,10 @@ pub struct PoeReplica {
     nv_sent: BTreeSet<View>,
     /// Messages from views ahead of ours, replayed after a view change.
     stashed: Vec<(NodeId, ProtocolMsg)>,
+    /// Reused signing-bytes scratch for batched client-signature
+    /// verification (one buffer per replica instead of one `Vec` per
+    /// request per PROPOSE).
+    sig_scratch: Vec<u8>,
 }
 
 impl PoeReplica {
@@ -201,6 +205,7 @@ impl PoeReplica {
             pending_vc: BTreeMap::new(),
             nv_sent: BTreeSet::new(),
             stashed: Vec::new(),
+            sig_scratch: Vec::new(),
         }
     }
 
@@ -387,21 +392,22 @@ impl PoeReplica {
             return;
         }
         // Backups validate the client signatures the primary vouched for
-        // (Figure 3 Line 14) — in one batched pass.
+        // (Figure 3 Line 14) — in one batched pass over one reused
+        // scratch buffer (no per-request body allocations).
         if self.cfg.crypto_mode != CryptoMode::None {
-            let bodies: Vec<Vec<u8>> = batch
-                .requests
-                .iter()
-                .map(|r| ClientRequest::signing_bytes(r.client, r.req_id, &r.op))
-                .collect();
-            let mut items: Vec<(NodeIndex, &[u8], Signature)> =
+            let client_base = self.cfg.n as u32;
+            let scratch = &mut self.sig_scratch;
+            scratch.clear();
+            let mut spans: Vec<(NodeIndex, std::ops::Range<usize>, Signature)> =
                 Vec::with_capacity(batch.requests.len());
-            for (req, body) in batch.requests.iter().zip(&bodies) {
-                match &req.signature {
-                    Some(sig) => items.push((self.client_index(req.client), body.as_slice(), *sig)),
-                    None => return,
-                }
+            for req in &batch.requests {
+                let Some(sig) = &req.signature else { return };
+                let start = scratch.len();
+                ClientRequest::write_signing_bytes(scratch, req.client, req.req_id, &req.op);
+                spans.push((client_base + req.client.0, start..scratch.len(), *sig));
             }
+            let items: Vec<(NodeIndex, &[u8], Signature)> =
+                spans.iter().map(|(idx, span, sig)| (*idx, &scratch[span.clone()], *sig)).collect();
             if !self.crypto.verify_batch_from(&items) {
                 return;
             }

@@ -147,7 +147,7 @@ fn request(
     let op = Transaction::put(key, format!("v{req_id}")).encode();
     let signature = (crypto_mode != CryptoMode::None)
         .then(|| km.client(0).sign(&ClientRequest::signing_bytes(ClientId(0), req_id, &op)));
-    ClientRequest { client: ClientId(0), req_id, op: Arc::new(op), signature }
+    ClientRequest::new(ClientId(0), req_id, op, signature)
 }
 
 fn assert_converged(replicas: &[PoeReplica], skip: &BTreeSet<usize>) {
@@ -212,8 +212,15 @@ fn tampered_client_signature_is_not_proposed() {
     let (mut replicas, km) =
         cluster(SupportMode::Threshold, CryptoMode::Cmac, CertScheme::MultiSig, |c| c);
     let mut pump = Pump::new();
-    let mut req = request(&km, CryptoMode::Cmac, 0, "a");
-    req.op = Arc::new(Transaction::put("tampered", "x").encode());
+    let orig = request(&km, CryptoMode::Cmac, 0, "a");
+    // Keep the signature but swap the payload (a fresh request: identity
+    // fields are immutable once built, see `ClientRequest`).
+    let req = ClientRequest::new(
+        orig.client,
+        orig.req_id,
+        Transaction::put("tampered", "x").encode(),
+        orig.signature,
+    );
     pump.inject(0, NodeId::Client(ClientId(0)), ProtocolMsg::Request(req));
     pump.run(&mut replicas);
     assert_eq!(replicas[0].execution_frontier(), SeqNum(0));

@@ -2,7 +2,7 @@
 //! speculative store), workload-driven clients, key material, and the
 //! network model, wired into a [`Simulator`].
 
-use crate::engine::Simulator;
+use crate::engine::{DeliveryMode, Simulator};
 use poe_consensus::{PoeReplica, SupportMode};
 use poe_crypto::KeyMaterial;
 use poe_kernel::automaton::{ClientAutomaton, ReplicaAutomaton};
@@ -31,6 +31,8 @@ pub struct PoeClusterConfig {
     pub drop_prob: f64,
     /// Workload shape (defaults to the laptop-scale YCSB table).
     pub ycsb: YcsbConfig,
+    /// Message delivery mode (encoded shared frames by default).
+    pub delivery: DeliveryMode,
 }
 
 impl PoeClusterConfig {
@@ -52,7 +54,14 @@ impl PoeClusterConfig {
             delay: DelayModel::Constant(poe_kernel::time::Duration::from_millis(1)),
             drop_prob: 0.0,
             ycsb: YcsbConfig::small(),
+            delivery: DeliveryMode::default(),
         }
+    }
+
+    /// Paper-scale configuration (§IV: n = 91, f = 30, nf = 61) with the
+    /// same simulation-friendly crypto defaults as [`PoeClusterConfig::new`].
+    pub fn paper_scale(support: SupportMode) -> PoeClusterConfig {
+        PoeClusterConfig::new(91, support)
     }
 
     /// Total requests the clients will submit.
@@ -100,5 +109,5 @@ pub fn build_poe_cluster(cfg: &PoeClusterConfig) -> Simulator {
         })
         .collect();
     let net = NetworkModel::new(cfg.delay).with_drop_prob(cfg.drop_prob);
-    Simulator::new(net, cluster.seed, replicas, clients)
+    Simulator::with_delivery_mode(net, cluster.seed, replicas, clients, cfg.delivery)
 }

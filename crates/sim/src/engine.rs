@@ -8,17 +8,34 @@
 //! comes from one seeded RNG drawn in event order, and automatons are
 //! required to emit actions deterministically (the PoE implementation
 //! uses only ordered containers).
+//!
+//! ## The wire path
+//!
+//! By default ([`DeliveryMode::Wire`]) the engine is wire-accurate:
+//! every send/broadcast encodes its message **exactly once** into a
+//! refcounted [`WireBytes`] frame, every edge carries a clone of the
+//! *view* (a refcount bump — a broadcast to `n − 1` recipients does
+//! O(1) work per extra edge and holds one frame in the queue, not
+//! `n − 1` message copies), and each delivery decodes through the
+//! codec's zero-copy shared mode, so request payloads point into the
+//! frame all the way into the consensus slots. [`DeliveryMode::Direct`]
+//! skips the codec and hands automaton messages across directly; the
+//! scenario suite asserts both modes produce byte-identical traces,
+//! which is the proof that the wire path is semantically transparent.
 
 use poe_kernel::automaton::{Action, ClientAutomaton, Event, Notification, ReplicaAutomaton};
+use poe_kernel::codec;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
 use poe_kernel::messages::ProtocolMsg;
 use poe_kernel::time::{Duration, Time};
 use poe_kernel::timer::{TimerKind, TimerTable};
+use poe_kernel::wire::WireBytes;
 use poe_net::NetworkModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 /// An injectable fault, applied when its scheduled time arrives.
 #[derive(Clone, Debug)]
@@ -37,9 +54,30 @@ pub enum Fault {
     Reconnect(NodeId),
 }
 
+/// How messages travel between automatons.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeliveryMode {
+    /// Encode once per send/broadcast into a shared [`WireBytes`] frame;
+    /// decode (zero-copy) at each delivery. Wire-accurate and the
+    /// default.
+    #[default]
+    Wire,
+    /// Hand `ProtocolMsg` values across directly, skipping the codec
+    /// (the pre-wire-path engine behavior; kept for A/B trace checks).
+    Direct,
+}
+
+/// A queued message body: either an encoded frame shared by every edge
+/// of its broadcast, or (direct mode) a shared pointer to the message.
+#[derive(Clone)]
+enum Payload {
+    Frame(WireBytes),
+    Msg(Arc<ProtocolMsg>),
+}
+
 enum Queued {
     Init { node: NodeId },
-    Deliver { to: NodeId, from: NodeId, msg: ProtocolMsg },
+    Deliver { to: NodeId, from: NodeId, payload: Payload },
     Timer { node: NodeId, kind: TimerKind, gen: u64 },
     Fault(Fault),
 }
@@ -90,6 +128,14 @@ pub struct SimStats {
     pub rollbacks: u64,
     /// `CheckpointStable` notifications across all replicas.
     pub checkpoints: u64,
+    /// Wire mode: messages encoded (one per send/broadcast *action*, no
+    /// matter how many recipients the broadcast fans out to).
+    pub wire_encodes: u64,
+    /// Wire mode: frame bytes produced by those encodes (each broadcast
+    /// frame counted once, not once per edge).
+    pub wire_encoded_bytes: u64,
+    /// Wire mode: deliveries decoded from a shared frame.
+    pub wire_decodes: u64,
 }
 
 /// The deterministic simulator.
@@ -103,26 +149,52 @@ pub struct Simulator {
     client_timers: Vec<TimerTable>,
     net: NetworkModel,
     rng: StdRng,
+    delivery: DeliveryMode,
     crashed: BTreeSet<NodeId>,
     muted: BTreeSet<NodeId>,
     trace: Vec<String>,
     stats: SimStats,
+    /// Recycled across deliveries (capacity survives; see
+    /// [`Outbox::drain_iter`]).
+    outbox: poe_kernel::automaton::Outbox,
+    /// Reused encode buffer: frames are written here (no measuring
+    /// pass, no per-frame buffer allocation) and then copied once into
+    /// their exact-size shared allocation.
+    frame_scratch: Vec<u8>,
 }
 
 impl Simulator {
     /// Builds a simulator over the given automatons; every node receives
     /// [`Event::Init`] at time zero (replicas first, then clients).
+    /// Messages travel as encoded frames ([`DeliveryMode::Wire`]); see
+    /// [`Simulator::with_delivery_mode`].
     pub fn new(
         net: NetworkModel,
         seed: u64,
         replicas: Vec<Box<dyn ReplicaAutomaton>>,
         clients: Vec<Box<dyn ClientAutomaton>>,
     ) -> Simulator {
+        Simulator::with_delivery_mode(net, seed, replicas, clients, DeliveryMode::default())
+    }
+
+    /// [`Simulator::new`] with an explicit [`DeliveryMode`].
+    pub fn with_delivery_mode(
+        net: NetworkModel,
+        seed: u64,
+        replicas: Vec<Box<dyn ReplicaAutomaton>>,
+        clients: Vec<Box<dyn ClientAutomaton>>,
+        delivery: DeliveryMode,
+    ) -> Simulator {
         let replica_timers = replicas.iter().map(|_| TimerTable::new()).collect();
         let client_timers = clients.iter().map(|_| TimerTable::new()).collect();
+        // Pre-size the event queue for the steady-state in-flight load:
+        // every replica keeps a few broadcasts and timers queued at once,
+        // so paper-scale runs (n = 91) do not spend their warm-up
+        // repeatedly regrowing the heap.
+        let nodes = replicas.len() + clients.len();
         let mut sim = Simulator {
             now: Time::ZERO,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(64 * nodes.max(4)),
             next_id: 0,
             replicas,
             clients,
@@ -130,10 +202,13 @@ impl Simulator {
             client_timers,
             net,
             rng: StdRng::seed_from_u64(seed),
+            delivery,
             crashed: BTreeSet::new(),
             muted: BTreeSet::new(),
             trace: Vec::new(),
             stats: SimStats::default(),
+            outbox: poe_kernel::automaton::Outbox::new(),
+            frame_scratch: Vec::new(),
         };
         for i in 0..sim.replicas.len() {
             sim.push(Time::ZERO, Queued::Init { node: NodeId::Replica(ReplicaId(i as u32)) });
@@ -142,6 +217,11 @@ impl Simulator {
             sim.push(Time::ZERO, Queued::Init { node: NodeId::Client(ClientId(c as u32)) });
         }
         sim
+    }
+
+    /// The delivery mode in use.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.delivery
     }
 
     fn push(&mut self, at: Time, queued: Queued) {
@@ -210,11 +290,21 @@ impl Simulator {
         self.now = at;
         match queued {
             Queued::Init { node } => self.deliver(node, Event::Init),
-            Queued::Deliver { to, from, msg } => {
+            Queued::Deliver { to, from, payload } => {
                 if self.crashed.contains(&to) {
                     self.stats.dropped += 1;
                 } else {
                     self.stats.delivered += 1;
+                    let msg = match payload {
+                        Payload::Frame(frame) => {
+                            self.stats.wire_decodes += 1;
+                            codec::decode_msg_shared(&frame)
+                                .expect("engine-encoded frame must decode")
+                        }
+                        // Direct mode: the last recipient takes the
+                        // message; earlier ones clone it.
+                        Payload::Msg(m) => Arc::try_unwrap(m).unwrap_or_else(|m| (*m).clone()),
+                    };
                     self.deliver(to, Event::Deliver { from, msg });
                 }
             }
@@ -263,26 +353,50 @@ impl Simulator {
     }
 
     fn deliver(&mut self, node: NodeId, event: Event) {
-        let mut out = poe_kernel::automaton::Outbox::new();
+        let mut out = std::mem::take(&mut self.outbox);
         match node {
             NodeId::Replica(r) => self.replicas[r.index()].on_event(self.now, event, &mut out),
             NodeId::Client(c) => self.clients[c.index()].on_event(self.now, event, &mut out),
         }
-        for action in out.drain() {
+        for action in out.drain_iter() {
             self.apply_action(node, action);
+        }
+        self.outbox = out;
+    }
+
+    /// Packs a message for transit: in wire mode this is the **single**
+    /// encode its whole broadcast shares. The message is written into
+    /// the recycled scratch buffer (skipping `encoded_len`'s measuring
+    /// pass) and copied once into its exact-size shared frame.
+    fn pack(&mut self, msg: ProtocolMsg) -> Payload {
+        match self.delivery {
+            DeliveryMode::Wire => {
+                self.frame_scratch.clear();
+                codec::write_msg(&mut self.frame_scratch, &msg);
+                let frame = WireBytes::copy_from(&self.frame_scratch);
+                self.stats.wire_encodes += 1;
+                self.stats.wire_encoded_bytes += frame.len() as u64;
+                Payload::Frame(frame)
+            }
+            DeliveryMode::Direct => Payload::Msg(Arc::new(msg)),
         }
     }
 
     fn apply_action(&mut self, from: NodeId, action: Action) {
         match action {
-            Action::Send { to, msg } => self.route(from, to, msg),
+            Action::Send { to, msg } => {
+                let payload = self.pack(msg);
+                self.route(from, to, payload);
+            }
             Action::Broadcast { msg } => {
                 // Convention: a broadcast reaches every replica other
                 // than the sender (clients broadcast to all replicas).
+                // One encode; every edge carries a clone of the view.
+                let payload = self.pack(msg);
                 for i in 0..self.replicas.len() {
                     let to = NodeId::Replica(ReplicaId(i as u32));
                     if to != from {
-                        self.route(from, to, msg.clone());
+                        self.route(from, to, payload.clone());
                     }
                 }
             }
@@ -302,7 +416,7 @@ impl Simulator {
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, msg: ProtocolMsg) {
+    fn route(&mut self, from: NodeId, to: NodeId, payload: Payload) {
         if self.muted.contains(&from) || self.crashed.contains(&to) {
             self.stats.dropped += 1;
             return;
@@ -311,7 +425,7 @@ impl Simulator {
             None => self.stats.dropped += 1,
             Some(delay) => {
                 let at = self.now + delay;
-                self.push(at, Queued::Deliver { to, from, msg });
+                self.push(at, Queued::Deliver { to, from, payload });
             }
         }
     }
@@ -357,5 +471,94 @@ impl Simulator {
             self.run_for(tick);
         }
         self.completed_requests() >= target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::Digest;
+    use poe_kernel::automaton::Outbox;
+    use poe_kernel::ids::SeqNum;
+    use poe_net::DelayModel;
+
+    /// A replica that broadcasts one checkpoint vote on Init and counts
+    /// what it hears.
+    struct Chatter {
+        id: ReplicaId,
+        heard: u64,
+    }
+
+    impl ReplicaAutomaton for Chatter {
+        fn id(&self) -> ReplicaId {
+            self.id
+        }
+
+        fn on_event(&mut self, _now: Time, event: Event, out: &mut Outbox) {
+            match event {
+                Event::Init => out.broadcast(ProtocolMsg::Checkpoint {
+                    seq: SeqNum(self.id.0 as u64),
+                    state_digest: Digest::of(&self.id.0.to_le_bytes()),
+                }),
+                Event::Deliver { .. } => self.heard += 1,
+                Event::Timeout(_) => {}
+            }
+        }
+
+        fn current_view(&self) -> poe_kernel::ids::View {
+            poe_kernel::ids::View::ZERO
+        }
+
+        fn execution_frontier(&self) -> SeqNum {
+            SeqNum::ZERO
+        }
+
+        fn state_digest(&self) -> Digest {
+            Digest::EMPTY
+        }
+
+        fn ledger_digest(&self) -> Digest {
+            Digest::EMPTY
+        }
+
+        fn protocol_name(&self) -> &'static str {
+            "chatter"
+        }
+    }
+
+    fn chatter_sim(n: usize, mode: DeliveryMode) -> Simulator {
+        let replicas: Vec<Box<dyn ReplicaAutomaton>> =
+            (0..n).map(|i| Box::new(Chatter { id: ReplicaId(i as u32), heard: 0 }) as _).collect();
+        let net = NetworkModel::new(DelayModel::Constant(Duration::from_millis(1)));
+        Simulator::with_delivery_mode(net, 7, replicas, Vec::new(), mode)
+    }
+
+    /// The encode-once broadcast contract: one encode per broadcast
+    /// *action*, one decode per delivered edge.
+    #[test]
+    fn broadcast_encodes_exactly_once() {
+        for n in [4usize, 91] {
+            let mut sim = chatter_sim(n, DeliveryMode::Wire);
+            sim.run_for(Duration::from_secs(1));
+            let stats = *sim.stats();
+            assert_eq!(stats.wire_encodes, n as u64, "one encode per broadcasting replica");
+            assert_eq!(stats.wire_decodes, (n * (n - 1)) as u64, "one decode per delivered edge");
+            assert_eq!(stats.delivered, stats.wire_decodes);
+            // The frame-byte counter follows encodes, not edges.
+            let one_frame = poe_kernel::codec::encoded_len(&ProtocolMsg::Checkpoint {
+                seq: SeqNum(0),
+                state_digest: Digest::EMPTY,
+            }) as u64;
+            assert_eq!(stats.wire_encoded_bytes, n as u64 * one_frame);
+        }
+    }
+
+    #[test]
+    fn direct_mode_skips_the_codec() {
+        let mut sim = chatter_sim(4, DeliveryMode::Direct);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.stats().wire_encodes, 0);
+        assert_eq!(sim.stats().wire_decodes, 0);
+        assert_eq!(sim.stats().delivered, 12);
     }
 }

@@ -31,4 +31,4 @@ pub mod cluster;
 pub mod engine;
 
 pub use cluster::{build_poe_cluster, PoeClusterConfig};
-pub use engine::{Fault, SimStats, Simulator};
+pub use engine::{DeliveryMode, Fault, SimStats, Simulator};

@@ -7,7 +7,7 @@ use poe_crypto::Digest;
 use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
 use poe_kernel::time::{Duration, Time};
 use poe_net::DelayModel;
-use poe_sim::{build_poe_cluster, Fault, PoeClusterConfig, Simulator};
+use poe_sim::{build_poe_cluster, DeliveryMode, Fault, PoeClusterConfig, Simulator};
 
 fn secs(s: u64) -> Time {
     Time(Duration::from_secs(s).as_nanos())
@@ -217,6 +217,95 @@ fn checkpoints_stabilize_in_simulation() {
     sim.run_for(Duration::from_secs(1));
     assert!(sim.stats().checkpoints >= 4, "got {}", sim.stats().checkpoints);
     assert_converged(&sim);
+}
+
+/// The zero-copy refactor gate: the wire path (encode once → shared
+/// frame → zero-copy decode per recipient) must be semantically
+/// invisible. Running the same seeded scenario with the codec in the
+/// loop (`Wire`, the default) and without it (`Direct`, the pre-refactor
+/// engine behavior) must produce byte-identical notification traces —
+/// i.e. traces before and after the zero-copy wire path are identical.
+#[test]
+fn wire_and_direct_delivery_traces_are_byte_identical() {
+    let run = |delivery: DeliveryMode| -> (Vec<u8>, u64, Digest) {
+        let mut cfg = PoeClusterConfig::new(4, SupportMode::Threshold);
+        cfg.delivery = delivery;
+        cfg.n_clients = 2;
+        cfg.requests_per_client = 50;
+        cfg.delay = DelayModel::ExponentialTail {
+            base: Duration::from_micros(400),
+            tail_mean: Duration::from_micros(300),
+        };
+        cfg.drop_prob = 0.005;
+        let mut sim = build_poe_cluster(&cfg);
+        sim.schedule_fault(
+            Time(Duration::from_millis(25).as_nanos()),
+            Fault::Crash(NodeId::Replica(ReplicaId(0))),
+        );
+        sim.run_until(secs(30));
+        (sim.trace_bytes(), sim.completed_requests(), sim.replica(1).ledger_digest())
+    };
+    let (wire_trace, wire_done, wire_ledger) = run(DeliveryMode::Wire);
+    let (direct_trace, direct_done, direct_ledger) = run(DeliveryMode::Direct);
+    assert!(wire_done >= 100, "scenario must make progress (got {wire_done})");
+    assert_eq!(wire_done, direct_done);
+    assert_eq!(wire_ledger, direct_ledger, "ledgers must agree across delivery modes");
+    assert_eq!(wire_trace, direct_trace, "the encoded wire path must be semantically transparent");
+}
+
+/// Wire mode does the paper's data-plane accounting: every broadcast is
+/// encoded exactly once and shared, so the number of encodes is far
+/// below the number of delivered messages (≈ n − 1 lower for
+/// broadcast-dominated traffic), and every delivery is decoded.
+#[test]
+fn wire_mode_encodes_once_per_broadcast() {
+    let cfg = PoeClusterConfig::new(4, SupportMode::Threshold);
+    let mut sim = build_poe_cluster(&cfg);
+    assert!(sim.run_until_completed(1000, secs(60)));
+    sim.run_for(Duration::from_secs(1));
+    let stats = sim.stats();
+    assert_eq!(
+        stats.delivered, stats.wire_decodes,
+        "every delivered message must go through the shared-frame decoder"
+    );
+    assert!(
+        stats.wire_encodes < stats.wire_decodes,
+        "broadcast frames must be shared, not re-encoded per edge \
+         (encodes={}, decodes={})",
+        stats.wire_encodes,
+        stats.wire_decodes
+    );
+}
+
+/// Paper-scale smoke (§IV: n = 91, f = 30, nf = 61): a small fixed-seed
+/// workload completes, replicas converge, and the encode-once broadcast
+/// keeps the frame count ~n× below the delivery count. This is the CI
+/// gate that keeps paper-scale wiring from rotting.
+#[test]
+fn paper_scale_n91_smoke() {
+    let mut cfg = PoeClusterConfig::paper_scale(SupportMode::Threshold);
+    cfg.cluster = cfg.cluster.with_batch_size(10);
+    cfg.n_clients = 2;
+    cfg.requests_per_client = 20;
+    assert_eq!(cfg.cluster.n, 91);
+    assert_eq!(cfg.cluster.nf(), 61);
+    let mut sim = build_poe_cluster(&cfg);
+    assert!(sim.run_until_completed(40, secs(60)), "only {} done", sim.completed_requests());
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(sim.stats().view_changes, 0);
+    assert_converged(&sim);
+    let stats = sim.stats();
+    assert_eq!(stats.delivered, stats.wire_decodes);
+    // Unicasts (SUPPORT, INFORM) encode one frame per delivery, but each
+    // of the 4 batches also fans PROPOSE + CERTIFY out to 90 recipients
+    // from ONE encode each — so decodes must exceed encodes by at least
+    // those 4 × 2 × 89 shared broadcast edges.
+    assert!(
+        stats.wire_decodes >= stats.wire_encodes + 4 * 2 * 89,
+        "n = 91 broadcasts must share frames (encodes={}, decodes={})",
+        stats.wire_encodes,
+        stats.wire_decodes
+    );
 }
 
 /// The determinism gate: the same seed must reproduce a byte-identical

@@ -14,7 +14,6 @@
 //! This client-side burden is exactly why a single crashed backup
 //! devastates Zyzzyva in Figure 9(a).
 
-use poe_crypto::digest::digest_concat;
 use poe_crypto::provider::CryptoProvider;
 use poe_crypto::Digest;
 use poe_kernel::automaton::{ClientAutomaton, Event, Notification, Outbox, RequestSource};
@@ -24,8 +23,8 @@ use poe_kernel::quorum::MatchingVotes;
 use poe_kernel::request::ClientRequest;
 use poe_kernel::time::{Duration, Time};
 use poe_kernel::timer::TimerKind;
+use poe_kernel::wire::WireBytes;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// How many replies complete a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,25 +110,26 @@ impl ClientConfig {
     }
 }
 
-/// Reply-matching key: identical means same (view, seq, result).
-fn reply_key(view: View, seq: SeqNum, result: &[u8]) -> Digest {
-    digest_concat(&[&view.0.to_le_bytes(), &seq.0.to_le_bytes(), result])
-}
-
-/// Zyzzyva spec-response key: additionally matches the history digest.
-fn zyz_key(view: View, seq: SeqNum, history: &Digest, result: &[u8]) -> Digest {
-    digest_concat(&[&view.0.to_le_bytes(), &seq.0.to_le_bytes(), history.as_bytes(), result])
+/// Reply-matching key: identical means same (view, seq, result) — and,
+/// for Zyzzyva speculative responses, the same history digest. Replies
+/// are matched by *value* (the result is a cheap shared view), not by
+/// hashing: reply collection runs once per reply per request, and a
+/// tuple compare beats a digest there.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct ReplyKey {
+    view: View,
+    seq: SeqNum,
+    /// `None` outside Zyzzyva's speculative fast path.
+    history: Option<Digest>,
+    result: WireBytes,
 }
 
 struct InFlight {
     request: ClientRequest,
     submitted_at: Time,
-    votes: MatchingVotes<Digest>,
-    /// Zyzzyva: (view, seq, history) per matching key, to build the
-    /// commit certificate.
-    zyz_meta: HashMap<Digest, (View, SeqNum, Digest)>,
+    votes: MatchingVotes<ReplyKey>,
     commit_sent: bool,
-    local_commits: MatchingVotes<Digest>,
+    local_commits: MatchingVotes<ReplyKey>,
     retries: u32,
 }
 
@@ -201,8 +201,7 @@ impl WorkloadClient {
                 let bytes = ClientRequest::signing_bytes(self.cfg.id, req_id, &op);
                 self.crypto.sign(&bytes)
             });
-            let request =
-                ClientRequest { client: self.cfg.id, req_id, op: Arc::new(op), signature };
+            let request = ClientRequest::new(self.cfg.id, req_id, op, signature);
             let primary = self.view_hint.primary(self.cfg.n);
             out.send(primary, ProtocolMsg::Request(request.clone()));
             out.set_timer(TimerKind::ClientRetry(req_id), self.cfg.retry);
@@ -215,7 +214,6 @@ impl WorkloadClient {
                     request,
                     submitted_at: now,
                     votes: MatchingVotes::new(),
-                    zyz_meta: HashMap::new(),
                     commit_sent: false,
                     local_commits: MatchingVotes::new(),
                     retries: 0,
@@ -260,25 +258,39 @@ impl WorkloadClient {
                 | ReplyKind::SbftExecuteAck
                 | ReplyKind::HsReply,
             ) => {
-                let key = reply_key(reply.view, reply.seq, &reply.result);
-                entry.votes.insert(reply.replica, key);
+                let key = ReplyKey {
+                    view: reply.view,
+                    seq: reply.seq,
+                    history: None,
+                    result: reply.result,
+                };
+                entry.votes.insert(reply.replica, key.clone());
                 if entry.votes.count_for(&key) >= quorum {
                     self.complete(req_id, now, out);
                 }
             }
             (ReplyPolicy::Zyzzyva, ReplyKind::ZyzSpecResponse) => {
                 let history = reply.history.unwrap_or(Digest::EMPTY);
-                let key = zyz_key(reply.view, reply.seq, &history, &reply.result);
-                entry.zyz_meta.insert(key, (reply.view, reply.seq, history));
-                entry.votes.insert(reply.replica, key);
+                let key = ReplyKey {
+                    view: reply.view,
+                    seq: reply.seq,
+                    history: Some(history),
+                    result: reply.result,
+                };
+                entry.votes.insert(reply.replica, key.clone());
                 // Fast path: all n replicas agree.
                 if entry.votes.count_for(&key) >= self.cfg.n {
                     self.complete(req_id, now, out);
                 }
             }
             (ReplyPolicy::Zyzzyva, ReplyKind::ZyzLocalCommit) => {
-                let key = reply_key(reply.view, reply.seq, &reply.result);
-                entry.local_commits.insert(reply.replica, key);
+                let key = ReplyKey {
+                    view: reply.view,
+                    seq: reply.seq,
+                    history: None,
+                    result: reply.result,
+                };
+                entry.local_commits.insert(reply.replica, key.clone());
                 if entry.local_commits.count_for(&key) > self.cfg.f {
                     self.complete(req_id, now, out);
                 }
@@ -306,16 +318,18 @@ impl WorkloadClient {
         if entry.commit_sent {
             return;
         }
-        // Find a spec-response value with >= 2f+1 matches.
-        let candidate = entry
-            .zyz_meta
-            .iter()
-            .find(|(key, _)| entry.votes.count_for(key) >= commit_quorum)
-            .map(|(key, meta)| (*key, *meta));
-        if let Some((key, (view, seq, history))) = candidate {
+        // Find a spec-response value with >= 2f+1 matches; everything
+        // the commit certificate needs lives in the matching key itself.
+        let candidate = entry.votes.quorum_value(commit_quorum).cloned();
+        if let Some(key) = candidate {
             let replicas: Vec<_> = entry.votes.voters_for(&key).collect();
             entry.commit_sent = true;
-            out.broadcast(ProtocolMsg::ZyzCommit(ZyzCommitCert { view, seq, history, replicas }));
+            out.broadcast(ProtocolMsg::ZyzCommit(ZyzCommitCert {
+                view: key.view,
+                seq: key.seq,
+                history: key.history.unwrap_or(Digest::EMPTY),
+                replicas,
+            }));
             // Await f+1 local commits; the retry timer still guards us.
         } else {
             // Not enough matching responses: re-arm and keep waiting; the
@@ -393,7 +407,7 @@ mod tests {
             seq: SeqNum(0),
             req_digest: entry.request.digest(),
             req_id,
-            result: result.to_vec(),
+            result: result.to_vec().into(),
             replica: ReplicaId(replica),
             history,
         }
@@ -595,7 +609,7 @@ mod tests {
             seq: SeqNum(0),
             req_digest: Digest::of(b"whatever"),
             req_id: 0,
-            result: b"ok".to_vec(),
+            result: b"ok".to_vec().into(),
             replica: ReplicaId(2),
             history: None,
         };

@@ -49,8 +49,21 @@ impl Zipfian {
         self.theta
     }
 
+    /// `ζ(n, θ)`, memoized process-wide: the sum is O(n) `powf` calls
+    /// (500 k terms at the paper's table size) and every simulated
+    /// client constructs its own generator over the same table.
     fn zeta(n: usize, theta: f64) -> f64 {
-        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(usize, u64), f64>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (n, theta.to_bits());
+        if let Some(z) = cache.lock().expect("zeta cache").get(&key) {
+            return *z;
+        }
+        let z = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        cache.lock().expect("zeta cache").insert(key, z);
+        z
     }
 
     /// Draws the next key index.

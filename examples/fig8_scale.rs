@@ -1,0 +1,72 @@
+//! Figure-8-shaped data at paper scale: simulated PoE throughput across
+//! cluster sizes up to the paper's n = 91 (§IV: f = 30, nf = 61), for
+//! both SUPPORT modes, emitted as CSV on stdout.
+//!
+//! ```sh
+//! cargo run --release --example fig8_scale > fig8.csv
+//! ```
+//!
+//! Columns: support mode, cluster size, fault bound, quorum, completed
+//! requests, simulated seconds, simulated requests/s, messages
+//! delivered, frames encoded, frames decoded. `frames_encoded` vs
+//! `frames_decoded` shows the encode-once broadcast at work: every
+//! broadcast is encoded one time and the frame is shared across all
+//! n − 1 recipients, so the gap widens with n.
+
+use proof_of_execution::kernel::ids::{NodeId, ReplicaId};
+use proof_of_execution::kernel::time::{Duration, Time};
+use proof_of_execution::prelude::*;
+
+fn run_point(support: SupportMode, n: usize, requests_per_client: u64) {
+    let mut cfg = PoeClusterConfig::new(n, support);
+    cfg.cluster = cfg.cluster.with_batch_size(20);
+    cfg.n_clients = 2;
+    cfg.requests_per_client = requests_per_client;
+    let target = cfg.total_requests();
+    let mut sim = build_poe_cluster(&cfg);
+    let ok = sim.run_until_completed(target, Time(Duration::from_secs(300).as_nanos()));
+    assert!(ok, "n={n} {support:?}: only {}/{target} completed", sim.completed_requests());
+    sim.run_for(Duration::from_secs(1));
+
+    // Convergence audit before reporting numbers.
+    let mut reference = None;
+    for i in 0..sim.n_replicas() {
+        if sim.is_crashed(NodeId::Replica(ReplicaId(i as u32))) {
+            continue;
+        }
+        let r = sim.replica(i);
+        let tuple = (r.state_digest(), r.ledger_digest(), r.execution_frontier());
+        match &reference {
+            None => reference = Some(tuple),
+            Some(expect) => assert_eq!(*expect, tuple, "replica {i} diverged"),
+        }
+    }
+
+    let done = sim.completed_requests();
+    let virt = sim.now().as_secs_f64();
+    let stats = sim.stats();
+    let mode = match support {
+        SupportMode::Threshold => "ts",
+        SupportMode::Mac => "mac",
+    };
+    println!(
+        "{mode},{n},{f},{nf},{done},{virt:.3},{rps:.0},{delivered},{encodes},{decodes}",
+        f = cfg.cluster.f,
+        nf = cfg.cluster.nf(),
+        rps = done as f64 / virt,
+        delivered = stats.delivered,
+        encodes = stats.wire_encodes,
+        decodes = stats.wire_decodes,
+    );
+}
+
+fn main() {
+    println!(
+        "mode,n,f,nf,requests,virtual_secs,req_per_sec,delivered,frames_encoded,frames_decoded"
+    );
+    for support in [SupportMode::Threshold, SupportMode::Mac] {
+        for n in [4usize, 16, 31, 61, 91] {
+            run_point(support, n, 100);
+        }
+    }
+}

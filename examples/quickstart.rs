@@ -15,7 +15,6 @@ use proof_of_execution::kernel::messages::{Envelope, ProtocolMsg};
 use proof_of_execution::kernel::request::{Batch, ClientRequest};
 use proof_of_execution::kernel::statemachine::StateMachine;
 use proof_of_execution::store::{Op, SpeculativeStore, Transaction};
-use std::sync::Arc;
 
 fn main() {
     // --- cluster setup: 4 replicas, 2 clients, threshold nf = 3 -------
@@ -63,12 +62,12 @@ fn main() {
     println!("check_batch:  64/64 authenticators OK");
 
     // --- allocation-free codec path ------------------------------------
-    let batch = Batch::new(vec![ClientRequest {
-        client: ClientId(0),
-        req_id: 1,
-        op: Arc::new(Transaction::put("k", "v").encode()),
-        signature: None,
-    }]);
+    let batch = Batch::new(vec![ClientRequest::new(
+        ClientId(0),
+        1,
+        Transaction::put("k", "v").encode(),
+        None,
+    )]);
     let msg = ProtocolMsg::PoePropose { view: View(0), seq: SeqNum(1), batch };
     let mut pool = ScratchPool::new();
     let mut wire_len = 0;
@@ -94,15 +93,12 @@ fn main() {
     let mut store = SpeculativeStore::with_ycsb_table(1_000, 16);
     let base = store.state_digest();
     for seq in 0..5u64 {
-        let b = Batch::new(vec![ClientRequest {
-            client: ClientId(1),
-            req_id: seq,
-            op: Arc::new(
-                Transaction::single(Op::Put { key: b"spec".to_vec(), value: vec![seq as u8] })
-                    .encode(),
-            ),
-            signature: None,
-        }]);
+        let b = Batch::new(vec![ClientRequest::new(
+            ClientId(1),
+            seq,
+            Transaction::single(Op::Put { key: b"spec".to_vec(), value: vec![seq as u8] }).encode(),
+            None,
+        )]);
         store.apply(SeqNum(seq), &b);
     }
     assert_ne!(store.state_digest(), base);

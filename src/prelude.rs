@@ -4,5 +4,6 @@ pub use poe_consensus::{support_digest, PoeReplica, SupportMode};
 pub use poe_crypto::{CertScheme, CryptoMode, Digest};
 pub use poe_kernel::{
     Batch, ClientId, ClientRequest, ClusterConfig, Duration, NodeId, ReplicaId, SeqNum, Time, View,
+    WireBytes,
 };
-pub use poe_sim::{build_poe_cluster, Fault, PoeClusterConfig, SimStats, Simulator};
+pub use poe_sim::{build_poe_cluster, DeliveryMode, Fault, PoeClusterConfig, SimStats, Simulator};
