@@ -1,0 +1,97 @@
+//! Client threads: one OS thread per YCSB client, driving the
+//! [`WorkloadClient`] automaton on the wall clock.
+//!
+//! Each client registers its own hub endpoint, submits signed requests
+//! to the primary (broadcasting on retry, exactly like the simulated
+//! client), collects `nf` matching INFORMs per request, and records
+//! end-to-end latency from the `RequestComplete` notifications. The
+//! thread exits on its own once the workload budget is spent — that is
+//! the natural first phase of the cluster's shutdown protocol.
+
+use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::wheel::TimerWheel;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use poe_kernel::automaton::{Action, ClientAutomaton, Event, Notification, Outbox};
+use poe_kernel::codec::{decode_envelope_shared, ScratchPool};
+use poe_kernel::ids::NodeId;
+use poe_kernel::wire::WireBytes;
+use poe_workload::WorkloadClient;
+use std::sync::Arc;
+
+/// What one client thread reports back on exit.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ClientStats {
+    /// Requests completed (quorum of matching replies collected).
+    pub completed: u64,
+    /// Per-request end-to-end latency in nanoseconds, completion order.
+    pub latencies_ns: Vec<u64>,
+}
+
+pub(crate) fn client_loop(
+    shared: Arc<ClusterShared>,
+    rx: Receiver<WireBytes>,
+    mut client: WorkloadClient,
+) -> ClientStats {
+    let my_node = NodeId::Client(client.id());
+    let mut wheel = TimerWheel::new();
+    let mut scratch = ScratchPool::new();
+    let mut out = Outbox::new();
+    let mut stats = ClientStats::default();
+
+    let step = |client: &mut WorkloadClient,
+                event: Event,
+                wheel: &mut TimerWheel,
+                scratch: &mut ScratchPool,
+                out: &mut Outbox,
+                stats: &mut ClientStats| {
+        let now = shared.now();
+        client.on_event(now, event, out);
+        for action in out.drain_iter() {
+            match action {
+                Action::Send { to, msg } => {
+                    let frame = encode_frame(scratch, my_node, msg);
+                    shared.hub.send(to, frame);
+                }
+                Action::Broadcast { msg } => {
+                    // Client convention: a broadcast reaches all replicas
+                    // (the retransmission fallback of §II-B).
+                    let frame = encode_frame(scratch, my_node, msg);
+                    shared.hub.broadcast(my_node, &frame);
+                }
+                Action::SetTimer { kind, delay } => wheel.arm(kind, now + delay),
+                Action::CancelTimer { kind } => wheel.cancel(&kind),
+                Action::Notify(Notification::RequestComplete { submitted_at, .. }) => {
+                    stats.latencies_ns.push(now.since(submitted_at).as_nanos());
+                }
+                Action::Notify(_) => {}
+            }
+        }
+    };
+
+    step(&mut client, Event::Init, &mut wheel, &mut scratch, &mut out, &mut stats);
+    loop {
+        if client.is_done() || shared.stopped() {
+            break;
+        }
+        let now = shared.now();
+        while let Some(kind) = wheel.pop_expired(now) {
+            step(&mut client, Event::Timeout(kind), &mut wheel, &mut scratch, &mut out, &mut stats);
+        }
+        let wait = wheel.wait_budget(shared.now(), TICK);
+        match rx.recv_timeout(wait) {
+            Ok(frame) => {
+                if let Ok(env) = decode_envelope_shared(&frame) {
+                    let event = Event::Deliver { from: env.from, msg: env.msg };
+                    step(&mut client, event, &mut wheel, &mut scratch, &mut out, &mut stats);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Late INFORM frames for this client now fail fast at the hub
+    // instead of queueing into a dead endpoint.
+    shared.hub.deregister(my_node);
+    stats.completed = client.completed();
+    stats
+}

@@ -1,0 +1,385 @@
+//! [`FabricCluster`]: n replicas × four pipeline stages + YCSB client
+//! threads, wired over one [`poe_net::InprocHub`], with a deterministic
+//! three-phase shutdown (clients drain → replicas quiesce → stop/join).
+
+use crate::client::{client_loop, ClientStats};
+use crate::runtime::ClusterShared;
+use crate::stage::{
+    BatchingStats, ConsensusStats, EgressStats, ProbeSnapshot, ReplicaHandle, ReplicaSpawn,
+};
+use crate::IngressStats;
+use poe_consensus::SupportMode;
+use poe_crypto::{CertScheme, CryptoMode, Digest, KeyMaterial};
+use poe_kernel::automaton::ReplicaAutomaton;
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
+use poe_net::InprocHub;
+use poe_workload::{ClientConfig, WorkloadClient, YcsbConfig, YcsbWorkload};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a wall-clock fabric cluster.
+///
+/// Defaults mirror [`poe_sim`'s cluster defaults] for comparability
+/// (unauthenticated links, dealer-keyed simulated certificates, batch
+/// size 20) — except the checkpoint interval, which is shortened to 8 so
+/// realistic runs exercise checkpoint stability, undo-log GC, and the
+/// batch-container recycle loop on the wall clock.
+///
+/// [`poe_sim`'s cluster defaults]: https://docs.rs/poe-sim
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Shared cluster parameters (n, f, batch size, timeouts, crypto).
+    pub cluster: ClusterConfig,
+    /// SUPPORT mode: threshold shares (Fig. 3) or MAC votes (App. A).
+    pub support: SupportMode,
+    /// Number of client threads.
+    pub n_clients: usize,
+    /// Requests each client submits before stopping.
+    pub requests_per_client: u64,
+    /// Per-client in-flight window (closed loop when 1).
+    pub client_outstanding: usize,
+    /// Workload shape (defaults to the laptop-scale YCSB table).
+    pub ycsb: YcsbConfig,
+}
+
+impl FabricConfig {
+    /// An `n`-replica wall-clock cluster with four YCSB clients
+    /// submitting 250 requests each (≥ 1000 total).
+    pub fn new(n: usize, support: SupportMode) -> FabricConfig {
+        let cluster = ClusterConfig::new(n)
+            .with_crypto_mode(CryptoMode::None)
+            .with_cert_scheme(CertScheme::Simulated)
+            .with_batch_size(20)
+            .with_checkpoint_interval(8);
+        FabricConfig {
+            cluster,
+            support,
+            n_clients: 4,
+            requests_per_client: 250,
+            client_outstanding: 4,
+            ycsb: YcsbConfig::small(),
+        }
+    }
+
+    /// Total requests the clients will submit.
+    pub fn total_requests(&self) -> u64 {
+        self.n_clients as u64 * self.requests_per_client
+    }
+}
+
+/// Why a fabric run did not complete.
+#[derive(Debug)]
+pub enum FabricError {
+    /// Clients did not finish their workload before the deadline.
+    ClientsStalled {
+        /// Requests completed when the run was aborted.
+        completed: u64,
+        /// The configured target.
+        target: u64,
+        /// Probe dump for debugging.
+        detail: String,
+    },
+    /// Clients finished but the replicas kept processing (or diverged in
+    /// frontier) past the deadline.
+    QuiesceTimeout {
+        /// Probe dump for debugging.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::ClientsStalled { completed, target, detail } => {
+                write!(f, "clients stalled at {completed}/{target} requests; {detail}")
+            }
+            FabricError::QuiesceTimeout { detail } => {
+                write!(f, "replicas did not quiesce: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Final state and counters of one replica after shutdown.
+#[derive(Clone, Debug)]
+pub struct ReplicaReport {
+    /// The replica.
+    pub id: ReplicaId,
+    /// Final view.
+    pub view: View,
+    /// Contiguous execution frontier.
+    pub exec_frontier: SeqNum,
+    /// Committed blocks on the ledger.
+    pub ledger_len: usize,
+    /// Proof-independent committed-history digest (the cross-replica
+    /// convergence criterion; see `Ledger::history_digest`).
+    pub history_digest: Digest,
+    /// Application state digest.
+    pub state_digest: Digest,
+    /// Ingress-stage counters.
+    pub ingress: IngressStats,
+    /// Batching-stage counters.
+    pub batching: BatchingStats,
+    /// Consensus-stage counters.
+    pub consensus: ConsensusStats,
+    /// Egress-stage counters.
+    pub egress: EgressStats,
+}
+
+/// Latency summary over all completed requests (microseconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+}
+
+impl LatencySummary {
+    fn from_ns(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let pick = |q_num: usize, q_den: usize| {
+            let idx = (samples.len() - 1) * q_num / q_den;
+            samples[idx] / 1_000
+        };
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            count,
+            p50_us: pick(1, 2),
+            p99_us: pick(99, 100),
+            max_us: samples[samples.len() - 1] / 1_000,
+            mean_us: (sum / count as u128 / 1_000) as u64,
+        }
+    }
+}
+
+/// What a completed (and fully joined) fabric run reports.
+#[derive(Clone, Debug)]
+pub struct FabricReport {
+    /// Wall-clock duration from launch to the last thread join.
+    pub wall: Duration,
+    /// Requests completed across all clients.
+    pub completed_requests: u64,
+    /// End-to-end request latency summary.
+    pub latency: LatencySummary,
+    /// Per-replica final state and stage counters.
+    pub replicas: Vec<ReplicaReport>,
+    /// Threads joined during shutdown (stages + clients).
+    pub threads_joined: usize,
+}
+
+impl FabricReport {
+    /// True when every replica agrees on committed history and state.
+    pub fn converged(&self) -> bool {
+        let Some(first) = self.replicas.first() else { return true };
+        self.replicas.iter().all(|r| {
+            r.history_digest == first.history_digest && r.state_digest == first.state_digest
+        })
+    }
+
+    /// The common history digest (when converged).
+    pub fn history_digest(&self) -> Option<Digest> {
+        self.converged().then(|| self.replicas[0].history_digest)
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.completed_requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A running wall-clock PoE cluster: all threads are live from
+/// [`FabricCluster::launch`] on; clients start submitting immediately.
+pub struct FabricCluster {
+    cfg: FabricConfig,
+    shared: Arc<ClusterShared>,
+    started: Instant,
+    replicas: Vec<ReplicaHandle>,
+    clients: Vec<JoinHandle<ClientStats>>,
+}
+
+impl FabricCluster {
+    /// Builds key material, registers every node on a fresh hub, and
+    /// spawns all replica stage threads and client threads.
+    pub fn launch(cfg: &FabricConfig) -> FabricCluster {
+        let cluster = &cfg.cluster;
+        let km = KeyMaterial::generate(
+            cluster.n,
+            cfg.n_clients,
+            cluster.nf(),
+            cluster.crypto_mode,
+            cluster.cert_scheme,
+            cluster.seed,
+        );
+        let shared = ClusterShared::new(InprocHub::new());
+        let started = Instant::now();
+        // Replicas first: every replica endpoint must exist before the
+        // first client request can be broadcast.
+        let replicas: Vec<ReplicaHandle> = (0..cluster.n)
+            .map(|i| {
+                ReplicaHandle::spawn(ReplicaSpawn {
+                    shared: shared.clone(),
+                    cluster: cluster.clone(),
+                    support: cfg.support,
+                    km: km.clone(),
+                    id: ReplicaId(i as u32),
+                })
+            })
+            .collect();
+        let clients: Vec<JoinHandle<ClientStats>> = (0..cfg.n_clients)
+            .map(|c| {
+                let id = ClientId(c as u32);
+                let rx = shared.hub.register(NodeId::Client(id));
+                let mut ccfg = ClientConfig::matching(id, cluster.n, cluster.f, cluster.nf())
+                    .with_outstanding(cfg.client_outstanding)
+                    .with_max_requests(cfg.requests_per_client)
+                    .with_retry(cluster.client_timeout);
+                ccfg.sign = cluster.crypto_mode != CryptoMode::None;
+                let source = YcsbWorkload::new(YcsbConfig {
+                    seed: cluster.seed ^ (0xC0FFEE + c as u64),
+                    ..cfg.ycsb.clone()
+                });
+                let client = WorkloadClient::new(ccfg, km.client(c), Box::new(source));
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("client-{c}"))
+                    .spawn(move || client_loop(shared, rx, client))
+                    .expect("spawn client")
+            })
+            .collect();
+        FabricCluster { cfg: cfg.clone(), shared, started, replicas, clients }
+    }
+
+    /// Phase 1 + 2 + 3: wait for the clients to finish their workload,
+    /// wait for the replicas to quiesce (frontiers equal, no events for
+    /// two consecutive polls), then stop and join everything. `deadline`
+    /// bounds the whole call — on expiry all threads are stopped and
+    /// joined before the error returns, so a failed run never leaks
+    /// threads.
+    pub fn run_to_completion(self, deadline: Duration) -> Result<FabricReport, FabricError> {
+        let t0 = Instant::now();
+        let target = self.cfg.total_requests();
+        // Phase 1: clients drain their workload budget.
+        while !self.clients.iter().all(JoinHandle::is_finished) {
+            if t0.elapsed() > deadline {
+                let detail = self.probe_dump();
+                let report = self.shutdown();
+                return Err(FabricError::ClientsStalled {
+                    completed: report.completed_requests,
+                    target,
+                    detail,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Phase 2: replicas quiesce — in-flight CERTIFYs, checkpoint
+        // votes, and INFORMs settle. Quiescence = all probes stop
+        // advancing *and* the cheap frontiers agree, twice in a row.
+        let mut last: Option<Vec<ProbeSnapshot>> = None;
+        let mut stable_rounds = 0;
+        loop {
+            let snaps: Vec<ProbeSnapshot> =
+                self.replicas.iter().map(|r| r.probe.snapshot()).collect();
+            let frontiers_agree =
+                snaps.iter().all(|s| s.exec == snaps[0].exec && s.commit == snaps[0].commit);
+            if frontiers_agree && last.as_ref() == Some(&snaps) {
+                stable_rounds += 1;
+                if stable_rounds >= 2 {
+                    break;
+                }
+            } else {
+                stable_rounds = 0;
+            }
+            last = Some(snaps);
+            if t0.elapsed() > deadline {
+                let detail = self.probe_dump();
+                let _ = self.shutdown();
+                return Err(FabricError::QuiesceTimeout { detail });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Phase 3: stop and join.
+        Ok(self.shutdown())
+    }
+
+    /// Signals every thread to stop and joins them all (stages and
+    /// clients), assembling the final report. Safe to call at any point
+    /// — all loops are `recv_timeout`-bounded, so no join can hang on a
+    /// blocked queue.
+    pub fn shutdown(self) -> FabricReport {
+        self.shared.request_stop();
+        let FabricCluster { shared: _, started, replicas, clients, .. } = self;
+        let mut threads_joined = 0;
+        let mut latencies = Vec::new();
+        let mut completed = 0;
+        for (i, handle) in clients.into_iter().enumerate() {
+            let stats = handle.join().unwrap_or_else(|_| panic!("client {i} panicked"));
+            completed += stats.completed;
+            latencies.extend(stats.latencies_ns);
+            threads_joined += 1;
+        }
+        let mut reports = Vec::new();
+        for handle in replicas {
+            let join = handle.join();
+            threads_joined += 4;
+            let replica = &join.replica;
+            // Integrity audit: the committed chain must verify end to
+            // end before it is reported.
+            replica.ledger().verify_chain().expect("ledger chain must verify");
+            reports.push(ReplicaReport {
+                id: join.id,
+                view: replica.current_view(),
+                exec_frontier: replica.execution_frontier(),
+                ledger_len: replica.ledger().len(),
+                history_digest: replica.ledger().history_digest(),
+                state_digest: replica.state_digest(),
+                ingress: join.ingress,
+                batching: join.batching,
+                consensus: join.consensus,
+                egress: join.egress,
+            });
+        }
+        FabricReport {
+            wall: started.elapsed(),
+            completed_requests: completed,
+            latency: LatencySummary::from_ns(latencies),
+            replicas: reports,
+            threads_joined,
+        }
+    }
+
+    /// Human-readable probe dump for error diagnostics.
+    fn probe_dump(&self) -> String {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let s = r.probe.snapshot();
+                format!(
+                    "{}: view={} exec={} commit={} events={}",
+                    r.id, s.view, s.exec, s.commit, s.events
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Convenience: launch, run to completion, and report.
+pub fn run_fabric(cfg: &FabricConfig, deadline: Duration) -> Result<FabricReport, FabricError> {
+    FabricCluster::launch(cfg).run_to_completion(deadline)
+}

@@ -1,2 +1,89 @@
-//! (under construction)
-#![allow(dead_code)]
+//! # poe-fabric
+//!
+//! The multi-threaded, pipelined wall-clock replica runtime — the
+//! deployment shape of paper §III ("PoE is implemented on top of a
+//! multi-threaded pipelined architecture", evaluated over ResilientDB),
+//! driving the very same sans-I/O [`PoeReplica`] automaton the
+//! discrete-event simulator (`poe-sim`) replays deterministically.
+//!
+//! ## Paper §III stages → threads and channels
+//!
+//! The paper's replica pipeline (its Figure 6) has input/batching
+//! threads feeding a consensus ("worker") stage, whose ordered output is
+//! executed and answered to clients, with a checkpoint protocol running
+//! alongside. Here, one replica = four OS threads connected by
+//! unbounded channels over [`poe_net::InprocHub`]:
+//!
+//! | paper stage          | thread      | what it does                              |
+//! |----------------------|-------------|-------------------------------------------|
+//! | input                | `ingress`   | hub frames → pooled **zero-copy decode** ([`IngressDecoder`]), route client traffic vs consensus traffic |
+//! | batching             | `batching`  | verify client signatures, warm digests, cut PROPOSE batches on size / `batch_cut_delay` triggers |
+//! | consensus + execute  | `consensus` | owns the [`PoeReplica`] automaton and its [`TimerWheel`]; encode-**once** sends/broadcasts; speculative execution happens inside the automaton transition |
+//! | execution/reply      | `egress`    | encodes and delivers the INFORM fan-out to clients |
+//! | checkpointing        | (consensus) | checkpoint votes ride the consensus stage; batches retired by checkpoint **GC flow back to the ingress pool** (the recycle channel) |
+//!
+//! Speculative *execution* stays inside the automaton transition rather
+//! than on its own thread: in PoE, executing at the proposal is part of
+//! the deterministic replica state machine the protocol's safety
+//! argument (and the simulator's replayable traces) depend on. What the
+//! paper's execution stage delivers — results to clients — is exactly
+//! what the egress stage pipelines off the consensus thread.
+//!
+//! ## The wire path
+//!
+//! Frames are refcounted [`WireBytes`] envelopes end to end: a
+//! broadcast encodes once (warm [`ScratchPool`], no measuring pass) and
+//! every recipient queue gets a clone of the *view*; ingress decodes
+//! through [`decode_envelope_pooled`], so request payloads are views
+//! into the receive frame all the way into the consensus slots, and with
+//! a warm [`BatchPool`] a batch-carrying decode performs **zero**
+//! allocations (`tests/alloc_ingress.rs` proves it with a counting
+//! allocator). The pool is refilled where batches actually die:
+//! checkpoint GC ([`PoeReplica::take_retired_batches`]).
+//!
+//! ## Shutdown
+//!
+//! Three phases, all bounded: clients exit when their workload budget is
+//! spent; the harness polls per-replica probes until frontiers agree and
+//! event counts stop advancing; then the stop flag flips and threads
+//! drain out along the pipeline (ingress → batching → consensus →
+//! egress), every loop being `recv_timeout`-shaped so joins cannot
+//! deadlock.
+//!
+//! ```no_run
+//! use poe_consensus::SupportMode;
+//! use poe_fabric::{run_fabric, FabricConfig};
+//!
+//! let cfg = FabricConfig::new(4, SupportMode::Threshold);
+//! let report = run_fabric(&cfg, std::time::Duration::from_secs(60)).unwrap();
+//! assert!(report.converged(), "byte-identical history digests");
+//! println!("{:.0} req/s, p50 {} µs", report.throughput_rps(), report.latency.p50_us);
+//! ```
+//!
+//! [`PoeReplica`]: poe_consensus::PoeReplica
+//! [`PoeReplica::take_retired_batches`]: poe_consensus::PoeReplica::take_retired_batches
+//! [`WireBytes`]: poe_kernel::wire::WireBytes
+//! [`ScratchPool`]: poe_kernel::codec::ScratchPool
+//! [`BatchPool`]: poe_kernel::codec::BatchPool
+//! [`decode_envelope_pooled`]: poe_kernel::codec::decode_envelope_pooled
+//! [`IngressDecoder`]: crate::ingress::IngressDecoder
+//! [`TimerWheel`]: crate::wheel::TimerWheel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ingress;
+pub mod wheel;
+
+mod client;
+mod runtime;
+mod stage;
+
+pub use cluster::{
+    run_fabric, FabricCluster, FabricConfig, FabricError, FabricReport, LatencySummary,
+    ReplicaReport,
+};
+pub use ingress::{IngressDecoder, IngressStats};
+pub use stage::{BatchingStats, ConsensusStats, EgressStats};
+pub use wheel::TimerWheel;

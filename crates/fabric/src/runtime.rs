@@ -1,0 +1,68 @@
+//! Shared runtime plumbing: the cluster-wide clock/stop handle and the
+//! encode-once framing helper every stage uses on its egress side.
+
+use poe_crypto::provider::AuthTag;
+use poe_kernel::codec::ScratchPool;
+use poe_kernel::ids::NodeId;
+use poe_kernel::messages::{Envelope, ProtocolMsg};
+use poe_kernel::time::Time;
+use poe_kernel::wire::WireBytes;
+use poe_net::InprocHub;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How long any stage blocks on its queue before re-checking the stop
+/// flag (bounds shutdown latency; every loop in the fabric is
+/// `recv_timeout(TICK)`-shaped, which is what makes join-on-shutdown
+/// deadlock-free).
+pub(crate) const TICK: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// State shared by every thread of one cluster: the in-process hub, the
+/// stop flag, and the epoch mapping the wall clock onto the kernel's
+/// [`Time`] (nanoseconds since cluster launch).
+pub(crate) struct ClusterShared {
+    pub hub: InprocHub,
+    stop: AtomicBool,
+    epoch: Instant,
+}
+
+impl ClusterShared {
+    pub fn new(hub: InprocHub) -> Arc<ClusterShared> {
+        Arc::new(ClusterShared { hub, stop: AtomicBool::new(false), epoch: Instant::now() })
+    }
+
+    /// The wall clock as automaton time.
+    pub fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Asks every stage and client thread to wind down.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown was requested.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Encodes `msg` once into a refcounted frame ready for the hub (a
+/// broadcast hands the *same* frame to every recipient queue). The
+/// scratch pool makes the encode itself allocation-free once warm; the
+/// single copy lands in the frame's exact-size shared buffer.
+///
+/// Link authentication is [`AuthTag::None`]: inside one process the hub
+/// is the trusted datacenter network of the paper's model (sender
+/// identity travels in the envelope, exactly like the simulator's
+/// `Event::Deliver { from, .. }` contract). A real socket transport
+/// would authenticate here — and per-peer MAC tags would also end
+/// frame sharing, the same trade-off the paper notes for MAC clusters.
+pub(crate) fn encode_frame(scratch: &mut ScratchPool, from: NodeId, msg: ProtocolMsg) -> WireBytes {
+    let env = Envelope { from, auth: AuthTag::None, msg };
+    let buf = scratch.encode_envelope(&env);
+    let frame = WireBytes::copy_from(&buf);
+    scratch.recycle(buf);
+    frame
+}

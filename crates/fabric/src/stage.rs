@@ -1,0 +1,600 @@
+//! The four pipeline stages of one fabric replica (paper §III, Fig. 6).
+//!
+//! ```text
+//!  hub ──▶ ingress ──▶ batching ──▶ consensus ──▶ egress ──▶ hub
+//!            ▲  (client traffic)        │ (replies)
+//!            └────── recycle ◀──────────┘ (batches retired at
+//!                                          checkpoint GC)
+//! ```
+//!
+//! * **ingress** — reads [`WireBytes`] frames from the hub, does pooled
+//!   zero-copy decode ([`IngressDecoder`]), and routes: client traffic
+//!   to the batching stage, everything else to the consensus stage. The
+//!   batch pool is refilled from the recycle channel.
+//! * **batching** — the primary's batch threads: verifies client
+//!   signatures, warms request digests, and cuts PROPOSE batches on
+//!   size or `batch_cut_delay` triggers, handing whole batches to the
+//!   consensus stage ([`PoeReplica::on_local_batch`]). On a non-primary
+//!   it degrades to a relay so the automaton's forward/progress-timer
+//!   machinery sees every request.
+//! * **consensus** — owns the [`PoeReplica`] automaton and its
+//!   [`TimerWheel`]; every outbox action is interpreted here: sends and
+//!   broadcasts encode **once** into a shared frame, client replies are
+//!   handed to the egress stage, timers go on the wheel, and batches
+//!   retired by checkpoint GC flow back to the ingress pool.
+//! * **egress** — encodes and delivers client replies (the INFORM
+//!   fan-out is `batch_size` messages per batch, so taking it off the
+//!   consensus thread is a real pipeline win).
+//!
+//! Speculative execution itself stays inside the automaton transition
+//! (on the consensus thread): in PoE, execution at the proposal is part
+//! of the deterministic state machine the protocol's safety argument is
+//! about, so splitting it out would change the automaton, not just the
+//! runtime. What the paper's execution stage *delivers* — results to
+//! clients — is what the egress stage pipelines.
+
+use crate::ingress::{IngressDecoder, IngressStats};
+use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::wheel::TimerWheel;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use poe_consensus::{PoeReplica, SupportMode};
+use poe_crypto::{CryptoMode, CryptoProvider, KeyMaterial};
+use poe_kernel::automaton::{Action, Event, Notification, Outbox, ReplicaAutomaton};
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
+use poe_kernel::messages::ProtocolMsg;
+use poe_kernel::request::{Batch, Batcher, ClientRequest};
+use poe_kernel::wire::WireBytes;
+use poe_store::SpeculativeStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Work items on a replica's consensus queue.
+enum ConsensusJob {
+    /// A decoded protocol message (from ingress, or relayed by batching).
+    Deliver { from: NodeId, msg: ProtocolMsg },
+    /// A batch pre-cut by the batching stage.
+    LocalBatch(Arc<Batch>),
+}
+
+/// Cheap cross-thread view of one replica's progress, published by the
+/// consensus stage after every event. The harness polls these to detect
+/// quiescence; the batching stage reads `primary` to know whether to
+/// cut batches or relay.
+pub(crate) struct ReplicaProbe {
+    id: ReplicaId,
+    n: usize,
+    view: AtomicU64,
+    exec: AtomicU64,
+    commit: AtomicU64,
+    events: AtomicU64,
+    primary: AtomicBool,
+}
+
+/// Snapshot of a [`ReplicaProbe`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ProbeSnapshot {
+    pub view: u64,
+    pub exec: u64,
+    pub commit: u64,
+    pub events: u64,
+}
+
+impl ReplicaProbe {
+    fn new(id: ReplicaId, n: usize) -> Arc<ReplicaProbe> {
+        Arc::new(ReplicaProbe {
+            id,
+            n,
+            view: AtomicU64::new(0),
+            exec: AtomicU64::new(0),
+            commit: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            primary: AtomicBool::new(poe_kernel::ids::View::ZERO.primary(n) == id),
+        })
+    }
+
+    fn publish(&self, replica: &PoeReplica) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let view = replica.current_view();
+        self.view.store(view.0, Ordering::Relaxed);
+        self.exec.store(replica.execution_frontier().0, Ordering::Relaxed);
+        self.commit.store(replica.commit_frontier().0, Ordering::Relaxed);
+        let primary = view.primary(self.n) == self.id && !replica.in_view_change();
+        self.primary.store(primary, Ordering::Relaxed);
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> ProbeSnapshot {
+        ProbeSnapshot {
+            view: self.view.load(Ordering::Relaxed),
+            exec: self.exec.load(Ordering::Relaxed),
+            commit: self.commit.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters of one replica's batching stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchingStats {
+    /// Client requests that reached this stage.
+    pub requests_seen: u64,
+    /// Requests rejected for a missing/invalid client signature.
+    pub rejected_sigs: u64,
+    /// Batches cut (size or delay trigger) and handed to consensus.
+    pub batches_cut: u64,
+    /// Messages relayed to consensus while not primary.
+    pub relayed: u64,
+}
+
+/// Counters of one replica's consensus stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConsensusStats {
+    /// Automaton events processed (deliveries, local batches, timeouts).
+    pub events: u64,
+    /// Timer fires delivered (current generation only).
+    pub timer_fires: u64,
+    /// Unicast frames sent to replicas.
+    pub sends: u64,
+    /// Broadcasts (each encoded exactly once).
+    pub broadcasts: u64,
+    /// Batches speculatively executed.
+    pub executed: u64,
+    /// View-commits (`Decided` notifications).
+    pub decided: u64,
+    /// Stable checkpoints observed.
+    pub checkpoints: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+    /// Speculative rollbacks.
+    pub rollbacks: u64,
+    /// `FellBehind` notifications (replica needs state transfer).
+    pub fell_behind: u64,
+    /// Batches retired by checkpoint GC and sent back for recycling.
+    pub retired: u64,
+}
+
+/// Counters of one replica's egress (reply) stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EgressStats {
+    /// Client replies encoded and delivered.
+    pub replies_sent: u64,
+    /// Replies whose client was already gone (send failed).
+    pub dropped: u64,
+}
+
+/// Everything needed to spawn one replica's stage threads.
+pub(crate) struct ReplicaSpawn {
+    pub shared: Arc<ClusterShared>,
+    pub cluster: ClusterConfig,
+    pub support: SupportMode,
+    pub km: Arc<KeyMaterial>,
+    pub id: ReplicaId,
+}
+
+/// Join handles + probe of one running replica.
+pub(crate) struct ReplicaHandle {
+    pub id: ReplicaId,
+    pub probe: Arc<ReplicaProbe>,
+    ingress: JoinHandle<IngressStats>,
+    batching: JoinHandle<BatchingStats>,
+    consensus: JoinHandle<(ConsensusStats, Box<PoeReplica>)>,
+    egress: JoinHandle<EgressStats>,
+}
+
+/// What joining a replica yields: final automaton state + stage stats.
+pub(crate) struct ReplicaJoin {
+    pub id: ReplicaId,
+    pub replica: Box<PoeReplica>,
+    pub ingress: IngressStats,
+    pub batching: BatchingStats,
+    pub consensus: ConsensusStats,
+    pub egress: EgressStats,
+}
+
+impl ReplicaHandle {
+    /// Registers the replica on the hub and spawns its four stage
+    /// threads. Must be called for every replica before any client
+    /// starts submitting (the hub only routes to registered nodes).
+    pub fn spawn(spec: ReplicaSpawn) -> ReplicaHandle {
+        let ReplicaSpawn { shared, cluster, support, km, id } = spec;
+        let hub_rx = shared.hub.register(NodeId::Replica(id));
+        let (cons_tx, cons_rx) = unbounded::<ConsensusJob>();
+        let (batch_tx, batch_rx) = unbounded::<(NodeId, ProtocolMsg)>();
+        let (reply_tx, reply_rx) = unbounded::<(ClientId, ProtocolMsg)>();
+        let (recycle_tx, recycle_rx) = unbounded::<Arc<Batch>>();
+        let probe = ReplicaProbe::new(id, cluster.n);
+
+        let replica = Box::new(PoeReplica::new(
+            cluster.clone(),
+            id,
+            support,
+            km.replica(id.index()),
+            Box::new(SpeculativeStore::new()),
+        ));
+
+        let name = |stage: &str| format!("r{}-{stage}", id.0);
+
+        let ingress = {
+            let shared = shared.clone();
+            let cons_tx = cons_tx.clone();
+            std::thread::Builder::new()
+                .name(name("ingress"))
+                .spawn(move || ingress_loop(shared, hub_rx, recycle_rx, batch_tx, cons_tx))
+                .expect("spawn ingress")
+        };
+        let batching = {
+            let shared = shared.clone();
+            let probe = probe.clone();
+            let crypto = (cluster.crypto_mode != CryptoMode::None).then(|| km.replica(id.index()));
+            let batch_size = cluster.batch_size;
+            let cut_delay = cluster.batch_cut_delay.to_std();
+            let n = cluster.n;
+            std::thread::Builder::new()
+                .name(name("batching"))
+                .spawn(move || {
+                    batching_loop(
+                        shared, batch_rx, cons_tx, probe, crypto, batch_size, cut_delay, n,
+                    )
+                })
+                .expect("spawn batching")
+        };
+        let consensus = {
+            let shared = shared.clone();
+            let probe = probe.clone();
+            std::thread::Builder::new()
+                .name(name("consensus"))
+                .spawn(move || {
+                    consensus_loop(shared, cons_rx, reply_tx, recycle_tx, probe, replica)
+                })
+                .expect("spawn consensus")
+        };
+        let egress = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(name("egress"))
+                .spawn(move || egress_loop(shared, reply_rx, id))
+                .expect("spawn egress")
+        };
+        ReplicaHandle { id, probe, ingress, batching, consensus, egress }
+    }
+
+    /// Joins all four stage threads (requires the stop flag to be set or
+    /// the pipeline's channels to have drained; every loop is bounded by
+    /// `recv_timeout`, so this cannot deadlock).
+    pub fn join(self) -> ReplicaJoin {
+        let id = self.id;
+        let ingress = self.ingress.join().unwrap_or_else(|_| panic!("{id} ingress panicked"));
+        let batching = self.batching.join().unwrap_or_else(|_| panic!("{id} batching panicked"));
+        let (consensus, replica) =
+            self.consensus.join().unwrap_or_else(|_| panic!("{id} consensus panicked"));
+        let egress = self.egress.join().unwrap_or_else(|_| panic!("{id} egress panicked"));
+        ReplicaJoin { id, replica, ingress, batching, consensus, egress }
+    }
+}
+
+// ------------------------------------------------------------- ingress
+
+fn ingress_loop(
+    shared: Arc<ClusterShared>,
+    hub_rx: Receiver<WireBytes>,
+    recycle_rx: Receiver<Arc<Batch>>,
+    batch_tx: Sender<(NodeId, ProtocolMsg)>,
+    cons_tx: Sender<ConsensusJob>,
+) -> IngressStats {
+    let mut decoder = IngressDecoder::new();
+    let mut to_batching = 0u64;
+    let mut to_consensus = 0u64;
+    loop {
+        // Refill the pool with containers GC retired, so subsequent
+        // batch decodes reuse instead of allocating.
+        for batch in recycle_rx.try_iter() {
+            decoder.recycle(batch);
+        }
+        match hub_rx.recv_timeout(TICK) {
+            Ok(frame) => {
+                if let Some(env) = decoder.decode(&frame) {
+                    match env.msg {
+                        ProtocolMsg::Request(_)
+                        | ProtocolMsg::RequestBroadcast(_)
+                        | ProtocolMsg::Forward(_) => {
+                            to_batching += 1;
+                            let _ = batch_tx.send((env.from, env.msg));
+                        }
+                        msg => {
+                            to_consensus += 1;
+                            let _ = cons_tx.send(ConsensusJob::Deliver { from: env.from, msg });
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if shared.stopped() {
+            break;
+        }
+    }
+    let mut stats = decoder.stats();
+    stats.to_batching = to_batching;
+    stats.to_consensus = to_consensus;
+    stats
+}
+
+// ------------------------------------------------------------ batching
+
+#[allow(clippy::too_many_arguments)]
+fn batching_loop(
+    shared: Arc<ClusterShared>,
+    batch_rx: Receiver<(NodeId, ProtocolMsg)>,
+    cons_tx: Sender<ConsensusJob>,
+    probe: Arc<ReplicaProbe>,
+    crypto: Option<CryptoProvider>,
+    batch_size: usize,
+    cut_delay: std::time::Duration,
+    n: usize,
+) -> BatchingStats {
+    let mut stats = BatchingStats::default();
+    let mut batcher = Batcher::new(batch_size);
+    let mut deadline: Option<Instant> = None;
+    let mut sig_scratch: Vec<u8> = Vec::new();
+    let mut disconnected = false;
+    loop {
+        let wait = match deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(TICK),
+            None => TICK,
+        };
+        match batch_rx.recv_timeout(wait) {
+            Ok((from, msg)) => {
+                stats.requests_seen += 1;
+                if probe.is_primary() {
+                    let req = match msg {
+                        ProtocolMsg::Request(r)
+                        | ProtocolMsg::RequestBroadcast(r)
+                        | ProtocolMsg::Forward(r) => r,
+                        // Ingress only routes client traffic here, but a
+                        // stray message is relayed rather than lost.
+                        other => {
+                            stats.relayed += 1;
+                            let _ = cons_tx.send(ConsensusJob::Deliver { from, msg: other });
+                            continue;
+                        }
+                    };
+                    if admit(&crypto, &mut sig_scratch, n, &req) {
+                        // Warm the digest cache here, off the consensus
+                        // thread (the clone inside the batch shares it).
+                        let _ = req.digest();
+                        if let Some(batch) = batcher.push(req) {
+                            stats.batches_cut += 1;
+                            let _ = cons_tx.send(ConsensusJob::LocalBatch(batch));
+                            deadline = None;
+                        } else if deadline.is_none() {
+                            deadline = Some(Instant::now() + cut_delay);
+                        }
+                    } else {
+                        stats.rejected_sigs += 1;
+                    }
+                } else {
+                    // Not the primary: relay so the automaton's forward
+                    // path and failure-detection timers stay exact.
+                    stats.relayed += 1;
+                    let _ = cons_tx.send(ConsensusJob::Deliver { from, msg });
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+        // Cut triggers: the delay expired, primaryship moved away while
+        // requests were pending, or the stage is winding down. The
+        // automaton re-screens every local batch, so a stale cut is
+        // safe — it degrades to the per-request path.
+        let cut = batcher.pending_len() > 0
+            && (disconnected
+                || shared.stopped()
+                || !probe.is_primary()
+                || deadline.is_some_and(|d| Instant::now() >= d));
+        if cut {
+            if let Some(batch) = batcher.flush() {
+                stats.batches_cut += 1;
+                let _ = cons_tx.send(ConsensusJob::LocalBatch(batch));
+            }
+            deadline = None;
+        }
+        if disconnected || shared.stopped() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Admission control for the primary's batch path: the runtime verifies
+/// the client signature (when the cluster authenticates clients) before
+/// the request can enter a locally cut batch — mirroring Figure 3
+/// Line 14, but pipelined off the consensus thread.
+fn admit(
+    crypto: &Option<CryptoProvider>,
+    scratch: &mut Vec<u8>,
+    n: usize,
+    req: &ClientRequest,
+) -> bool {
+    let Some(crypto) = crypto else { return true };
+    let Some(sig) = &req.signature else { return false };
+    scratch.clear();
+    ClientRequest::write_signing_bytes(scratch, req.client, req.req_id, &req.op);
+    crypto.verify_from(NodeId::Client(req.client).global_index(n), scratch, sig)
+}
+
+// ----------------------------------------------------------- consensus
+
+struct ConsensusCtx {
+    shared: Arc<ClusterShared>,
+    reply_tx: Sender<(ClientId, ProtocolMsg)>,
+    recycle_tx: Sender<Arc<Batch>>,
+    probe: Arc<ReplicaProbe>,
+    replica: Box<PoeReplica>,
+    wheel: TimerWheel,
+    scratch: poe_kernel::codec::ScratchPool,
+    out: Outbox,
+    stats: ConsensusStats,
+    my_node: NodeId,
+}
+
+impl ConsensusCtx {
+    fn step_event(&mut self, event: Event) {
+        let now = self.shared.now();
+        let mut out = std::mem::take(&mut self.out);
+        self.replica.on_event(now, event, &mut out);
+        self.finish(out);
+    }
+
+    fn step_local_batch(&mut self, batch: Arc<Batch>) {
+        let mut out = std::mem::take(&mut self.out);
+        self.replica.on_local_batch(batch, &mut out);
+        self.finish(out);
+    }
+
+    fn finish(&mut self, mut out: Outbox) {
+        let now = self.shared.now();
+        self.stats.events += 1;
+        for action in out.drain_iter() {
+            self.apply(now, action);
+        }
+        self.out = out;
+        // Containers freed by checkpoint GC go back to the ingress pool
+        // — this is where decoded batches actually die.
+        for batch in self.replica.take_retired_batches() {
+            self.stats.retired += 1;
+            let _ = self.recycle_tx.send(batch);
+        }
+        self.probe.publish(&self.replica);
+    }
+
+    fn apply(&mut self, now: poe_kernel::time::Time, action: Action) {
+        match action {
+            Action::Send { to: NodeId::Client(c), msg } => {
+                // Replies are encoded and delivered by the egress stage.
+                let _ = self.reply_tx.send((c, msg));
+            }
+            Action::Send { to, msg } => {
+                let frame = encode_frame(&mut self.scratch, self.my_node, msg);
+                self.stats.sends += 1;
+                self.shared.hub.send(to, frame);
+            }
+            Action::Broadcast { msg } => {
+                // Encode once; the hub clones the *view* per recipient.
+                let frame = encode_frame(&mut self.scratch, self.my_node, msg);
+                self.stats.broadcasts += 1;
+                self.shared.hub.broadcast(self.my_node, &frame);
+            }
+            Action::SetTimer { kind, delay } => self.wheel.arm(kind, now + delay),
+            Action::CancelTimer { kind } => self.wheel.cancel(&kind),
+            Action::Notify(n) => self.note(n),
+        }
+    }
+
+    fn note(&mut self, n: Notification) {
+        match n {
+            Notification::Executed { .. } => self.stats.executed += 1,
+            Notification::Decided { .. } => self.stats.decided += 1,
+            Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
+            Notification::ViewChanged { .. } => self.stats.view_changes += 1,
+            Notification::RolledBack { .. } => self.stats.rollbacks += 1,
+            Notification::FellBehind { .. } => self.stats.fell_behind += 1,
+            Notification::RequestComplete { .. } => {}
+        }
+    }
+}
+
+fn consensus_loop(
+    shared: Arc<ClusterShared>,
+    cons_rx: Receiver<ConsensusJob>,
+    reply_tx: Sender<(ClientId, ProtocolMsg)>,
+    recycle_tx: Sender<Arc<Batch>>,
+    probe: Arc<ReplicaProbe>,
+    replica: Box<PoeReplica>,
+) -> (ConsensusStats, Box<PoeReplica>) {
+    let my_node = NodeId::Replica(replica.id());
+    let mut ctx = ConsensusCtx {
+        shared,
+        reply_tx,
+        recycle_tx,
+        probe,
+        replica,
+        wheel: TimerWheel::new(),
+        scratch: poe_kernel::codec::ScratchPool::new(),
+        out: Outbox::new(),
+        stats: ConsensusStats::default(),
+        my_node,
+    };
+    ctx.step_event(Event::Init);
+    loop {
+        // Fire due timers first (the wheel filters stale generations).
+        let now = ctx.shared.now();
+        while let Some(kind) = ctx.wheel.pop_expired(now) {
+            ctx.stats.timer_fires += 1;
+            ctx.step_event(Event::Timeout(kind));
+        }
+        let wait = ctx.wheel.wait_budget(ctx.shared.now(), TICK);
+        match cons_rx.recv_timeout(wait) {
+            Ok(job) => {
+                handle(&mut ctx, job);
+                // Opportunistic burst drain amortizes wakeups under load.
+                for _ in 0..128 {
+                    match cons_rx.try_recv() {
+                        Ok(job) => handle(&mut ctx, job),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // Both senders (ingress, batching) exited: the queue is
+            // drained and the pipeline upstream is gone — wind down.
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    ctx.probe.publish(&ctx.replica);
+    (ctx.stats, ctx.replica)
+}
+
+fn handle(ctx: &mut ConsensusCtx, job: ConsensusJob) {
+    match job {
+        ConsensusJob::Deliver { from, msg } => ctx.step_event(Event::Deliver { from, msg }),
+        ConsensusJob::LocalBatch(batch) => ctx.step_local_batch(batch),
+    }
+}
+
+// -------------------------------------------------------------- egress
+
+fn egress_loop(
+    shared: Arc<ClusterShared>,
+    reply_rx: Receiver<(ClientId, ProtocolMsg)>,
+    id: ReplicaId,
+) -> EgressStats {
+    let mut stats = EgressStats::default();
+    let mut scratch = poe_kernel::codec::ScratchPool::new();
+    let my_node = NodeId::Replica(id);
+    loop {
+        match reply_rx.recv_timeout(TICK) {
+            Ok((client, msg)) => {
+                let frame = encode_frame(&mut scratch, my_node, msg);
+                if shared.hub.send(NodeId::Client(client), frame) {
+                    stats.replies_sent += 1;
+                } else {
+                    stats.dropped += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stopped() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    stats
+}

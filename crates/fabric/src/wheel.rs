@@ -1,0 +1,140 @@
+//! Wall-clock timers for stage threads.
+//!
+//! Automatons request timers through [`Action::SetTimer`] and expect the
+//! generation-based [`TimerKind`] contract the simulator implements: a
+//! timer that was re-armed or cancelled after being scheduled must not
+//! fire. [`TimerWheel`] maps that contract onto the wall clock for one
+//! stage thread — a [`TimerTable`] issues generation tokens and a
+//! min-heap orders deadlines; stale heap entries (older generations,
+//! cancelled kinds) are discarded lazily when they surface.
+//!
+//! [`Action::SetTimer`]: poe_kernel::automaton::Action::SetTimer
+
+use poe_kernel::time::Time;
+use poe_kernel::timer::{TimerKind, TimerTable};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A single-threaded wall-clock timer queue honoring the generation
+/// contract of [`TimerTable`].
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    table: TimerTable,
+    heap: BinaryHeap<Reverse<(Time, u64, TimerKind)>>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Arms (or re-arms) `kind` to fire at `at`. Any previously armed
+    /// generation of the same kind becomes stale.
+    pub fn arm(&mut self, kind: TimerKind, at: Time) {
+        let gen = self.table.arm(kind);
+        self.heap.push(Reverse((at, gen, kind)));
+    }
+
+    /// Cancels `kind`; its heap entries are dropped lazily.
+    pub fn cancel(&mut self, kind: &TimerKind) {
+        self.table.cancel(kind);
+    }
+
+    /// The earliest deadline that could still fire, pruning stale heap
+    /// heads so a cancelled timer cannot cause a spurious early wake.
+    pub fn next_deadline(&mut self) -> Option<Time> {
+        while let Some(Reverse((at, gen, kind))) = self.heap.peek() {
+            if self.table.is_current(kind, *gen) {
+                return Some(*at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// How long a stage loop may block before the next current deadline
+    /// is due: `deadline − now`, capped at `tick` (and `tick` when no
+    /// timer is armed). Shared by every fabric loop so the
+    /// wait-computation arithmetic exists exactly once.
+    pub fn wait_budget(&mut self, now: Time, tick: std::time::Duration) -> std::time::Duration {
+        match self.next_deadline() {
+            Some(at) => std::time::Duration::from_nanos(at.0.saturating_sub(now.0)).min(tick),
+            None => tick,
+        }
+    }
+
+    /// Pops the next timer that is both due at `now` and still current
+    /// (consuming its generation). `None` when nothing else is due.
+    pub fn pop_expired(&mut self, now: Time) -> Option<TimerKind> {
+        while let Some(Reverse((at, _, _))) = self.heap.peek() {
+            if *at > now {
+                return None;
+            }
+            let Reverse((_, gen, kind)) = self.heap.pop().expect("peeked");
+            if self.table.fire(&kind, gen) {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Number of armed (current) timers.
+    pub fn armed(&self) -> usize {
+        self.table.armed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_kernel::ids::{SeqNum, View};
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerKind::SlotProgress(SeqNum(2)), Time(20));
+        w.arm(TimerKind::SlotProgress(SeqNum(1)), Time(10));
+        assert_eq!(w.next_deadline(), Some(Time(10)));
+        assert_eq!(w.pop_expired(Time(5)), None);
+        assert_eq!(w.pop_expired(Time(25)), Some(TimerKind::SlotProgress(SeqNum(1))));
+        assert_eq!(w.pop_expired(Time(25)), Some(TimerKind::SlotProgress(SeqNum(2))));
+        assert_eq!(w.pop_expired(Time(25)), None);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn rearm_supersedes_older_generation() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerKind::BatchCut, Time(10));
+        w.arm(TimerKind::BatchCut, Time(30));
+        // The stale generation at t=10 must neither fire nor surface as
+        // a deadline.
+        assert_eq!(w.next_deadline(), Some(Time(30)));
+        assert_eq!(w.pop_expired(Time(20)), None);
+        assert_eq!(w.pop_expired(Time(40)), Some(TimerKind::BatchCut));
+        assert_eq!(w.pop_expired(Time(40)), None);
+    }
+
+    #[test]
+    fn cancel_prevents_fire_and_prunes_deadline() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerKind::ViewChange(View(1)), Time(10));
+        w.arm(TimerKind::ClientRetry(7), Time(50));
+        w.cancel(&TimerKind::ViewChange(View(1)));
+        assert_eq!(w.next_deadline(), Some(Time(50)));
+        assert_eq!(w.pop_expired(Time(100)), Some(TimerKind::ClientRetry(7)));
+        assert_eq!(w.pop_expired(Time(100)), None);
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerKind::ClientRetry(1), Time(10));
+        w.arm(TimerKind::ClientRetry(2), Time(10));
+        assert_eq!(w.armed(), 2);
+        assert!(w.pop_expired(Time(10)).is_some());
+        assert!(w.pop_expired(Time(10)).is_some());
+        assert_eq!(w.armed(), 0);
+    }
+}

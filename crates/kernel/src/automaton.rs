@@ -78,6 +78,20 @@ pub enum Notification {
         /// Sequence number decided.
         seq: SeqNum,
     },
+    /// During a view change the replica discovered that the cluster's
+    /// stable checkpoint is ahead of its own state and the missing
+    /// history cannot be rebuilt from VC-REQUESTs alone. The replica
+    /// adopts the view (staying live for forwarding) but keeps its old
+    /// state; catching up requires state transfer. Runtimes surface
+    /// this so lag is visible instead of a silent stall.
+    FellBehind {
+        /// The stable checkpoint the cluster proved.
+        stable: SeqNum,
+        /// This replica's contiguous execution frontier.
+        exec_frontier: SeqNum,
+        /// The next sequence number this replica's ledger expects.
+        ledger_frontier: SeqNum,
+    },
     /// A client completed a request (client automatons only).
     RequestComplete {
         /// The client.
@@ -110,6 +124,9 @@ impl Notification {
             Notification::ViewChanged { view } => format!("viewchanged {view}"),
             Notification::CheckpointStable { seq } => format!("checkpoint {seq}"),
             Notification::Decided { seq } => format!("decided {seq}"),
+            Notification::FellBehind { stable, exec_frontier, ledger_frontier } => {
+                format!("fellbehind stable={stable} exec={exec_frontier} ledger={ledger_frontier}")
+            }
             Notification::RequestComplete { client, req_id, submitted_at } => {
                 format!("complete {client} req={req_id} submitted={}", submitted_at.as_nanos())
             }

@@ -30,6 +30,13 @@ use std::sync::Arc;
 /// recovers.
 const MAX_STASHED: usize = 4096;
 
+/// Cap on the retired-batch buffer filled at checkpoint GC. Runtimes
+/// that recycle batch containers ([`PoeReplica::take_retired_batches`])
+/// drain it every event; runtimes that do not (the simulator) must not
+/// accumulate dead batches forever, so beyond this the GC simply drops
+/// them.
+const MAX_RETIRED: usize = 256;
+
 /// How SUPPORT votes are authenticated and certified.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SupportMode {
@@ -161,6 +168,11 @@ pub struct PoeReplica {
     /// verification (one buffer per replica instead of one `Vec` per
     /// request per PROPOSE).
     sig_scratch: Vec<u8>,
+    /// Batches whose slots were garbage-collected at the last stable
+    /// checkpoints — this is where decoded batches actually die, so a
+    /// runtime can recycle their containers into its decode
+    /// [`poe_kernel::codec::BatchPool`]. Bounded by [`MAX_RETIRED`].
+    retired: Vec<Arc<Batch>>,
 }
 
 impl PoeReplica {
@@ -206,6 +218,7 @@ impl PoeReplica {
             nv_sent: BTreeSet::new(),
             stashed: Vec::new(),
             sig_scratch: Vec::new(),
+            retired: Vec::new(),
         }
     }
 
@@ -263,7 +276,7 @@ impl PoeReplica {
     }
 
     fn client_index(&self, client: poe_kernel::ids::ClientId) -> NodeIndex {
-        self.cfg.n as u32 + client.0
+        NodeId::Client(client).global_index(self.cfg.n)
     }
 
     /// Verifies a client request signature under the cluster's crypto
@@ -350,6 +363,45 @@ impl PoeReplica {
         }
     }
 
+    /// Fabric entry point: a batch pre-cut by the runtime's batching
+    /// stage (paper §III / Figure 6: the primary's batch threads run
+    /// ahead of the consensus thread). The runtime is expected to have
+    /// verified client signatures already — the same trust the
+    /// `Event::Deliver` contract places in it for sender identity.
+    ///
+    /// The automaton stays the safety net: if this replica is not (or no
+    /// longer) the primary, or any request needs dedup handling (already
+    /// proposed, or already executed and awaiting a re-INFORM), the
+    /// batch is unbundled through the ordinary per-request client path.
+    /// On the clean common path the pre-cut batch is proposed as-is.
+    pub fn on_local_batch(&mut self, batch: Arc<Batch>, out: &mut Outbox) {
+        if batch.is_empty() {
+            return;
+        }
+        // Clean = every request is new to this replica *and* unique
+        // within the batch (a client-retry storm can put several copies
+        // of one request into the same cut window; proposing them as-is
+        // would execute the op more than once).
+        let mut fresh = BTreeSet::new();
+        let clean = self.is_primary()
+            && batch.requests.iter().all(|r| {
+                let d = r.digest();
+                !self.proposed.contains(&d)
+                    && !self.executed_reqs.contains_key(&d)
+                    && fresh.insert(d)
+            });
+        if clean {
+            for req in &batch.requests {
+                self.proposed.insert(req.digest());
+            }
+            self.enqueue_proposal(batch, out);
+        } else {
+            for req in batch.requests.iter().cloned() {
+                self.on_client_request(req, out);
+            }
+        }
+    }
+
     // ----------------------------------------------------- normal case
 
     fn enqueue_proposal(&mut self, batch: Arc<Batch>, out: &mut Outbox) {
@@ -395,7 +447,7 @@ impl PoeReplica {
         // (Figure 3 Line 14) — in one batched pass over one reused
         // scratch buffer (no per-request body allocations).
         if self.cfg.crypto_mode != CryptoMode::None {
-            let client_base = self.cfg.n as u32;
+            let n = self.cfg.n;
             let scratch = &mut self.sig_scratch;
             scratch.clear();
             let mut spans: Vec<(NodeIndex, std::ops::Range<usize>, Signature)> =
@@ -404,7 +456,11 @@ impl PoeReplica {
                 let Some(sig) = &req.signature else { return };
                 let start = scratch.len();
                 ClientRequest::write_signing_bytes(scratch, req.client, req.req_id, &req.op);
-                spans.push((client_base + req.client.0, start..scratch.len(), *sig));
+                spans.push((
+                    NodeId::Client(req.client).global_index(n),
+                    start..scratch.len(),
+                    *sig,
+                ));
             }
             let items: Vec<(NodeIndex, &[u8], Signature)> =
                 spans.iter().map(|(idx, span, sig)| (*idx, &scratch[span.clone()], *sig)).collect();
@@ -723,15 +779,28 @@ impl PoeReplica {
         }
         let live = self.slots.split_off(&bound);
         let dead = std::mem::replace(&mut self.slots, live);
-        for slot in dead.values() {
-            if let Some(batch) = &slot.batch {
+        for slot in dead.into_values() {
+            if let Some(batch) = slot.batch {
                 for req in &batch.requests {
                     let d = req.digest();
                     self.proposed.remove(&d);
                     self.executed_reqs.remove(&d);
                 }
+                if self.retired.len() < MAX_RETIRED {
+                    self.retired.push(batch);
+                }
             }
         }
+    }
+
+    /// Drains the batches retired by checkpoint GC since the last call.
+    /// The fabric runtime feeds these back into its ingress
+    /// [`poe_kernel::codec::BatchPool`], closing the allocation-free
+    /// decode loop (containers are recycled exactly where batches die).
+    /// Runtimes that do not recycle may simply never call this; the
+    /// buffer is bounded.
+    pub fn take_retired_batches(&mut self) -> Vec<Arc<Batch>> {
+        std::mem::take(&mut self.retired)
     }
 
     // ----------------------------------------------------- checkpoints
@@ -913,7 +982,15 @@ impl PoeReplica {
             // freeze the ledger at the gap forever). The VC-REQUESTs
             // cannot contain the batches we are missing. Adopt the view
             // (stay live for forwarding) but keep our state; catching
-            // up requires state transfer (future work).
+            // up requires state transfer (future work). Surface the lag
+            // so runtimes can log/expose it instead of stalling silently.
+            if let Some(stable) = base {
+                out.notify(Notification::FellBehind {
+                    stable,
+                    exec_frontier: self.exec.frontier(),
+                    ledger_frontier: appended,
+                });
+            }
             self.install_view(w, out);
             return;
         }

@@ -128,6 +128,9 @@ pub struct SimStats {
     pub rollbacks: u64,
     /// `CheckpointStable` notifications across all replicas.
     pub checkpoints: u64,
+    /// `FellBehind` notifications across all replicas (a replica needed
+    /// state transfer after a view change).
+    pub fell_behind: u64,
     /// Wire mode: messages encoded (one per send/broadcast *action*, no
     /// matter how many recipients the broadcast fans out to).
     pub wire_encodes: u64,
@@ -438,6 +441,7 @@ impl Simulator {
             Notification::ViewChanged { .. } => self.stats.view_changes += 1,
             Notification::RolledBack { .. } => self.stats.rollbacks += 1,
             Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
+            Notification::FellBehind { .. } => self.stats.fell_behind += 1,
         }
         self.trace.push(format!("{:>12} {node:?} {}", self.now.as_nanos(), n.trace_line()));
     }

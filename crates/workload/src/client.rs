@@ -170,6 +170,16 @@ impl WorkloadClient {
         self.view_hint
     }
 
+    /// True once this client has nothing left to do: the workload budget
+    /// *or* the request source is exhausted (whichever comes first) and
+    /// no request is in flight. Wall-clock runtimes use this as the
+    /// client thread's exit condition.
+    pub fn is_done(&self) -> bool {
+        let budget_spent =
+            self.exhausted || self.cfg.max_requests.is_some_and(|max| self.completed >= max);
+        budget_spent && self.inflight.is_empty()
+    }
+
     fn budget_left(&self) -> bool {
         match self.cfg.max_requests {
             Some(max) => self.completed + self.inflight.len() as u64 > max,
@@ -581,6 +591,39 @@ mod tests {
         deliver(&mut c, 0, 1, ReplyKind::PbftReply, b"ok", None, Time(2));
         assert_eq!(c.completed(), 2);
         assert_eq!(c.in_flight(), 0, "budget exhausted: no further submissions");
+    }
+
+    #[test]
+    fn is_done_when_source_exhausts_before_budget() {
+        let km = KeyMaterial::generate(4, 1, 3, CryptoMode::Cmac, CertScheme::MultiSig, 3);
+        // Budget allows 5 requests, but the source dries up after 2:
+        // the client must still report done (a wall-clock runtime would
+        // otherwise spin on it until its deadline).
+        let cfg = ClientConfig::matching(ClientId(0), 4, 1, 1).with_max_requests(5);
+        let mut c = WorkloadClient::new(
+            cfg,
+            km.client(0),
+            Box::new(FixedPayloadSource::bounded(vec![1], 2)),
+        );
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        assert!(!c.is_done());
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        assert!(!c.is_done(), "one request left in the source");
+        deliver(&mut c, 0, 1, ReplyKind::PoeInform, b"ok", None, Time(2));
+        assert_eq!(c.completed(), 2);
+        assert!(c.is_done(), "source exhausted + nothing in flight = done");
+    }
+
+    #[test]
+    fn is_done_when_budget_spent() {
+        let mut c = client(ReplyPolicy::Matching { quorum: 1 }, 1);
+        assert!(!c.is_done(), "unbounded budget, infinite source");
+        let mut out = Outbox::new();
+        c.on_event(Time::ZERO, Event::Init, &mut out);
+        c.cfg.max_requests = Some(1);
+        deliver(&mut c, 0, 0, ReplyKind::PoeInform, b"ok", None, Time(1));
+        assert!(c.is_done());
     }
 
     #[test]

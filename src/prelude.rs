@@ -2,6 +2,7 @@
 
 pub use poe_consensus::{support_digest, PoeReplica, SupportMode};
 pub use poe_crypto::{CertScheme, CryptoMode, Digest};
+pub use poe_fabric::{run_fabric, FabricCluster, FabricConfig, FabricReport};
 pub use poe_kernel::{
     Batch, ClientId, ClientRequest, ClusterConfig, Duration, NodeId, ReplicaId, SeqNum, Time, View,
     WireBytes,
