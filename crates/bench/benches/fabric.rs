@@ -16,7 +16,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use poe_consensus::SupportMode;
-use poe_fabric::{run_fabric, FabricConfig};
+use poe_fabric::{run_fabric, FabricCluster, FabricConfig};
 use std::time::Duration;
 
 const REQUESTS: u64 = 200;
@@ -35,6 +35,32 @@ fn run(cfg: &FabricConfig) -> u64 {
     report.completed_requests
 }
 
+/// Repair A/B point: the same pipeline serving the same clients, but a
+/// backup is crash-restarted mid-run and catches up through the
+/// state-transfer protocol while normal-case consensus continues. The
+/// longer workload (1 000 requests) keeps client traffic — and the
+/// checkpoint cadence that refills the responder-side repair budget —
+/// flowing across the 350 ms outage. Compare `req/s` against
+/// `throughput/ts`: the token budget caps catch-up traffic, so the
+/// normal-case rate must not degrade.
+const REPAIR_REQUESTS: u64 = 1_000;
+
+fn run_with_repair(cfg: &FabricConfig) -> u64 {
+    let mut cluster = FabricCluster::launch(cfg);
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.crash_replica(2);
+    std::thread::sleep(Duration::from_millis(350));
+    cluster.restart_replica(2);
+    let report = cluster.run_to_completion(Duration::from_secs(60)).expect("fabric run completes");
+    assert!(report.converged(), "replicas diverged");
+    assert_eq!(report.completed_requests, REPAIR_REQUESTS);
+    assert!(
+        report.replicas[2].repair.repairs_completed >= 1,
+        "the restarted replica must catch up via state transfer"
+    );
+    report.completed_requests
+}
+
 fn bench_fabric_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("fabric_poe");
     for (label, support) in [("ts", SupportMode::Threshold), ("mac", SupportMode::Mac)] {
@@ -44,6 +70,12 @@ fn bench_fabric_throughput(c: &mut Criterion) {
             b.iter(|| run(black_box(&cfg)))
         });
     }
+    let mut cfg = fabric_config(SupportMode::Threshold);
+    cfg.requests_per_client = REPAIR_REQUESTS / 2;
+    g.throughput(Throughput::Elements(REPAIR_REQUESTS));
+    g.bench_function(BenchmarkId::new("throughput", "ts_repair"), |b| {
+        b.iter(|| run_with_repair(black_box(&cfg)))
+    });
     g.finish();
 }
 

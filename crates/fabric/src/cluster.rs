@@ -5,16 +5,18 @@
 use crate::client::{client_loop, ClientStats};
 use crate::runtime::ClusterShared;
 use crate::stage::{
-    BatchingStats, ConsensusStats, EgressStats, ProbeSnapshot, ReplicaHandle, ReplicaSpawn,
+    BatchingStats, ConsensusStats, EgressStats, ProbeSnapshot, ReplicaHandle, ReplicaJoin,
+    ReplicaSpawn,
 };
 use crate::IngressStats;
-use poe_consensus::SupportMode;
+use poe_consensus::{RepairStats, SupportMode};
 use poe_crypto::{CertScheme, CryptoMode, Digest, KeyMaterial};
 use poe_kernel::automaton::ReplicaAutomaton;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
 use poe_net::InprocHub;
 use poe_workload::{ClientConfig, WorkloadClient, YcsbConfig, YcsbWorkload};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -129,6 +131,8 @@ pub struct ReplicaReport {
     pub consensus: ConsensusStats,
     /// Egress-stage counters.
     pub egress: EgressStats,
+    /// State-transfer counters (repairs run/served, budget throttling).
+    pub repair: RepairStats,
 }
 
 /// Latency summary over all completed requests (microseconds).
@@ -209,7 +213,11 @@ pub struct FabricCluster {
     cfg: FabricConfig,
     shared: Arc<ClusterShared>,
     started: Instant,
-    replicas: Vec<ReplicaHandle>,
+    km: Arc<KeyMaterial>,
+    /// `None` while a replica is crashed (its durable state is parked in
+    /// `downed` until [`FabricCluster::restart_replica`]).
+    replicas: Vec<Option<ReplicaHandle>>,
+    downed: BTreeMap<usize, ReplicaJoin>,
     clients: Vec<JoinHandle<ClientStats>>,
 }
 
@@ -230,15 +238,15 @@ impl FabricCluster {
         let started = Instant::now();
         // Replicas first: every replica endpoint must exist before the
         // first client request can be broadcast.
-        let replicas: Vec<ReplicaHandle> = (0..cluster.n)
+        let replicas: Vec<Option<ReplicaHandle>> = (0..cluster.n)
             .map(|i| {
-                ReplicaHandle::spawn(ReplicaSpawn {
+                Some(ReplicaHandle::spawn(ReplicaSpawn {
                     shared: shared.clone(),
                     cluster: cluster.clone(),
                     support: cfg.support,
                     km: km.clone(),
                     id: ReplicaId(i as u32),
-                })
+                }))
             })
             .collect();
         let clients: Vec<JoinHandle<ClientStats>> = (0..cfg.n_clients)
@@ -262,7 +270,49 @@ impl FabricCluster {
                     .expect("spawn client")
             })
             .collect();
-        FabricCluster { cfg: cfg.clone(), shared, started, replicas, clients }
+        FabricCluster {
+            cfg: cfg.clone(),
+            shared,
+            started,
+            km,
+            replicas,
+            downed: BTreeMap::new(),
+            clients,
+        }
+    }
+
+    /// Crashes replica `i` mid-run: its four stage threads halt and are
+    /// joined, every queued frame and all volatile consensus state is
+    /// lost; only the automaton (application store + ledger — the
+    /// durable state) is parked for a later
+    /// [`FabricCluster::restart_replica`]. The rest of the cluster keeps
+    /// running; with `n ≥ 3f+1` and one crash, quorums still form.
+    pub fn crash_replica(&mut self, i: usize) {
+        let handle = self.replicas[i].take().expect("replica is running");
+        handle.halt();
+        self.downed.insert(i, handle.join());
+    }
+
+    /// Restarts a crashed replica from its durable state: the automaton
+    /// is rebuilt via `PoeReplica::into_restarted` (speculative suffix
+    /// rolled back, volatile state reset) and re-registered on the hub,
+    /// which revives the dead endpoint. The replica rejoins live traffic
+    /// immediately and relies on the state-transfer protocol to close
+    /// whatever gap opened while it was down. Stage counters restart
+    /// from zero — the final report covers the new incarnation.
+    pub fn restart_replica(&mut self, i: usize) {
+        let join = self.downed.remove(&i).expect("replica is down");
+        let replica = Box::new((*join.replica).into_restarted());
+        self.replicas[i] = Some(ReplicaHandle::spawn_with(
+            ReplicaSpawn {
+                shared: self.shared.clone(),
+                cluster: self.cfg.cluster.clone(),
+                support: self.cfg.support,
+                km: self.km.clone(),
+                id: ReplicaId(i as u32),
+            },
+            replica,
+        ));
     }
 
     /// Phase 1 + 2 + 3: wait for the clients to finish their workload,
@@ -294,7 +344,7 @@ impl FabricCluster {
         let mut stable_rounds = 0;
         loop {
             let snaps: Vec<ProbeSnapshot> =
-                self.replicas.iter().map(|r| r.probe.snapshot()).collect();
+                self.replicas.iter().flatten().map(|r| r.probe.snapshot()).collect();
             let frontiers_agree =
                 snaps.iter().all(|s| s.exec == snaps[0].exec && s.commit == snaps[0].commit);
             if frontiers_agree && last.as_ref() == Some(&snaps) {
@@ -323,7 +373,7 @@ impl FabricCluster {
     /// blocked queue.
     pub fn shutdown(self) -> FabricReport {
         self.shared.request_stop();
-        let FabricCluster { shared: _, started, replicas, clients, .. } = self;
+        let FabricCluster { shared: _, started, replicas, downed, clients, .. } = self;
         let mut threads_joined = 0;
         let mut latencies = Vec::new();
         let mut completed = 0;
@@ -334,25 +384,16 @@ impl FabricCluster {
             threads_joined += 1;
         }
         let mut reports = Vec::new();
-        for handle in replicas {
-            let join = handle.join();
+        // Replicas still crashed at shutdown were joined at crash time;
+        // their parked durable state is reported (and audited) as-is.
+        let mut downed = downed;
+        for (i, handle) in replicas.into_iter().enumerate() {
+            let join = match handle {
+                Some(handle) => handle.join(),
+                None => downed.remove(&i).expect("crashed replica state parked"),
+            };
             threads_joined += 4;
-            let replica = &join.replica;
-            // Integrity audit: the committed chain must verify end to
-            // end before it is reported.
-            replica.ledger().verify_chain().expect("ledger chain must verify");
-            reports.push(ReplicaReport {
-                id: join.id,
-                view: replica.current_view(),
-                exec_frontier: replica.execution_frontier(),
-                ledger_len: replica.ledger().len(),
-                history_digest: replica.ledger().history_digest(),
-                state_digest: replica.state_digest(),
-                ingress: join.ingress,
-                batching: join.batching,
-                consensus: join.consensus,
-                egress: join.egress,
-            });
+            reports.push(report_replica(join));
         }
         FabricReport {
             wall: started.elapsed(),
@@ -367,6 +408,7 @@ impl FabricCluster {
     fn probe_dump(&self) -> String {
         self.replicas
             .iter()
+            .flatten()
             .map(|r| {
                 let s = r.probe.snapshot();
                 format!(
@@ -376,6 +418,26 @@ impl FabricCluster {
             })
             .collect::<Vec<_>>()
             .join("; ")
+    }
+}
+
+/// Builds one replica's final report from its joined stage threads,
+/// auditing the committed chain end to end before it is reported.
+fn report_replica(join: ReplicaJoin) -> ReplicaReport {
+    let replica = &join.replica;
+    replica.ledger().verify_chain().expect("ledger chain must verify");
+    ReplicaReport {
+        id: join.id,
+        view: replica.current_view(),
+        exec_frontier: replica.execution_frontier(),
+        ledger_len: replica.ledger().len(),
+        history_digest: replica.ledger().history_digest(),
+        state_digest: replica.state_digest(),
+        ingress: join.ingress,
+        batching: join.batching,
+        consensus: join.consensus,
+        egress: join.egress,
+        repair: replica.repair_stats(),
     }
 }
 

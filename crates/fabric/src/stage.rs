@@ -155,6 +155,8 @@ pub struct ConsensusStats {
     pub rollbacks: u64,
     /// `FellBehind` notifications (replica needs state transfer).
     pub fell_behind: u64,
+    /// `CaughtUp` notifications (a state-transfer repair completed).
+    pub caught_up: u64,
     /// Batches retired by checkpoint GC and sent back for recycling.
     pub retired: u64,
 }
@@ -181,6 +183,10 @@ pub(crate) struct ReplicaSpawn {
 pub(crate) struct ReplicaHandle {
     pub id: ReplicaId,
     pub probe: Arc<ReplicaProbe>,
+    /// Per-replica kill switch: set by [`ReplicaHandle::halt`] to crash
+    /// just this replica's four stage threads while the rest of the
+    /// cluster keeps running (crash-recovery experiments).
+    halt: Arc<AtomicBool>,
     ingress: JoinHandle<IngressStats>,
     batching: JoinHandle<BatchingStats>,
     consensus: JoinHandle<(ConsensusStats, Box<PoeReplica>)>,
@@ -202,35 +208,45 @@ impl ReplicaHandle {
     /// threads. Must be called for every replica before any client
     /// starts submitting (the hub only routes to registered nodes).
     pub fn spawn(spec: ReplicaSpawn) -> ReplicaHandle {
-        let ReplicaSpawn { shared, cluster, support, km, id } = spec;
+        let replica = Box::new(PoeReplica::new(
+            spec.cluster.clone(),
+            spec.id,
+            spec.support,
+            spec.km.replica(spec.id.index()),
+            Box::new(SpeculativeStore::new()),
+        ));
+        ReplicaHandle::spawn_with(spec, replica)
+    }
+
+    /// [`ReplicaHandle::spawn`] with an existing automaton — the restart
+    /// path after a crash: the caller rebuilds the replica from its
+    /// durable state ([`PoeReplica::into_restarted`]) and re-registering
+    /// on the hub replaces the dead endpoint, so traffic flows again.
+    pub fn spawn_with(spec: ReplicaSpawn, replica: Box<PoeReplica>) -> ReplicaHandle {
+        let ReplicaSpawn { shared, cluster, support: _, km, id } = spec;
         let hub_rx = shared.hub.register(NodeId::Replica(id));
         let (cons_tx, cons_rx) = unbounded::<ConsensusJob>();
         let (batch_tx, batch_rx) = unbounded::<(NodeId, ProtocolMsg)>();
         let (reply_tx, reply_rx) = unbounded::<(ClientId, ProtocolMsg)>();
         let (recycle_tx, recycle_rx) = unbounded::<Arc<Batch>>();
         let probe = ReplicaProbe::new(id, cluster.n);
-
-        let replica = Box::new(PoeReplica::new(
-            cluster.clone(),
-            id,
-            support,
-            km.replica(id.index()),
-            Box::new(SpeculativeStore::new()),
-        ));
+        let halt = Arc::new(AtomicBool::new(false));
 
         let name = |stage: &str| format!("r{}-{stage}", id.0);
 
         let ingress = {
             let shared = shared.clone();
             let cons_tx = cons_tx.clone();
+            let halt = halt.clone();
             std::thread::Builder::new()
                 .name(name("ingress"))
-                .spawn(move || ingress_loop(shared, hub_rx, recycle_rx, batch_tx, cons_tx))
+                .spawn(move || ingress_loop(shared, halt, hub_rx, recycle_rx, batch_tx, cons_tx))
                 .expect("spawn ingress")
         };
         let batching = {
             let shared = shared.clone();
             let probe = probe.clone();
+            let halt = halt.clone();
             let crypto = (cluster.crypto_mode != CryptoMode::None).then(|| km.replica(id.index()));
             let batch_size = cluster.batch_size;
             let cut_delay = cluster.batch_cut_delay.to_std();
@@ -239,7 +255,7 @@ impl ReplicaHandle {
                 .name(name("batching"))
                 .spawn(move || {
                     batching_loop(
-                        shared, batch_rx, cons_tx, probe, crypto, batch_size, cut_delay, n,
+                        shared, halt, batch_rx, cons_tx, probe, crypto, batch_size, cut_delay, n,
                     )
                 })
                 .expect("spawn batching")
@@ -247,21 +263,33 @@ impl ReplicaHandle {
         let consensus = {
             let shared = shared.clone();
             let probe = probe.clone();
+            let halt = halt.clone();
             std::thread::Builder::new()
                 .name(name("consensus"))
                 .spawn(move || {
-                    consensus_loop(shared, cons_rx, reply_tx, recycle_tx, probe, replica)
+                    consensus_loop(shared, halt, cons_rx, reply_tx, recycle_tx, probe, replica)
                 })
                 .expect("spawn consensus")
         };
         let egress = {
             let shared = shared.clone();
+            let halt = halt.clone();
             std::thread::Builder::new()
                 .name(name("egress"))
-                .spawn(move || egress_loop(shared, reply_rx, id))
+                .spawn(move || egress_loop(shared, halt, reply_rx, id))
                 .expect("spawn egress")
         };
-        ReplicaHandle { id, probe, ingress, batching, consensus, egress }
+        ReplicaHandle { id, probe, halt, ingress, batching, consensus, egress }
+    }
+
+    /// Crashes this replica: all four stage threads observe the flag
+    /// within one `TICK` and wind down, dropping every queued frame and
+    /// all volatile state — only what the consensus thread returns (the
+    /// automaton with its store + ledger) survives, mirroring a process
+    /// crash where durable state is what's on disk. Follow with
+    /// [`ReplicaHandle::join`].
+    pub fn halt(&self) {
+        self.halt.store(true, Ordering::Relaxed);
     }
 
     /// Joins all four stage threads (requires the stop flag to be set or
@@ -280,8 +308,15 @@ impl ReplicaHandle {
 
 // ------------------------------------------------------------- ingress
 
+/// A stage winds down when the whole cluster stops or this one replica
+/// is crashed via its halt flag.
+fn winding_down(shared: &ClusterShared, halt: &AtomicBool) -> bool {
+    shared.stopped() || halt.load(Ordering::Relaxed)
+}
+
 fn ingress_loop(
     shared: Arc<ClusterShared>,
+    halt: Arc<AtomicBool>,
     hub_rx: Receiver<WireBytes>,
     recycle_rx: Receiver<Arc<Batch>>,
     batch_tx: Sender<(NodeId, ProtocolMsg)>,
@@ -316,7 +351,7 @@ fn ingress_loop(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        if shared.stopped() {
+        if winding_down(&shared, &halt) {
             break;
         }
     }
@@ -331,6 +366,7 @@ fn ingress_loop(
 #[allow(clippy::too_many_arguments)]
 fn batching_loop(
     shared: Arc<ClusterShared>,
+    halt: Arc<AtomicBool>,
     batch_rx: Receiver<(NodeId, ProtocolMsg)>,
     cons_tx: Sender<ConsensusJob>,
     probe: Arc<ReplicaProbe>,
@@ -395,7 +431,7 @@ fn batching_loop(
         // safe — it degrades to the per-request path.
         let cut = batcher.pending_len() > 0
             && (disconnected
-                || shared.stopped()
+                || winding_down(&shared, &halt)
                 || !probe.is_primary()
                 || deadline.is_some_and(|d| Instant::now() >= d));
         if cut {
@@ -405,7 +441,7 @@ fn batching_loop(
             }
             deadline = None;
         }
-        if disconnected || shared.stopped() {
+        if disconnected || winding_down(&shared, &halt) {
             break;
         }
     }
@@ -505,6 +541,7 @@ impl ConsensusCtx {
             Notification::ViewChanged { .. } => self.stats.view_changes += 1,
             Notification::RolledBack { .. } => self.stats.rollbacks += 1,
             Notification::FellBehind { .. } => self.stats.fell_behind += 1,
+            Notification::CaughtUp { .. } => self.stats.caught_up += 1,
             Notification::RequestComplete { .. } => {}
         }
     }
@@ -512,6 +549,7 @@ impl ConsensusCtx {
 
 fn consensus_loop(
     shared: Arc<ClusterShared>,
+    halt: Arc<AtomicBool>,
     cons_rx: Receiver<ConsensusJob>,
     reply_tx: Sender<(ClientId, ProtocolMsg)>,
     recycle_tx: Sender<Arc<Batch>>,
@@ -556,6 +594,12 @@ fn consensus_loop(
             // drained and the pipeline upstream is gone — wind down.
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        // A halted replica drops its queue on the floor — a crash, not
+        // a graceful drain (the cluster-wide stop still drains via the
+        // disconnect cascade above).
+        if halt.load(Ordering::Relaxed) {
+            break;
+        }
     }
     ctx.probe.publish(&ctx.replica);
     (ctx.stats, ctx.replica)
@@ -572,6 +616,7 @@ fn handle(ctx: &mut ConsensusCtx, job: ConsensusJob) {
 
 fn egress_loop(
     shared: Arc<ClusterShared>,
+    halt: Arc<AtomicBool>,
     reply_rx: Receiver<(ClientId, ProtocolMsg)>,
     id: ReplicaId,
 ) -> EgressStats {
@@ -589,7 +634,7 @@ fn egress_loop(
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if shared.stopped() {
+                if winding_down(&shared, &halt) {
                     break;
                 }
             }

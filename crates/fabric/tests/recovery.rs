@@ -1,0 +1,105 @@
+//! Wall-clock crash–restart recovery: a backup replica is halted
+//! mid-run (its stage threads joined, queues dropped — a real crash,
+//! not a pause), restarted from its durable state (ledger + stable
+//! application state), and must rejoin through the state-transfer
+//! repair protocol while the cluster keeps serving clients. The final
+//! report proves convergence, audits the ledger chain, and shows the
+//! responder-side repair budget actually rate-limited catch-up traffic.
+
+use poe_consensus::SupportMode;
+use poe_fabric::{FabricCluster, FabricConfig, FabricReport};
+use std::time::Duration;
+
+/// Generous bound for CI machines; healthy runs finish in seconds.
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// Index of the crash victim: a backup, never the view-0 primary (a
+/// restarted replica loses its volatile reply cache; restarting the
+/// primary is the view-change suite's territory).
+const VICTIM: usize = 2;
+
+/// Launches the cluster, crashes the victim once traffic is flowing,
+/// holds it down long enough to fall several checkpoint intervals
+/// behind, restarts it, and drives the run to completion — all under a
+/// watchdog so a wedged pipeline fails instead of hanging the suite.
+fn run_crash_restart(cfg: FabricConfig) -> FabricReport {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut cluster = FabricCluster::launch(&cfg);
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.crash_replica(VICTIM);
+        std::thread::sleep(Duration::from_millis(400));
+        cluster.restart_replica(VICTIM);
+        let _ = tx.send(cluster.run_to_completion(DEADLINE));
+    });
+    match rx.recv_timeout(DEADLINE + Duration::from_secs(30)) {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => panic!("fabric recovery run failed: {e}"),
+        Err(_) => panic!("fabric recovery run wedged past the watchdog deadline"),
+    }
+}
+
+/// A workload long enough that client traffic — and with it the
+/// checkpoint cadence that refills repair budgets — keeps flowing
+/// while the restarted replica catches up. The repair budget is set
+/// low so a single checkpoint image cannot be served inside one
+/// budget window: the throttle must engage and the retry path must
+/// finish the job across refills.
+fn recovery_cfg(support: SupportMode) -> FabricConfig {
+    let mut cfg = FabricConfig::new(4, support);
+    cfg.requests_per_client = 1000;
+    cfg.cluster = cfg
+        .cluster
+        .with_repair_budget_chunks(8)
+        .with_repair_chunk_bytes(512)
+        .with_repair_timeout(poe_kernel::time::Duration::from_millis(100));
+    cfg
+}
+
+fn assert_recovered(report: &FabricReport, cfg: &FabricConfig) {
+    assert_eq!(report.completed_requests, cfg.total_requests(), "all requests completed");
+    assert!(report.converged(), "replicas diverged: {:#?}", report.replicas);
+    let first = &report.replicas[0];
+    for r in &report.replicas {
+        assert_eq!(r.history_digest, first.history_digest, "history digest at {}", r.id);
+        assert_eq!(r.state_digest, first.state_digest, "state digest at {}", r.id);
+        assert_eq!(r.exec_frontier, first.exec_frontier, "frontier at {}", r.id);
+    }
+
+    // The victim rejoined through the repair protocol, not by luck.
+    let victim = &report.replicas[VICTIM];
+    assert!(
+        victim.repair.repairs_completed >= 1,
+        "victim must complete a state-transfer repair: {:#?}",
+        victim.repair
+    );
+    assert!(victim.repair.chunks_fetched >= 1, "repair must actually move chunks");
+    assert!(victim.consensus.caught_up >= 1, "consensus stage observed the CaughtUp");
+
+    // Peers served the image — and the token budget rate-limited them:
+    // the image spans more chunks than one budget window, so at least
+    // one request had to be dropped and retried after a refill.
+    let served: u64 = report.replicas.iter().map(|r| r.repair.chunks_served).sum();
+    let throttled: u64 = report.replicas.iter().map(|r| r.repair.throttled).sum();
+    assert!(served >= 1, "no peer served repair chunks: {:#?}", report.replicas);
+    assert!(
+        throttled >= 1,
+        "the repair budget never throttled (served {served} chunks): {:#?}",
+        report.replicas
+    );
+    assert!(victim.repair.retries >= 1, "throttled chunks must be re-requested");
+}
+
+#[test]
+fn crashed_backup_restarts_and_catches_up_ts() {
+    let cfg = recovery_cfg(SupportMode::Threshold);
+    let report = run_crash_restart(cfg.clone());
+    assert_recovered(&report, &cfg);
+}
+
+#[test]
+fn crashed_backup_restarts_and_catches_up_mac() {
+    let cfg = recovery_cfg(SupportMode::Mac);
+    let report = run_crash_restart(cfg.clone());
+    assert_recovered(&report, &cfg);
+}

@@ -78,12 +78,11 @@ pub enum Notification {
         /// Sequence number decided.
         seq: SeqNum,
     },
-    /// During a view change the replica discovered that the cluster's
-    /// stable checkpoint is ahead of its own state and the missing
-    /// history cannot be rebuilt from VC-REQUESTs alone. The replica
-    /// adopts the view (staying live for forwarding) but keeps its old
-    /// state; catching up requires state transfer. Runtimes surface
-    /// this so lag is visible instead of a silent stall.
+    /// The replica discovered that the cluster's stable checkpoint is
+    /// ahead of its own state and the missing history cannot be rebuilt
+    /// from VC-REQUESTs alone. The replica stays live (forwarding,
+    /// voting on in-window slots) and starts the state-transfer repair
+    /// protocol; a later [`Notification::CaughtUp`] marks its completion.
     FellBehind {
         /// The stable checkpoint the cluster proved.
         stable: SeqNum,
@@ -91,6 +90,16 @@ pub enum Notification {
         exec_frontier: SeqNum,
         /// The next sequence number this replica's ledger expects.
         ledger_frontier: SeqNum,
+    },
+    /// State-transfer repair finished: the replica installed a verified
+    /// checkpoint (and any certified tail above it) and rejoined the
+    /// live protocol. Pairs with an earlier [`Notification::FellBehind`]
+    /// or lag detection via peer checkpoint votes.
+    CaughtUp {
+        /// The stable checkpoint that was installed.
+        stable: SeqNum,
+        /// The contiguous execution frontier after catch-up.
+        exec_frontier: SeqNum,
     },
     /// A client completed a request (client automatons only).
     RequestComplete {
@@ -126,6 +135,9 @@ impl Notification {
             Notification::Decided { seq } => format!("decided {seq}"),
             Notification::FellBehind { stable, exec_frontier, ledger_frontier } => {
                 format!("fellbehind stable={stable} exec={exec_frontier} ledger={ledger_frontier}")
+            }
+            Notification::CaughtUp { stable, exec_frontier } => {
+                format!("caughtup stable={stable} exec={exec_frontier}")
             }
             Notification::RequestComplete { client, req_id, submitted_at } => {
                 format!("complete {client} req={req_id} submitted={}", submitted_at.as_nanos())

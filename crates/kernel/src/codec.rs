@@ -29,7 +29,8 @@
 use crate::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
 use crate::messages::{
     ClientReply, Envelope, ExecEntry, HsBlock, HsQuorumCert, PbftPreparedEntry, PbftViewChange,
-    PoeVcRequest, ProtocolMsg, ReplyKind, ZyzCommitCert,
+    PoeVcRequest, ProtocolMsg, RepairManifest, ReplyKind, StateChunkPayload, StateRequestKind,
+    ZyzCommitCert,
 };
 use crate::request::{Batch, ClientRequest};
 use crate::wire::WireBytes;
@@ -471,6 +472,49 @@ pub fn write_msg<S: Sink>(out: &mut S, msg: &ProtocolMsg) {
             out.put_u8(60);
             put_seq(out, *seq);
             put_digest(out, state_digest);
+        }
+        ProtocolMsg::StateRequest(kind) => {
+            out.put_u8(61);
+            match kind {
+                StateRequestKind::Manifest => out.put_u8(0),
+                StateRequestKind::Chunk { stable, chunk } => {
+                    out.put_u8(1);
+                    put_seq(out, *stable);
+                    out.put(&chunk.to_le_bytes());
+                }
+                StateRequestKind::Tail { after } => {
+                    out.put_u8(2);
+                    put_seq(out, *after);
+                }
+            }
+        }
+        ProtocolMsg::StateChunk(payload) => {
+            out.put_u8(62);
+            match payload {
+                StateChunkPayload::Manifest(m) => {
+                    out.put_u8(0);
+                    put_seq(out, m.stable);
+                    put_digest(out, &m.state_digest);
+                    put_digest(out, &m.history_digest);
+                    out.put(&m.image_len.to_le_bytes());
+                    put_digest(out, &m.image_digest);
+                }
+                StateChunkPayload::Chunk { stable, chunk, total, data } => {
+                    out.put_u8(1);
+                    put_seq(out, *stable);
+                    out.put(&chunk.to_le_bytes());
+                    out.put(&total.to_le_bytes());
+                    put_bytes(out, data);
+                }
+                StateChunkPayload::Tail { after, entries } => {
+                    out.put_u8(2);
+                    put_seq(out, *after);
+                    out.put(&(entries.len() as u32).to_le_bytes());
+                    for e in entries {
+                        put_exec_entry(out, e);
+                    }
+                }
+            }
         }
     }
 }
@@ -941,6 +985,41 @@ fn decode_inner(r: &mut Reader<'_>, ctx: &mut DecodeCtx<'_>) -> Option<ProtocolM
         51 => ProtocolMsg::HsVote { height: r.u64()?, block: r.digest()?, share: get_share(r)? },
         52 => ProtocolMsg::HsNewView { height: r.u64()?, high_qc: get_opt_qc(r)? },
         60 => ProtocolMsg::Checkpoint { seq: SeqNum(r.u64()?), state_digest: r.digest()? },
+        61 => ProtocolMsg::StateRequest(match r.u8()? {
+            0 => StateRequestKind::Manifest,
+            1 => StateRequestKind::Chunk { stable: SeqNum(r.u64()?), chunk: r.u32()? },
+            2 => StateRequestKind::Tail { after: SeqNum(r.u64()?) },
+            _ => return None,
+        }),
+        62 => ProtocolMsg::StateChunk(match r.u8()? {
+            0 => StateChunkPayload::Manifest(RepairManifest {
+                stable: SeqNum(r.u64()?),
+                state_digest: r.digest()?,
+                history_digest: r.digest()?,
+                image_len: r.u64()?,
+                image_digest: r.digest()?,
+            }),
+            1 => StateChunkPayload::Chunk {
+                stable: SeqNum(r.u64()?),
+                chunk: r.u32()?,
+                total: r.u32()?,
+                // Shared mode: a zero-copy sub-view of the frame.
+                data: r.wire_bytes()?,
+            },
+            2 => {
+                let after = SeqNum(r.u64()?);
+                let count = r.u32()? as usize;
+                if count > r.remainder() {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(get_exec_entry(r, ctx)?);
+                }
+                StateChunkPayload::Tail { after, entries }
+            }
+            _ => return None,
+        }),
         _ => return None,
     })
 }
@@ -1251,6 +1330,39 @@ mod tests {
             ProtocolMsg::HsVote { height: 5, block: d, share },
             ProtocolMsg::HsNewView { height: 5, high_qc: None },
             ProtocolMsg::Checkpoint { seq: SeqNum(100), state_digest: d },
+            ProtocolMsg::StateRequest(StateRequestKind::Manifest),
+            ProtocolMsg::StateRequest(StateRequestKind::Chunk { stable: SeqNum(99), chunk: 3 }),
+            ProtocolMsg::StateRequest(StateRequestKind::Tail { after: SeqNum(99) }),
+            ProtocolMsg::StateChunk(StateChunkPayload::Manifest(RepairManifest {
+                stable: SeqNum(99),
+                state_digest: d,
+                history_digest: Digest::of(b"h"),
+                image_len: 123_456,
+                image_digest: Digest::of(b"img"),
+            })),
+            ProtocolMsg::StateChunk(StateChunkPayload::Chunk {
+                stable: SeqNum(99),
+                chunk: 3,
+                total: 31,
+                data: vec![9u8, 8, 7, 6, 5].into(),
+            }),
+            ProtocolMsg::StateChunk(StateChunkPayload::Tail {
+                after: SeqNum(99),
+                entries: vec![
+                    ExecEntry {
+                        view: View(3),
+                        seq: SeqNum(100),
+                        cert: Some(sample_cert()),
+                        batch: sample_batch(),
+                    },
+                    ExecEntry {
+                        view: View(3),
+                        seq: SeqNum(101),
+                        cert: None,
+                        batch: sample_batch(),
+                    },
+                ],
+            }),
         ]
     }
 
@@ -1362,6 +1474,30 @@ mod tests {
             panic!("expected Reply, got {}", reply_msg.label());
         };
         assert!(r.result.shares_buffer_with(&frame));
+    }
+
+    /// STATE-CHUNK image data decodes as a sub-view of the receive frame
+    /// (the whole point of chunked repair: no per-chunk copies on the
+    /// requester's hot path).
+    #[test]
+    fn state_chunk_shared_decode_is_zero_copy() {
+        let msg = ProtocolMsg::StateChunk(StateChunkPayload::Chunk {
+            stable: SeqNum(40),
+            chunk: 1,
+            total: 4,
+            data: vec![0xAB; 512].into(),
+        });
+        let frame = encode_frame(&msg);
+        let ProtocolMsg::StateChunk(StateChunkPayload::Chunk { data, .. }) =
+            decode_msg_shared(&frame).expect("decode")
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(data.len(), 512);
+        assert!(
+            data.shares_buffer_with(&frame),
+            "chunk data must be a view into the receive frame"
+        );
     }
 
     /// A warmed [`BatchPool`] hands the same batch container back out.

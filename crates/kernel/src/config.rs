@@ -52,6 +52,15 @@ pub struct ClusterConfig {
     pub cert_scheme: CertScheme,
     /// Payload mode.
     pub payload: PayloadMode,
+    /// Base retry timeout for the state-transfer repair protocol (doubles
+    /// per retry, like the view-change back-off).
+    pub repair_timeout: Duration,
+    /// Responder-side repair budget: STATE-CHUNK responses a replica will
+    /// serve between budget refills (refilled on every stable checkpoint
+    /// and view entry), so catch-up traffic cannot starve consensus.
+    pub repair_budget_chunks: u32,
+    /// Size of one checkpoint-image chunk in a STATE-CHUNK message.
+    pub repair_chunk_bytes: usize,
     /// Deterministic seed for key generation and workloads.
     pub seed: u64,
 }
@@ -74,6 +83,9 @@ impl ClusterConfig {
             crypto_mode: CryptoMode::Cmac,
             cert_scheme: CertScheme::MultiSig,
             payload: PayloadMode::Standard,
+            repair_timeout: Duration::from_millis(500),
+            repair_budget_chunks: 64,
+            repair_chunk_bytes: 4096,
             seed: 0xD1CE,
         }
     }
@@ -152,11 +164,37 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the repair (state-transfer) base retry timeout.
+    pub fn with_repair_timeout(mut self, t: Duration) -> Self {
+        self.repair_timeout = t;
+        self
+    }
+
+    /// Sets the responder-side repair budget (chunks per refill).
+    pub fn with_repair_budget_chunks(mut self, chunks: u32) -> Self {
+        assert!(chunks >= 1);
+        self.repair_budget_chunks = chunks;
+        self
+    }
+
+    /// Sets the checkpoint-image chunk size.
+    pub fn with_repair_chunk_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1);
+        self.repair_chunk_bytes = bytes;
+        self
+    }
+
     /// View-change timeout for a replica that has already performed
     /// `attempts` view changes: exponential back-off, doubling each time
     /// (Theorem 7's liveness argument).
     pub fn view_change_timeout(&self, attempts: u32) -> Duration {
         self.base_timeout.saturating_mul(1u64 << attempts.min(20))
+    }
+
+    /// Repair retry timeout after `attempts` unproductive retries: same
+    /// doubling back-off shape as [`ClusterConfig::view_change_timeout`].
+    pub fn repair_retry_timeout(&self, attempts: u32) -> Duration {
+        self.repair_timeout.saturating_mul(1u64 << attempts.min(20))
     }
 }
 

@@ -175,6 +175,73 @@ pub struct ClientReply {
     pub history: Option<Digest>,
 }
 
+/// Description of a responder's latest stable checkpoint, sent in reply
+/// to a STATE-REQUEST manifest probe. A lagging replica acts on a
+/// manifest only once `f + 1` distinct peers vouch for the same one
+/// (field-for-field), which guarantees at least one honest voucher.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct RepairManifest {
+    /// Sequence number of the stable checkpoint being offered.
+    pub stable: SeqNum,
+    /// Application state digest at `stable`.
+    pub state_digest: Digest,
+    /// [`Ledger::history_digest`] of the chain through `stable`.
+    pub history_digest: Digest,
+    /// Total length in bytes of the checkpoint image.
+    pub image_len: u64,
+    /// Digest of the full checkpoint image (verified after reassembly).
+    pub image_digest: Digest,
+}
+
+/// What a STATE-REQUEST asks for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateRequestKind {
+    /// "Describe your latest stable checkpoint" (broadcast probe).
+    Manifest,
+    /// One chunk of the checkpoint image at `stable`.
+    Chunk {
+        /// The checkpoint the requester is fetching.
+        stable: SeqNum,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// Certified transactions committed above `after` (the requester's
+    /// freshly installed checkpoint), so it can rejoin at the live edge.
+    Tail {
+        /// The sequence number the tail starts after.
+        after: SeqNum,
+    },
+}
+
+/// The payload of a STATE-CHUNK response.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StateChunkPayload {
+    /// Answer to a manifest probe.
+    Manifest(RepairManifest),
+    /// One chunk of the checkpoint image. `data` stays a shared view of
+    /// the receive frame on decode (zero-copy).
+    Chunk {
+        /// The checkpoint the chunk belongs to.
+        stable: SeqNum,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total number of chunks in the image.
+        total: u32,
+        /// The chunk bytes.
+        data: WireBytes,
+    },
+    /// The responder's committed transactions above `after`, oldest
+    /// first and gap-free. Entries reuse [`ExecEntry`]: certificates are
+    /// present in threshold mode and `None` in MAC mode (where the
+    /// requester instead demands `f + 1` matching tails).
+    Tail {
+        /// The sequence number the tail starts after (echoes the request).
+        after: SeqNum,
+        /// Consecutive committed entries starting at `after + 1`.
+        entries: Vec<ExecEntry>,
+    },
+}
+
 /// Every message that can travel between nodes.
 #[derive(Clone, PartialEq, Debug)]
 pub enum ProtocolMsg {
@@ -371,6 +438,13 @@ pub enum ProtocolMsg {
         /// Application state digest at that point.
         state_digest: Digest,
     },
+
+    // ------------------------------------------------------ state transfer
+    /// Lagging replica → peers: a repair request (manifest probe, image
+    /// chunk fetch, or tail fetch).
+    StateRequest(StateRequestKind),
+    /// Peer → lagging replica: a repair response.
+    StateChunk(StateChunkPayload),
 }
 
 impl ProtocolMsg {
@@ -410,6 +484,8 @@ impl ProtocolMsg {
             ProtocolMsg::HsVote { .. } => "HS-VOTE",
             ProtocolMsg::HsNewView { .. } => "HS-NEW-VIEW",
             ProtocolMsg::Checkpoint { .. } => "CHECKPOINT",
+            ProtocolMsg::StateRequest(_) => "STATE-REQUEST",
+            ProtocolMsg::StateChunk(_) => "STATE-CHUNK",
         }
     }
 

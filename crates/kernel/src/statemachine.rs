@@ -65,6 +65,35 @@ pub trait StateMachine: Send {
 
     /// Highest applied sequence number, if any batch has been applied.
     fn applied_up_to(&self) -> Option<SeqNum>;
+
+    /// Serializes the application state *at the last stabilized
+    /// checkpoint* (current state minus all still-revertible batches)
+    /// into a canonical byte image: two replicas with the same stable
+    /// state must produce byte-identical images regardless of apply
+    /// order. Used by the state-transfer repair protocol. `None` means
+    /// the machine does not support checkpoint export.
+    fn checkpoint_image(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// The digest a peer would report as [`StateMachine::state_digest`]
+    /// right after installing this machine's
+    /// [`StateMachine::checkpoint_image`] — i.e. the digest of the state
+    /// *at the last stabilized checkpoint*. Machines with speculative
+    /// (revertible) suffixes must override this; the default assumes
+    /// current state and stable state coincide.
+    fn stable_state_digest(&self) -> Digest {
+        self.state_digest()
+    }
+
+    /// Replaces the entire application state with the image produced by
+    /// a peer's [`StateMachine::checkpoint_image`], declaring `seq` both
+    /// applied and stable. Returns false (leaving state unspecified only
+    /// on a malformed image, which verified-digest callers never pass)
+    /// when the image cannot be parsed or installation is unsupported.
+    fn install_checkpoint(&mut self, _seq: SeqNum, _image: &[u8]) -> bool {
+        false
+    }
 }
 
 /// A trivial state machine that executes "dummy instructions": used for the
@@ -118,6 +147,23 @@ impl StateMachine for NullStateMachine {
 
     fn applied_up_to(&self) -> Option<SeqNum> {
         self.applied.last().copied()
+    }
+
+    fn checkpoint_image(&self) -> Option<Vec<u8>> {
+        // The null machine keeps no undo logs, so its image is simply
+        // the full applied list.
+        Some(self.applied.iter().flat_map(|s| s.0.to_le_bytes()).collect())
+    }
+
+    fn install_checkpoint(&mut self, _seq: SeqNum, image: &[u8]) -> bool {
+        if !image.len().is_multiple_of(8) {
+            return false;
+        }
+        self.applied = image
+            .chunks_exact(8)
+            .map(|c| SeqNum(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+            .collect();
+        true
     }
 }
 

@@ -32,6 +32,10 @@ pub enum TimerKind {
     HsRound(u64),
     /// The primary's batch cut-off (flush a partial batch).
     BatchCut,
+    /// A lagging replica's state-transfer retry timer: re-drives the
+    /// current repair phase (probe, missing chunks, or tail) with
+    /// exponential backoff and source rotation.
+    Repair,
 }
 
 /// Bookkeeping for pending timers on the runtime side.

@@ -16,7 +16,9 @@ use poe_kernel::codec::{
     encode_frame, encode_msg, BatchPool, ScratchPool,
 };
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
-use poe_kernel::messages::{Envelope, ProtocolMsg};
+use poe_kernel::messages::{
+    Envelope, ProtocolMsg, RepairManifest, StateChunkPayload, StateRequestKind,
+};
 use poe_kernel::request::{Batch, ClientRequest};
 use poe_kernel::wire::WireBytes;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -164,6 +166,51 @@ fn decode_and_pooled_encode_allocation_budgets() {
     propose_decode_with_payloads_is_allocation_free();
     shared_decode_allocates_only_containers();
     wire_bytes_clone_and_slice_are_allocation_free();
+    state_chunk_decode_is_zero_copy_and_lean();
+}
+
+/// State-transfer chunks ride the same zero-copy wire path as batches:
+/// a shared-frame STATE-CHUNK decode performs ZERO heap allocations and
+/// its `data` payload is a view into the receive frame — catch-up
+/// traffic never memcpys checkpoint images on the consensus thread.
+fn state_chunk_decode_is_zero_copy_and_lean() {
+    let chunk_msg = ProtocolMsg::StateChunk(StateChunkPayload::Chunk {
+        stable: SeqNum(15),
+        chunk: 3,
+        total: 8,
+        data: WireBytes::from(vec![0xAB; 4096]),
+    });
+    let frame = encode_frame(&chunk_msg);
+    let allocs = min_allocs(|| {
+        let decoded = decode_msg_shared(&frame).expect("decode");
+        match &decoded {
+            ProtocolMsg::StateChunk(StateChunkPayload::Chunk { data, .. }) => {
+                debug_assert!(data.shares_buffer_with(&frame));
+            }
+            other => panic!("wrong variant {}", other.label()),
+        }
+        std::hint::black_box(&decoded);
+    });
+    assert_eq!(allocs, 0, "zero-copy STATE-CHUNK decode allocated");
+
+    // The fixed-size repair messages are allocation-free too.
+    let manifest_msg = ProtocolMsg::StateChunk(StateChunkPayload::Manifest(RepairManifest {
+        stable: SeqNum(15),
+        state_digest: Digest::of(b"s"),
+        history_digest: Digest::of(b"h"),
+        image_len: 1 << 20,
+        image_digest: Digest::of(b"i"),
+    }));
+    let request_msg =
+        ProtocolMsg::StateRequest(StateRequestKind::Chunk { stable: SeqNum(15), chunk: 3 });
+    for msg in [&manifest_msg, &request_msg] {
+        let bytes = encode_msg(msg);
+        let allocs = min_allocs(|| {
+            let decoded = decode_msg(&bytes).expect("decode");
+            std::hint::black_box(&decoded);
+        });
+        assert_eq!(allocs, 0, "decoding {} allocated", msg.label());
+    }
 }
 
 /// The tentpole claim: a full PROPOSE decode — multi-request batch,

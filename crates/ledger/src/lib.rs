@@ -37,6 +37,19 @@ pub enum BlockProof {
     /// committed the block (MAC-authenticated protocols have no compact
     /// transferable certificate).
     Committee(Vec<ReplicaId>),
+    /// The per-slot acceptance proof never completed locally — e.g. the
+    /// watermark advanced past the slot and discarded its late SUPPORT
+    /// votes. The commit is subsumed by the stable checkpoint at this
+    /// sequence number: its `2f + 1` matching state votes (the local
+    /// replica's own among them) attest to every batch up to and
+    /// including this block.
+    Checkpoint(SeqNum),
+    /// The block was installed by state transfer from a checkpoint image
+    /// vouched for by `f + 1` distinct peers; the original acceptance
+    /// proof was garbage-collected with the serving replica's slots.
+    /// Convergence audits compare [`Ledger::history_digest`], which is
+    /// proof-independent, so repaired and original chains agree.
+    Repaired,
 }
 
 impl BlockProof {
@@ -49,6 +62,12 @@ impl BlockProof {
                 buf
             }
             BlockProof::Committee(ids) => ids.iter().flat_map(|r| r.0.to_le_bytes()).collect(),
+            BlockProof::Checkpoint(seq) => {
+                let mut buf = b"checkpoint".to_vec();
+                buf.extend(seq.0.to_le_bytes());
+                buf
+            }
+            BlockProof::Repaired => b"repaired".to_vec(),
         }
     }
 }
@@ -213,6 +232,23 @@ impl Ledger {
         acc
     }
 
+    /// [`Ledger::history_digest`] restricted to blocks with sequence
+    /// numbers at or below `up_to`: what a replica whose chain ends at
+    /// `up_to` would report. Repair manifests advertise this for the
+    /// offered checkpoint so a requester can verify its installed prefix.
+    pub fn history_digest_up_to(&self, up_to: SeqNum) -> Digest {
+        let mut acc = self.genesis_hash;
+        for b in self.blocks.iter().take_while(|b| b.seq <= up_to) {
+            acc = digest_concat(&[
+                acc.as_bytes(),
+                &b.seq.0.to_le_bytes(),
+                &b.view.0.to_le_bytes(),
+                b.batch_digest.as_bytes(),
+            ]);
+        }
+        acc
+    }
+
     /// Audits the whole chain: hash links, consecutive sequence numbers.
     pub fn verify_chain(&self) -> Result<(), ChainError> {
         let mut prev_hash = self.genesis_hash;
@@ -326,6 +362,23 @@ mod tests {
         a.append(SeqNum(1), View(0), d("b1"), BlockProof::Genesis);
         b.append(SeqNum(1), View(0), d("b1'"), BlockProof::Genesis);
         assert_ne!(a.history_digest(), b.history_digest());
+    }
+
+    #[test]
+    fn history_digest_up_to_matches_truncated_chain() {
+        let mut l = ledger();
+        for k in 0..5u64 {
+            l.append(SeqNum(k), View(0), d(&format!("b{k}")), BlockProof::Genesis);
+        }
+        let mut prefix = ledger();
+        for k in 0..3u64 {
+            prefix.append(SeqNum(k), View(0), d(&format!("b{k}")), BlockProof::Repaired);
+        }
+        // A chain rebuilt from a repaired prefix agrees digest-for-digest
+        // with the original through the checkpoint, proofs regardless.
+        assert_eq!(l.history_digest_up_to(SeqNum(2)), prefix.history_digest());
+        assert_eq!(l.history_digest_up_to(SeqNum(4)), l.history_digest());
+        prefix.verify_chain().expect("repaired prefix is a valid chain");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | Fig. 5 Line 14: rollback of unproven speculative batches | `enter_new_view` → [`poe_kernel::statemachine::StateMachine::rollback_to`] + ledger truncation |
 //! | §II-F out-of-order processing | [`poe_kernel::watermark::Watermarks`] window around `commit` frontier |
 //! | Checkpoint protocol (§II-E, bounding E) | `Checkpoint` votes, `2f+1` stability, undo-log GC at the low watermark |
+//! | State transfer (checkpoint recovery) | `STATE-REQUEST`/`STATE-CHUNK`: `f+1`-vouched manifest, chunked image fetch, certified tail adoption, token-bucket serving budget |
 //! | Appendix A (MAC-based PoE) | [`replica::SupportMode::Mac`]: broadcast SUPPORT digests, local `nf`-matching certification, `f+1`-multiplicity view-change adoption |
 //!
 //! Both certificate instantiations of the crypto layer are supported:
@@ -33,4 +34,4 @@
 
 pub mod replica;
 
-pub use replica::{support_digest, PoeReplica, SupportMode};
+pub use replica::{support_digest, PoeReplica, RepairStats, SupportMode};

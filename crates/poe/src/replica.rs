@@ -6,7 +6,7 @@
 //! function of the event stream — the determinism the discrete-event
 //! simulator's replayable traces rely on.
 
-use poe_crypto::digest::{digest_concat, Digest};
+use poe_crypto::digest::{digest_concat, Digest, DIGEST_LEN};
 use poe_crypto::ed25519::Signature;
 use poe_crypto::provider::{CryptoMode, CryptoProvider, NodeIndex};
 use poe_crypto::threshold::{SignatureShare, ThresholdCert, ThresholdError};
@@ -14,13 +14,17 @@ use poe_kernel::automaton::{Event, Notification, Outbox, ReplicaAutomaton};
 use poe_kernel::codec::poe_vc_signing_bytes;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{NodeId, ReplicaId, SeqNum, View};
-use poe_kernel::messages::{ClientReply, ExecEntry, PoeVcRequest, ProtocolMsg, ReplyKind};
+use poe_kernel::messages::{
+    ClientReply, ExecEntry, PoeVcRequest, ProtocolMsg, RepairManifest, ReplyKind,
+    StateChunkPayload, StateRequestKind,
+};
 use poe_kernel::quorum::MatchingVotes;
 use poe_kernel::request::{Batch, Batcher, ClientRequest};
 use poe_kernel::statemachine::{ExecOutcome, StateMachine};
 use poe_kernel::time::Time;
 use poe_kernel::timer::TimerKind;
 use poe_kernel::watermark::{ContiguousTracker, Watermarks};
+use poe_kernel::wire::WireBytes;
 use poe_ledger::{BlockProof, Ledger};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -125,6 +129,91 @@ struct VcState {
     target: View,
 }
 
+/// Largest checkpoint image a [`RepairManifest`] may advertise. The
+/// manifest is vouched for by `f + 1` distinct replicas before any
+/// fetching starts, so this is purely a defensive bound on allocation.
+const MAX_REPAIR_IMAGE_BYTES: u64 = 1 << 31;
+
+/// Cap on entries per served STATE-CHUNK tail (bounds response frames;
+/// anything longer than the out-of-order window never occurs anyway).
+const MAX_TAIL_ENTRIES: usize = 4096;
+
+/// Number of chunks a checkpoint image of `image_len` bytes splits
+/// into under `chunk_bytes`-sized chunks, or `None` when the advertised
+/// length is implausible. Requester and responders share the cluster
+/// config, so both sides compute the same split.
+fn chunk_count(image_len: u64, chunk_bytes: usize) -> Option<u32> {
+    if image_len > MAX_REPAIR_IMAGE_BYTES {
+        return None;
+    }
+    Some(image_len.div_ceil(chunk_bytes as u64).max(1) as u32)
+}
+
+/// Counters for the state-transfer repair protocol: requester-side
+/// progress plus responder-side serving and rate-limiting. Runtimes
+/// surface these in their reports so operators can see both that a
+/// lagging replica caught up and that serving it was budget-bounded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RepairStats {
+    /// Repairs started (manifest probe broadcast).
+    pub repairs_started: u64,
+    /// Repairs completed (`CaughtUp` emitted).
+    pub repairs_completed: u64,
+    /// Image chunks fetched and accepted.
+    pub chunks_fetched: u64,
+    /// Retry-timer fires while a repair was in progress.
+    pub retries: u64,
+    /// Manifests served to lagging peers.
+    pub manifests_served: u64,
+    /// Image chunks served to lagging peers.
+    pub chunks_served: u64,
+    /// Certified tails served to lagging peers.
+    pub tails_served: u64,
+    /// Repair requests dropped because the per-view serving budget was
+    /// exhausted (the rate limit protecting normal-case consensus).
+    pub throttled: u64,
+}
+
+/// Requester-side state of an in-progress repair (state transfer).
+struct RepairState {
+    /// Retry-timer fires so far; drives the exponential back-off and
+    /// the source rotation for re-requested chunks.
+    attempts: u32,
+    /// Manifest → distinct replicas vouching for it (Probing phase).
+    manifests: BTreeMap<RepairManifest, BTreeSet<ReplicaId>>,
+    phase: RepairPhase,
+}
+
+enum RepairPhase {
+    /// Broadcast STATE-REQUEST(Manifest); waiting for `f + 1` distinct
+    /// peers to vouch for the same checkpoint manifest (at least one of
+    /// them honest), which makes it safe to act on.
+    Probing,
+    /// Fetching the image chunks, round-robin across the vouchers.
+    Fetching {
+        manifest: RepairManifest,
+        vouchers: Vec<ReplicaId>,
+        chunks: Vec<Option<WireBytes>>,
+        received: u32,
+    },
+    /// Checkpoint installed; fetching the certified entries above it.
+    Tailing {
+        manifest: RepairManifest,
+        vouchers: Vec<ReplicaId>,
+        /// Tails received so far, per sender (MAC mode cross-checks
+        /// `f + 1` of them; TS mode verifies certificates directly).
+        tails: BTreeMap<ReplicaId, Vec<ExecEntry>>,
+    },
+}
+
+/// Responder-side cache of the serialized checkpoint image for the
+/// current stable checkpoint, built lazily on the first manifest
+/// request and reused for every chunk request against it.
+struct RepairImageCache {
+    manifest: RepairManifest,
+    image: WireBytes,
+}
+
 /// The PoE replica automaton.
 pub struct PoeReplica {
     cfg: ClusterConfig,
@@ -173,6 +262,18 @@ pub struct PoeReplica {
     /// runtime can recycle their containers into its decode
     /// [`poe_kernel::codec::BatchPool`]. Bounded by [`MAX_RETIRED`].
     retired: Vec<Arc<Batch>>,
+    /// In-progress state transfer (requester side), if any.
+    repair: Option<RepairState>,
+    /// Highest aligned checkpoint vote seen per peer — the lag detector
+    /// feeding [`Self::maybe_start_repair`]. Bounded by `n`.
+    peer_checkpoints: BTreeMap<ReplicaId, SeqNum>,
+    /// Responder-side serving budget: tokens left in the current view
+    /// (refilled on checkpoint stability and view installation). Serving
+    /// catch-up traffic must not starve normal-case consensus.
+    repair_tokens: u32,
+    /// Responder-side cached checkpoint image.
+    repair_cache: Option<RepairImageCache>,
+    repair_stats: RepairStats,
 }
 
 impl PoeReplica {
@@ -191,6 +292,7 @@ impl PoeReplica {
             *crypto.verifying_key_of(initial_primary.0).expect("initial primary key exists");
         let batch_size = cfg.batch_size;
         let window = cfg.ooo_window;
+        let repair_tokens = cfg.repair_budget_chunks;
         PoeReplica {
             cfg,
             id,
@@ -219,6 +321,65 @@ impl PoeReplica {
             stashed: Vec::new(),
             sig_scratch: Vec::new(),
             retired: Vec::new(),
+            repair: None,
+            peer_checkpoints: BTreeMap::new(),
+            repair_tokens,
+            repair_cache: None,
+            repair_stats: RepairStats::default(),
+        }
+    }
+
+    /// Rebuilds this replica as it restarts after a crash, keeping only
+    /// what the durability model persists: configuration, identity, key
+    /// material, the committed ledger, and the application state at the
+    /// last stable checkpoint. All volatile consensus state — open
+    /// slots, votes, batches, timers, the reply cache — is lost. The
+    /// replica resumes in the view of its ledger head and relies on the
+    /// checkpoint repair protocol to catch back up.
+    pub fn into_restarted(mut self) -> PoeReplica {
+        let stable = self.stable_seq;
+        self.store.rollback_to(stable);
+        self.ledger.truncate_above(stable);
+        let view = self.ledger.iter().last().map(|b| b.view).unwrap_or(View::ZERO);
+        let resume = stable.map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        let window = self.cfg.ooo_window;
+        let batch_size = self.cfg.batch_size;
+        let repair_tokens = self.cfg.repair_budget_chunks;
+        let mut watermarks = Watermarks::new(window);
+        watermarks.advance_to(resume);
+        PoeReplica {
+            cfg: self.cfg,
+            id: self.id,
+            mode: self.mode,
+            crypto: self.crypto,
+            store: self.store,
+            ledger: self.ledger,
+            view,
+            view_change: None,
+            vc_attempts: 0,
+            watermarks,
+            next_seq: resume,
+            batcher: Batcher::new(batch_size),
+            pending_batches: VecDeque::new(),
+            batch_timer_armed: false,
+            slots: BTreeMap::new(),
+            exec: ContiguousTracker::starting_at(resume),
+            committed: ContiguousTracker::starting_at(resume),
+            stable_seq: stable,
+            checkpoint_votes: BTreeMap::new(),
+            forwarded: BTreeSet::new(),
+            proposed: BTreeSet::new(),
+            executed_reqs: BTreeMap::new(),
+            pending_vc: BTreeMap::new(),
+            nv_sent: BTreeSet::new(),
+            stashed: Vec::new(),
+            sig_scratch: Vec::new(),
+            retired: Vec::new(),
+            repair: None,
+            peer_checkpoints: BTreeMap::new(),
+            repair_tokens,
+            repair_cache: None,
+            repair_stats: RepairStats::default(),
         }
     }
 
@@ -255,6 +416,16 @@ impl PoeReplica {
     /// The low/high watermark window.
     pub fn watermarks(&self) -> &Watermarks {
         &self.watermarks
+    }
+
+    /// Counters for the state-transfer repair protocol.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair_stats
+    }
+
+    /// Whether a repair (state transfer) is currently in progress.
+    pub fn repairing(&self) -> bool {
+        self.repair.is_some()
     }
 
     // ----------------------------------------------------------- helpers
@@ -758,7 +929,17 @@ impl PoeReplica {
             let Some(batch) = &slot.batch else { break };
             let proof = match &slot.cert {
                 Some(cert) => BlockProof::Certificate(cert.clone()),
-                None => BlockProof::Committee(slot.mac_votes.voters_for(&slot.digest).collect()),
+                None => {
+                    let committee: Vec<_> = slot.mac_votes.voters_for(&slot.digest).collect();
+                    if committee.len() >= self.cfg.nf() {
+                        BlockProof::Committee(committee)
+                    } else {
+                        // Sub-quorum commits only arise from checkpoint
+                        // subsumption (see `try_stable_checkpoint`).
+                        let stable = self.stable_seq.expect("subsumed commit implies a checkpoint");
+                        BlockProof::Checkpoint(stable)
+                    }
+                }
             };
             self.ledger.append(next, slot.proposed_view, batch.digest, proof);
         }
@@ -816,6 +997,17 @@ impl PoeReplica {
         // window ahead of us; anything else is noise and must not grow
         // the vote table (byzantine flooding of far-future seqs).
         let aligned = (seq.0 + 1).is_multiple_of(self.cfg.checkpoint_interval);
+        if aligned {
+            // Lag detector: remember the highest aligned checkpoint each
+            // peer claims, even when the vote itself is filtered below
+            // (a vote far past our window is exactly the signal that we
+            // fell behind). Bounded by `n` entries.
+            let best = self.peer_checkpoints.entry(from).or_insert(seq);
+            if seq > *best {
+                *best = seq;
+            }
+            self.maybe_start_repair(out);
+        }
         let in_range = seq.0 < self.watermarks.high().0 + self.cfg.checkpoint_interval;
         if self.stable_seq.is_some_and(|s| seq <= s) || !aligned || !in_range {
             return;
@@ -834,26 +1026,658 @@ impl PoeReplica {
         let quorum = 2 * self.cfg.f + 1;
         let Some(votes) = self.checkpoint_votes.get(&seq) else { return };
         let Some(digest) = votes.quorum_value(quorum).copied() else { return };
-        // We must agree with the stable value ourselves — otherwise the
-        // gap calls for state transfer, which is out of scope here.
+        // We must agree with the stable value ourselves — a quorum we
+        // are not part of means our state diverged or lags; that gap is
+        // closed by the repair protocol (state transfer), not by
+        // adopting a checkpoint we cannot verify.
         if !votes.voters_for(&digest).any(|r| r == self.id) {
             return;
         }
         self.stable_seq = Some(seq);
         self.store.stabilize(seq);
+        // A stable checkpoint subsumes the per-slot acceptance proofs at
+        // or below it: `2f + 1` replicas — our own matching state vote
+        // among them — attest to a state that embeds every batch up to
+        // `seq`. Speculative execution makes this matter: the checkpoint
+        // can stabilize while a slot's SUPPORT/CERTIFY quorum is still
+        // in flight, after which the advancing watermark discards the
+        // late votes and the slot would otherwise never commit — gapping
+        // the ledger and starving its clients forever.
+        let subsumed: Vec<SeqNum> = self
+            .slots
+            .range(..=seq)
+            .filter(|(_, s)| s.executed && !s.committed && s.batch.is_some())
+            .map(|(k, _)| *k)
+            .collect();
+        for k in subsumed {
+            self.commit_slot(k, None, out);
+        }
         // Retire what is already on the ledger; slots whose commit is
         // still in flight are collected when it lands.
         self.try_append_ledger();
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
         self.watermarks.advance_to(seq.next());
+        // A fresh stable checkpoint refills the repair-serving budget:
+        // the rate limit is per checkpoint interval, so a recovering
+        // peer makes steady progress while normal-case consensus always
+        // keeps the lion's share of this replica's bandwidth.
+        self.repair_tokens = self.cfg.repair_budget_chunks;
         out.notify(Notification::CheckpointStable { seq });
         self.drain_proposals(out);
+    }
+
+    // -------------------------------------- state transfer (repair)
+    //
+    // Closes the FellBehind gap: a replica whose execution or ledger
+    // frontier sits below the cluster's stable checkpoint can never
+    // recover through VC-REQUESTs (they only carry entries above the
+    // checkpoint). Instead it fetches an `f + 1`-vouched checkpoint
+    // image in chunks, installs it, rolls back unproven speculative
+    // state, then adopts the certified tail above the checkpoint and
+    // resumes live. Responders rate-limit serving with a token budget
+    // so catch-up traffic cannot starve normal-case consensus.
+
+    /// Lag detector: `f + 1` distinct peers voting for a checkpoint at
+    /// least two full intervals past our execution frontier prove (at
+    /// least one of them being honest) that the cluster moved on
+    /// without us — our missing slots may already be garbage-collected
+    /// there, so only state transfer can catch us up. This fires even
+    /// when no view change occurs (n − 1 replicas keep forming quorums
+    /// happily while we starve).
+    fn maybe_start_repair(&mut self, out: &mut Outbox) {
+        if self.repair.is_some() {
+            return;
+        }
+        let need = self.cfg.f_plus_one();
+        if self.peer_checkpoints.len() < need {
+            return;
+        }
+        let mut seqs: Vec<SeqNum> = self.peer_checkpoints.values().copied().collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        let proved = seqs[need - 1];
+        if proved.0 + 1 < self.exec.frontier().0 + 2 * self.cfg.checkpoint_interval {
+            return;
+        }
+        if let Some(vc) = &self.view_change {
+            // A view change with real backing takes precedence — it will
+            // either complete (and its fell-behind branch starts the
+            // repair) or time out and land back here. But a *unilateral*
+            // attempt can never complete while the cluster demonstrably
+            // makes progress without us (that is what the f + 1
+            // checkpoint votes prove): typically our progress timers
+            // fired during a partition. Waiting on it would deadlock the
+            // recovery, so abandon it and repair instead.
+            let backers = self.pending_vc.get(&vc.target).map_or(0, BTreeMap::len);
+            if backers >= self.cfg.f_plus_one() {
+                return;
+            }
+            let target = vc.target;
+            self.view_change = None;
+            out.cancel_timer(TimerKind::ViewChange(target));
+        }
+        self.start_repair(out);
+    }
+
+    /// Starts a repair: probe all peers for their checkpoint manifest.
+    fn start_repair(&mut self, out: &mut Outbox) {
+        if self.repair.is_some() {
+            return;
+        }
+        self.repair = Some(RepairState {
+            attempts: 0,
+            manifests: BTreeMap::new(),
+            phase: RepairPhase::Probing,
+        });
+        self.repair_stats.repairs_started += 1;
+        out.broadcast(ProtocolMsg::StateRequest(StateRequestKind::Manifest));
+        out.set_timer(TimerKind::Repair, self.cfg.repair_retry_timeout(0));
+    }
+
+    fn abandon_repair(&mut self, out: &mut Outbox) {
+        if self.repair.take().is_some() {
+            out.cancel_timer(TimerKind::Repair);
+        }
+    }
+
+    /// Spends one serving token, counting the drop when none are left.
+    fn take_repair_token(&mut self) -> bool {
+        if self.repair_tokens == 0 {
+            self.repair_stats.throttled += 1;
+            return false;
+        }
+        self.repair_tokens -= 1;
+        true
+    }
+
+    /// Builds (or reuses) the serialized image + manifest for `stable`.
+    /// Only the *current* stable checkpoint can be built; requests for
+    /// an older cached one are still served from the cache until it is
+    /// replaced.
+    fn ensure_repair_cache(&mut self, stable: SeqNum) -> bool {
+        if self.repair_cache.as_ref().is_some_and(|c| c.manifest.stable == stable) {
+            return true;
+        }
+        if self.stable_seq != Some(stable) {
+            return false;
+        }
+        // The repaired requester rebuilds its ledger from the image, so
+        // ours must have reached the checkpoint (a commit may still be
+        // in flight right after stabilization).
+        if self.ledger.head_seq().is_none_or(|h| h < stable) {
+            return false;
+        }
+        let Some(store_image) = self.store.checkpoint_image() else { return false };
+        let count = stable.0 + 1;
+        let mut image =
+            Vec::with_capacity(8 + count as usize * (8 + DIGEST_LEN) + store_image.len());
+        image.extend_from_slice(&count.to_le_bytes());
+        for b in self.ledger.iter().take(count as usize) {
+            image.extend_from_slice(&b.view.0.to_le_bytes());
+            image.extend_from_slice(b.batch_digest.as_bytes());
+        }
+        image.extend_from_slice(&store_image);
+        let manifest = RepairManifest {
+            stable,
+            state_digest: self.store.stable_state_digest(),
+            history_digest: self.ledger.history_digest_up_to(stable),
+            image_len: image.len() as u64,
+            image_digest: Digest::of(&image),
+        };
+        self.repair_cache = Some(RepairImageCache { manifest, image: WireBytes::from(image) });
+        true
+    }
+
+    /// Responder side: serve manifest / chunk / tail requests within
+    /// the per-view token budget.
+    fn on_state_request(&mut self, from: ReplicaId, kind: StateRequestKind, out: &mut Outbox) {
+        if from == self.id {
+            return;
+        }
+        match kind {
+            StateRequestKind::Manifest => {
+                let Some(stable) = self.stable_seq else { return };
+                if !self.ensure_repair_cache(stable) || !self.take_repair_token() {
+                    return;
+                }
+                let manifest = self.repair_cache.as_ref().expect("just built").manifest;
+                self.repair_stats.manifests_served += 1;
+                out.send(from, ProtocolMsg::StateChunk(StateChunkPayload::Manifest(manifest)));
+            }
+            StateRequestKind::Chunk { stable, chunk } => {
+                if !self.ensure_repair_cache(stable) {
+                    return;
+                }
+                // The cache may hold an older checkpoint than requested.
+                if self.repair_cache.as_ref().is_none_or(|c| c.manifest.stable != stable) {
+                    return;
+                }
+                if !self.take_repair_token() {
+                    return;
+                }
+                let cache = self.repair_cache.as_ref().expect("checked");
+                let chunk_bytes = self.cfg.repair_chunk_bytes;
+                let len = cache.image.len();
+                let total = len.div_ceil(chunk_bytes).max(1) as u32;
+                if chunk >= total {
+                    return;
+                }
+                let start = chunk as usize * chunk_bytes;
+                let end = (start + chunk_bytes).min(len);
+                let data = cache.image.slice(start..end);
+                self.repair_stats.chunks_served += 1;
+                out.send(
+                    from,
+                    ProtocolMsg::StateChunk(StateChunkPayload::Chunk {
+                        stable,
+                        chunk,
+                        total,
+                        data,
+                    }),
+                );
+            }
+            StateRequestKind::Tail { after } => {
+                if !self.take_repair_token() {
+                    return;
+                }
+                let mut entries = Vec::new();
+                let mut s = after.next();
+                while let Some(slot) = self.slots.get(&s) {
+                    if !slot.committed || entries.len() >= MAX_TAIL_ENTRIES {
+                        break;
+                    }
+                    let Some(batch) = &slot.batch else { break };
+                    entries.push(ExecEntry {
+                        view: slot.proposed_view,
+                        seq: s,
+                        cert: slot.cert.clone(),
+                        batch: batch.clone(),
+                    });
+                    s = s.next();
+                }
+                self.repair_stats.tails_served += 1;
+                out.send(from, ProtocolMsg::StateChunk(StateChunkPayload::Tail { after, entries }));
+            }
+        }
+    }
+
+    /// Requester side: STATE-CHUNK responses.
+    fn on_state_chunk(&mut self, from: ReplicaId, payload: StateChunkPayload, out: &mut Outbox) {
+        if from == self.id {
+            return;
+        }
+        match payload {
+            StateChunkPayload::Manifest(m) => self.on_repair_manifest(from, m, out),
+            StateChunkPayload::Chunk { stable, chunk, total, data } => {
+                self.on_repair_chunk(from, stable, chunk, total, data, out)
+            }
+            StateChunkPayload::Tail { after, entries } => {
+                self.on_repair_tail(from, after, entries, out)
+            }
+        }
+    }
+
+    fn on_repair_manifest(&mut self, from: ReplicaId, m: RepairManifest, out: &mut Outbox) {
+        // Reject manifests that would not advance us or advertise an
+        // implausible image size.
+        let Some(total) = chunk_count(m.image_len, self.cfg.repair_chunk_bytes) else { return };
+        if m.stable < self.exec.frontier() {
+            return;
+        }
+        let Some(repair) = self.repair.as_mut() else { return };
+        if !matches!(repair.phase, RepairPhase::Probing) {
+            return;
+        }
+        repair.manifests.entry(m).or_default().insert(from);
+        let need = self.cfg.f_plus_one();
+        if repair.manifests[&m].len() < need {
+            return;
+        }
+        // `f + 1` distinct peers vouch for this exact manifest, so at
+        // least one honest replica holds this checkpoint: fetch its
+        // chunks, round-robin across the vouchers.
+        let vouchers: Vec<ReplicaId> = repair.manifests[&m].iter().copied().collect();
+        let attempts = repair.attempts;
+        repair.phase = RepairPhase::Fetching {
+            manifest: m,
+            vouchers: vouchers.clone(),
+            chunks: vec![None; total as usize],
+            received: 0,
+        };
+        for i in 0..total {
+            let to = vouchers[i as usize % vouchers.len()];
+            out.send(
+                to,
+                ProtocolMsg::StateRequest(StateRequestKind::Chunk { stable: m.stable, chunk: i }),
+            );
+        }
+        out.set_timer(TimerKind::Repair, self.cfg.repair_retry_timeout(attempts));
+    }
+
+    fn on_repair_chunk(
+        &mut self,
+        from: ReplicaId,
+        stable: SeqNum,
+        chunk: u32,
+        total: u32,
+        data: WireBytes,
+        out: &mut Outbox,
+    ) {
+        let chunk_bytes = self.cfg.repair_chunk_bytes as u64;
+        let Some(repair) = self.repair.as_mut() else { return };
+        let RepairPhase::Fetching { manifest, vouchers, chunks, received } = &mut repair.phase
+        else {
+            return;
+        };
+        if manifest.stable != stable
+            || !vouchers.contains(&from)
+            || total as usize != chunks.len()
+            || chunk as usize >= chunks.len()
+        {
+            return;
+        }
+        // Every chunk is exactly chunk_bytes long except the last.
+        let expected = if chunk + 1 == total {
+            (manifest.image_len - chunk_bytes * (total as u64 - 1)) as usize
+        } else {
+            chunk_bytes as usize
+        };
+        if data.len() != expected || chunks[chunk as usize].is_some() {
+            return;
+        }
+        chunks[chunk as usize] = Some(data);
+        *received += 1;
+        self.repair_stats.chunks_fetched += 1;
+        if (*received as usize) < chunks.len() {
+            return;
+        }
+        // All chunks in hand: reassemble and verify against the vouched
+        // manifest — the image digest is the safety gate (at least one
+        // voucher is honest, so a digest-matching image IS the cluster's
+        // checkpoint; a corrupt chunk can only fail the digest).
+        let manifest = *manifest;
+        let vouchers = std::mem::take(vouchers);
+        let parts = std::mem::take(chunks);
+        let mut image = Vec::with_capacity(manifest.image_len as usize);
+        for part in &parts {
+            image.extend_from_slice(part.as_ref().expect("all received").as_slice());
+        }
+        drop(parts);
+        let ok = image.len() as u64 == manifest.image_len
+            && Digest::of(&image) == manifest.image_digest
+            && self.install_repair_image(&manifest, &image, out);
+        let Some(repair) = self.repair.as_mut() else { return };
+        if !ok {
+            // Reassembly failed (some voucher lied) or the image did not
+            // parse: refetch everything with rotated chunk sources.
+            repair.attempts = repair.attempts.saturating_add(1);
+            let attempts = repair.attempts;
+            repair.phase = RepairPhase::Fetching {
+                manifest,
+                vouchers: vouchers.clone(),
+                chunks: vec![None; total as usize],
+                received: 0,
+            };
+            for i in 0..total {
+                let to = vouchers[(i as usize + attempts as usize) % vouchers.len()];
+                out.send(
+                    to,
+                    ProtocolMsg::StateRequest(StateRequestKind::Chunk {
+                        stable: manifest.stable,
+                        chunk: i,
+                    }),
+                );
+            }
+            out.set_timer(TimerKind::Repair, self.cfg.repair_retry_timeout(attempts));
+            return;
+        }
+        // Checkpoint installed; fetch the certified tail above it.
+        let attempts = repair.attempts;
+        repair.phase =
+            RepairPhase::Tailing { manifest, vouchers: vouchers.clone(), tails: BTreeMap::new() };
+        for v in &vouchers {
+            out.send(
+                *v,
+                ProtocolMsg::StateRequest(StateRequestKind::Tail { after: manifest.stable }),
+            );
+        }
+        out.set_timer(TimerKind::Repair, self.cfg.repair_retry_timeout(attempts));
+    }
+
+    /// Parses and installs a digest-verified checkpoint image: replaces
+    /// the application state, rebuilds the ledger prefix with
+    /// [`BlockProof::Repaired`], rolls back speculative execution, and
+    /// resets every tracker to resume from the checkpoint. Slots above
+    /// the checkpoint survive (their commits are still valid) but are
+    /// re-executed against the installed state.
+    fn install_repair_image(&mut self, m: &RepairManifest, image: &[u8], out: &mut Outbox) -> bool {
+        let stable = m.stable;
+        let count = stable.0 + 1;
+        // Layout: u64 block count, then (u64 view, batch digest) per
+        // block, remainder = application state image.
+        if image.len() < 8 || u64::from_le_bytes(image[..8].try_into().expect("8")) != count {
+            return false;
+        }
+        let entry_len = 8 + DIGEST_LEN;
+        let Some(blocks_len) = (count as usize).checked_mul(entry_len) else { return false };
+        let Some(store_start) = blocks_len.checked_add(8) else { return false };
+        if image.len() < store_start {
+            return false;
+        }
+        let mut blocks = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let at = 8 + i * entry_len;
+            let view = View(u64::from_le_bytes(image[at..at + 8].try_into().expect("8")));
+            let digest = Digest::from_bytes(
+                image[at + 8..at + entry_len].try_into().expect("digest length"),
+            );
+            blocks.push((view, digest));
+        }
+        // Roll back unproven speculative batches before overwriting the
+        // application state (surfaced so runtimes can count it).
+        let old_resume = self.stable_seq.map(SeqNum::next).unwrap_or(SeqNum::ZERO);
+        if self.exec.frontier() > old_resume {
+            out.notify(Notification::RolledBack { to: self.stable_seq });
+        }
+        if !self.store.install_checkpoint(stable, &image[store_start..]) {
+            return false;
+        }
+        self.ledger.truncate_above(None);
+        for (i, (view, digest)) in blocks.into_iter().enumerate() {
+            self.ledger.append(SeqNum(i as u64), view, digest, BlockProof::Repaired);
+        }
+        if self.store.state_digest() != m.state_digest
+            || self.ledger.history_digest() != m.history_digest
+        {
+            // The image digest matched but its contents do not hash to
+            // the vouched state: defensive — restart from a fresh probe.
+            return false;
+        }
+        // Resume from the installed checkpoint: drop retired slots,
+        // keep-but-reset live ones, and rebuild the trackers.
+        let resume = stable.next();
+        self.stable_seq = Some(stable);
+        let live = self.slots.split_off(&resume);
+        let dead = std::mem::replace(&mut self.slots, live);
+        for slot in dead.into_values() {
+            if let Some(batch) = slot.batch {
+                for req in &batch.requests {
+                    let d = req.digest();
+                    self.proposed.remove(&d);
+                    self.executed_reqs.remove(&d);
+                }
+                if self.retired.len() < MAX_RETIRED {
+                    self.retired.push(batch);
+                }
+            }
+        }
+        self.exec = ContiguousTracker::starting_at(resume);
+        self.committed = ContiguousTracker::starting_at(resume);
+        self.executed_reqs.clear();
+        for (seq, slot) in self.slots.iter_mut() {
+            slot.executed = false;
+            slot.results = None;
+            slot.informed = false;
+            if slot.committed {
+                self.committed.complete(*seq);
+            }
+        }
+        self.checkpoint_votes = self.checkpoint_votes.split_off(&resume);
+        self.watermarks.advance_to(self.committed.frontier());
+        if self.next_seq < self.committed.frontier() {
+            self.next_seq = self.committed.frontier();
+        }
+        self.vc_attempts = 0;
+        // Kept committed slots re-execute immediately against the
+        // installed state (at small scale the out-of-order window often
+        // spans the whole gap, leaving only these to replay).
+        self.try_execute(out);
+        true
+    }
+
+    fn on_repair_tail(
+        &mut self,
+        from: ReplicaId,
+        after: SeqNum,
+        entries: Vec<ExecEntry>,
+        out: &mut Outbox,
+    ) {
+        {
+            let Some(repair) = self.repair.as_ref() else { return };
+            let RepairPhase::Tailing { manifest, vouchers, .. } = &repair.phase else { return };
+            if manifest.stable != after || !vouchers.contains(&from) {
+                return;
+            }
+        }
+        match self.mode {
+            SupportMode::Threshold => {
+                // Certificates are transferable: one verified tail is
+                // enough. (A faulty voucher could send a short or empty
+                // tail and stop us early — liveness-only: the lag
+                // detector re-fires and the next attempt rotates to a
+                // different responder.)
+                let adopt = self.verified_tail_prefix(after, &entries);
+                let vouchers = vec![from];
+                self.finish_repair(after, &vouchers, adopt, out);
+            }
+            SupportMode::Mac => {
+                // No transferable certificates: adopt entries matching
+                // in f + 1 distinct tails (at least one honest), exactly
+                // the view-change adoption rule.
+                let need = self.cfg.f_plus_one();
+                let Some(repair) = self.repair.as_mut() else { return };
+                let RepairPhase::Tailing { vouchers, tails, .. } = &mut repair.phase else {
+                    return;
+                };
+                tails.insert(from, entries);
+                if tails.len() < vouchers.len() {
+                    return;
+                }
+                let mut adopt: Vec<ExecEntry> = Vec::new();
+                let mut s = after.next();
+                'adopting: loop {
+                    let mut counts: BTreeMap<(View, Digest), (usize, &ExecEntry)> = BTreeMap::new();
+                    for tail in tails.values() {
+                        if let Some(e) = tail.iter().find(|e| e.seq == s) {
+                            counts.entry((e.view, e.batch.digest)).or_insert((0, e)).0 += 1;
+                        }
+                    }
+                    for (count, entry) in counts.into_values() {
+                        if count >= need {
+                            adopt.push(entry.clone());
+                            s = s.next();
+                            continue 'adopting;
+                        }
+                    }
+                    break;
+                }
+                let vouchers = vouchers.clone();
+                self.finish_repair(after, &vouchers, adopt, out);
+            }
+        }
+    }
+
+    /// TS mode: the longest consecutive certificate-verified prefix of a
+    /// served tail.
+    fn verified_tail_prefix(&self, after: SeqNum, entries: &[ExecEntry]) -> Vec<ExecEntry> {
+        let mut adopt = Vec::new();
+        let mut s = after.next();
+        for e in entries {
+            if e.seq != s {
+                break;
+            }
+            let Some(cert) = &e.cert else { break };
+            let h = support_digest(e.view, e.seq, &e.batch.digest);
+            if cert.signers.len() < self.nf() || !self.crypto.ts_verify_cert(h.as_bytes(), cert) {
+                break;
+            }
+            adopt.push(e.clone());
+            s = s.next();
+        }
+        adopt
+    }
+
+    /// Adopts the proven tail entries, re-enters normal operation, and
+    /// reports the catch-up. An empty tail still finishes: the lag
+    /// detector restarts repair if we are still behind.
+    fn finish_repair(
+        &mut self,
+        stable: SeqNum,
+        vouchers: &[ReplicaId],
+        adopt: Vec<ExecEntry>,
+        out: &mut Outbox,
+    ) {
+        for e in adopt {
+            let seq = e.seq;
+            let slot = self.slots.entry(seq).or_default();
+            if !slot.committed {
+                let digest = support_digest(e.view, seq, &e.batch.digest);
+                slot.batch = Some(e.batch.clone());
+                slot.digest = digest;
+                slot.proposed_view = e.view;
+                slot.committed = true;
+                slot.cert = e.cert.clone();
+                slot.certify_sent = true;
+                slot.executed = false;
+                slot.results = None;
+                slot.informed = false;
+                // MAC mode has no certificate; the ledger proof becomes
+                // the committee of vouchers that served this tail.
+                for v in vouchers {
+                    slot.mac_votes.insert(*v, digest);
+                }
+            }
+            for req in &e.batch.requests {
+                self.proposed.insert(req.digest());
+            }
+            self.committed.complete(seq);
+        }
+        self.watermarks.advance_to(self.committed.frontier());
+        self.try_execute(out);
+        out.cancel_timer(TimerKind::Repair);
+        self.repair = None;
+        self.repair_stats.repairs_completed += 1;
+        out.notify(Notification::CaughtUp { stable, exec_frontier: self.exec.frontier() });
+    }
+
+    /// Retry timer: exponential back-off, re-request what is missing
+    /// with rotated sources, and periodically restart from a fresh
+    /// probe (the responders' stable checkpoint may have moved past the
+    /// manifest we were fetching).
+    fn repair_retry(&mut self, out: &mut Outbox) {
+        let Some(repair) = self.repair.as_mut() else { return };
+        self.repair_stats.retries += 1;
+        repair.attempts = repair.attempts.saturating_add(1);
+        let attempts = repair.attempts;
+        if attempts.is_multiple_of(4) {
+            repair.manifests.clear();
+            repair.phase = RepairPhase::Probing;
+        }
+        match &repair.phase {
+            RepairPhase::Probing => {
+                out.broadcast(ProtocolMsg::StateRequest(StateRequestKind::Manifest));
+            }
+            RepairPhase::Fetching { manifest, vouchers, chunks, .. } => {
+                for (i, c) in chunks.iter().enumerate() {
+                    if c.is_none() {
+                        let to = vouchers[(i + attempts as usize) % vouchers.len()];
+                        out.send(
+                            to,
+                            ProtocolMsg::StateRequest(StateRequestKind::Chunk {
+                                stable: manifest.stable,
+                                chunk: i as u32,
+                            }),
+                        );
+                    }
+                }
+            }
+            RepairPhase::Tailing { manifest, vouchers, tails } => {
+                for v in vouchers {
+                    if !tails.contains_key(v) {
+                        out.send(
+                            *v,
+                            ProtocolMsg::StateRequest(StateRequestKind::Tail {
+                                after: manifest.stable,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        out.set_timer(TimerKind::Repair, self.cfg.repair_retry_timeout(attempts));
     }
 
     // ----------------------------------------------------- view change
 
     /// Requests a view change into `target` (Figure 5 Lines 1–5).
     fn start_view_change(&mut self, target: View, out: &mut Outbox) {
+        if self.repair.is_some() {
+            // Mid-repair this replica knows its state is stale: a
+            // VC-REQUEST voted from it would carry an E behind the
+            // cluster's stable checkpoint. The repair timer owns
+            // liveness until the gap is closed; progress timers resume
+            // after `finish_repair`.
+            return;
+        }
         if target <= self.view {
             return;
         }
@@ -981,9 +1805,10 @@ impl PoeReplica {
             // ledger short of it (rebuilding only `start..` slots would
             // freeze the ledger at the gap forever). The VC-REQUESTs
             // cannot contain the batches we are missing. Adopt the view
-            // (stay live for forwarding) but keep our state; catching
-            // up requires state transfer (future work). Surface the lag
-            // so runtimes can log/expose it instead of stalling silently.
+            // (stay live for forwarding), surface the lag, and start the
+            // checkpoint repair protocol: fetch an `f + 1`-vouched
+            // checkpoint image plus the certified tail above it from the
+            // peers that proved the newer checkpoint.
             if let Some(stable) = base {
                 out.notify(Notification::FellBehind {
                     stable,
@@ -992,8 +1817,12 @@ impl PoeReplica {
                 });
             }
             self.install_view(w, out);
+            self.start_repair(out);
             return;
         }
+        // Recovering through the VC-REQUESTs means we are *not* behind a
+        // stable checkpoint; any in-flight state transfer is moot.
+        self.abandon_repair(out);
         // Recover the new history (Figure 5 Lines 9–10): per sequence
         // number the best provably-supported entry.
         let mut recovered: BTreeMap<SeqNum, ExecEntry> = BTreeMap::new();
@@ -1135,6 +1964,8 @@ impl PoeReplica {
         for d in std::mem::take(&mut self.forwarded) {
             out.cancel_timer(TimerKind::RequestProgress(d));
         }
+        // Per-view refill of the repair-serving budget.
+        self.repair_tokens = self.cfg.repair_budget_chunks;
         out.notify(Notification::ViewChanged { view: w });
         let stashed = std::mem::take(&mut self.stashed);
         for (from, msg) in stashed {
@@ -1171,6 +2002,12 @@ impl PoeReplica {
             (NodeId::Replica(r), ProtocolMsg::Checkpoint { seq, state_digest }) => {
                 self.on_checkpoint_vote(r, seq, state_digest, out)
             }
+            (NodeId::Replica(r), ProtocolMsg::StateRequest(kind)) => {
+                self.on_state_request(r, kind, out)
+            }
+            (NodeId::Replica(r), ProtocolMsg::StateChunk(payload)) => {
+                self.on_state_chunk(r, payload, out)
+            }
             _ => {}
         }
     }
@@ -1206,6 +2043,7 @@ impl PoeReplica {
                 // 7's exponential back-off keeps this live).
                 self.start_view_change(target.next(), out);
             }
+            TimerKind::Repair => self.repair_retry(out),
             _ => {}
         }
     }

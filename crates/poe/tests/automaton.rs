@@ -9,7 +9,7 @@ use poe_kernel::automaton::{Action, Event, Notification, Outbox, ReplicaAutomato
 use poe_kernel::codec::poe_vc_signing_bytes;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
-use poe_kernel::messages::{ClientReply, PoeVcRequest, ProtocolMsg};
+use poe_kernel::messages::{ClientReply, PoeVcRequest, ProtocolMsg, StateRequestKind};
 use poe_kernel::request::ClientRequest;
 use poe_kernel::time::Time;
 use poe_kernel::timer::TimerKind;
@@ -667,4 +667,163 @@ fn local_batch_with_intra_batch_duplicates_executes_once() {
         assert_eq!(r.execution_frontier(), SeqNum(1), "exactly-once at replica {i}");
     }
     assert_converged(&replicas, &BTreeSet::new());
+}
+
+/// State transfer: the lag detector (`f + 1` peer checkpoint votes two
+/// full intervals past our frontier) starts a repair, but the repair
+/// acts only on `f + 1` *matching* manifests — a single (possibly
+/// lying) responder cannot steer the fetch. Once the quorum lands, the
+/// fetch → install → tail pipeline converges the straggler.
+#[test]
+fn repair_requires_manifest_quorum_then_converges() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::Simulated, |c| {
+            c.with_checkpoint_interval(2)
+        });
+    let mut pump = Pump::new();
+    // R3 is down; the remaining nf = 3 replicas commit six requests and
+    // stabilize checkpoints at seqs 1, 3, and 5.
+    pump.crash(3);
+    for req_id in 0..6 {
+        pump.inject(
+            0,
+            NodeId::Client(ClientId(0)),
+            ProtocolMsg::Request(request(&km, CryptoMode::None, req_id, "k")),
+        );
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].stable_seq(), Some(SeqNum(5)));
+    assert_eq!(replicas[3].execution_frontier(), SeqNum(0));
+
+    // R3 comes back and hears two peers' checkpoint votes at seq 5 —
+    // two full intervals past its frontier: the lag detector fires and
+    // broadcasts a manifest probe.
+    pump.crashed.remove(&3);
+    let state_digest = replicas[0].state_digest();
+    for from in [0u32, 1] {
+        let mut out = Outbox::new();
+        replicas[3].on_event(
+            Time::ZERO,
+            Event::Deliver {
+                from: NodeId::Replica(ReplicaId(from)),
+                msg: ProtocolMsg::Checkpoint { seq: SeqNum(5), state_digest },
+            },
+            &mut out,
+        );
+        pump.collect(3, &mut out);
+    }
+    assert!(replicas[3].repairing(), "lag detector must start a repair");
+    let probes: Vec<_> = pump.queue.drain(..).collect();
+    assert!(
+        !probes.is_empty()
+            && probes.iter().all(|(_, _, m)| matches!(
+                m,
+                ProtocolMsg::StateRequest(StateRequestKind::Manifest)
+            )),
+        "the probe phase sends manifest requests and nothing else: {probes:?}"
+    );
+
+    // One manifest alone must not start the fetch.
+    let from3 = NodeId::Replica(ReplicaId(3));
+    let mut out = Outbox::new();
+    replicas[0].on_event(
+        Time::ZERO,
+        Event::Deliver { from: from3, msg: ProtocolMsg::StateRequest(StateRequestKind::Manifest) },
+        &mut out,
+    );
+    pump.collect(0, &mut out);
+    pump.run(&mut replicas);
+    assert!(replicas[3].repairing(), "still probing after one manifest");
+    assert_eq!(
+        replicas[3].repair_stats().chunks_fetched,
+        0,
+        "a single manifest must not trigger the fetch"
+    );
+
+    // The second matching manifest completes the quorum; fetch, install,
+    // and tail replay run to completion and the straggler converges.
+    let mut out = Outbox::new();
+    replicas[1].on_event(
+        Time::ZERO,
+        Event::Deliver { from: from3, msg: ProtocolMsg::StateRequest(StateRequestKind::Manifest) },
+        &mut out,
+    );
+    pump.collect(1, &mut out);
+    pump.run(&mut replicas);
+    assert!(!replicas[3].repairing(), "repair completed");
+    let stats = replicas[3].repair_stats();
+    assert_eq!(stats.repairs_completed, 1);
+    assert!(stats.chunks_fetched >= 1, "the image moved in chunks");
+    assert_eq!(replicas[3].stable_seq(), Some(SeqNum(5)));
+    assert_eq!(replicas[3].execution_frontier(), SeqNum(6));
+    assert!(
+        pump.notes
+            .iter()
+            .any(|(r, n)| *r == 3 && matches!(n, Notification::CaughtUp { stable: SeqNum(5), .. })),
+        "CaughtUp surfaces the completion: {:?}",
+        pump.notes
+    );
+    assert_converged(&replicas, &BTreeSet::new());
+}
+
+/// Responder-side rate limiting: the per-checkpoint token budget caps
+/// manifest + chunk serving, overflow requests are dropped (counted,
+/// never answered), and the next stable checkpoint refills the bucket.
+#[test]
+fn repair_serving_budget_throttles_and_refills() {
+    let (mut replicas, km) =
+        cluster(SupportMode::Threshold, CryptoMode::None, CertScheme::Simulated, |c| {
+            c.with_checkpoint_interval(2).with_repair_budget_chunks(2).with_repair_chunk_bytes(64)
+        });
+    let mut pump = Pump::new();
+    for req_id in 0..2 {
+        pump.inject(
+            0,
+            NodeId::Client(ClientId(0)),
+            ProtocolMsg::Request(request(&km, CryptoMode::None, req_id, "k")),
+        );
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].stable_seq(), Some(SeqNum(1)));
+
+    // A lagging peer asks for the manifest and then three chunks. The
+    // budget is two tokens: manifest + first chunk are served, the rest
+    // are dropped and counted.
+    let from3 = NodeId::Replica(ReplicaId(3));
+    let deliver = |replicas: &mut Vec<PoeReplica>, pump: &mut Pump, kind: StateRequestKind| {
+        let mut out = Outbox::new();
+        replicas[0].on_event(
+            Time::ZERO,
+            Event::Deliver { from: from3, msg: ProtocolMsg::StateRequest(kind) },
+            &mut out,
+        );
+        pump.collect(0, &mut out);
+    };
+    deliver(&mut replicas, &mut pump, StateRequestKind::Manifest);
+    for chunk in 0..3 {
+        deliver(&mut replicas, &mut pump, StateRequestKind::Chunk { stable: SeqNum(1), chunk });
+    }
+    let stats = replicas[0].repair_stats();
+    assert_eq!(stats.manifests_served, 1);
+    assert_eq!(stats.chunks_served, 1, "two tokens: one manifest + one chunk");
+    assert_eq!(stats.throttled, 2, "overflow requests are dropped, not served");
+    // Drop the queued replies: no repair is in progress at R3.
+    pump.queue.clear();
+
+    // The next stable checkpoint refills the bucket and serving resumes
+    // (the rate limit is per checkpoint interval, not a lifetime cap).
+    for req_id in 2..4 {
+        pump.inject(
+            0,
+            NodeId::Client(ClientId(0)),
+            ProtocolMsg::Request(request(&km, CryptoMode::None, req_id, "k")),
+        );
+    }
+    pump.run(&mut replicas);
+    assert_eq!(replicas[0].stable_seq(), Some(SeqNum(3)));
+    deliver(&mut replicas, &mut pump, StateRequestKind::Chunk { stable: SeqNum(3), chunk: 0 });
+    let stats = replicas[0].repair_stats();
+    assert_eq!(stats.chunks_served, 2, "a fresh checkpoint refills the budget");
+    assert_eq!(stats.throttled, 2, "no new drops after the refill");
+    pump.queue.clear();
 }

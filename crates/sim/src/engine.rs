@@ -131,6 +131,9 @@ pub struct SimStats {
     /// `FellBehind` notifications across all replicas (a replica needed
     /// state transfer after a view change).
     pub fell_behind: u64,
+    /// `CaughtUp` notifications across all replicas (a state-transfer
+    /// repair completed and the replica re-entered normal operation).
+    pub caught_up: u64,
     /// Wire mode: messages encoded (one per send/broadcast *action*, no
     /// matter how many recipients the broadcast fans out to).
     pub wire_encodes: u64,
@@ -442,6 +445,7 @@ impl Simulator {
             Notification::RolledBack { .. } => self.stats.rollbacks += 1,
             Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
             Notification::FellBehind { .. } => self.stats.fell_behind += 1,
+            Notification::CaughtUp { .. } => self.stats.caught_up += 1,
         }
         self.trace.push(format!("{:>12} {node:?} {}", self.now.as_nanos(), n.trace_line()));
     }

@@ -108,6 +108,24 @@ impl SpeculativeStore {
             }
         }
     }
+
+    /// The table as it stood at the last stabilized sequence number:
+    /// a clone of the live table with every still-revertible batch
+    /// unwound (newest first).
+    fn table_at_stable(&self) -> KvTable {
+        let mut table = self.table.clone();
+        for (_, log) in self.undo.iter().rev() {
+            Self::unwind(&mut table, log.clone());
+        }
+        table
+    }
+
+    /// The application-state digest at the last stabilized sequence
+    /// number (what a freshly installed checkpoint of this store would
+    /// report as its [`StateMachine::state_digest`]).
+    pub fn stable_state_digest(&self) -> Digest {
+        self.table_at_stable().content_digest()
+    }
 }
 
 impl Default for SpeculativeStore {
@@ -184,6 +202,62 @@ impl StateMachine for SpeculativeStore {
 
     fn applied_up_to(&self) -> Option<SeqNum> {
         self.frontier
+    }
+
+    fn stable_state_digest(&self) -> Digest {
+        SpeculativeStore::stable_state_digest(self)
+    }
+
+    /// Canonical image: `u64` entry count, then `(u32 key_len, key,
+    /// u32 value_len, value)` per entry in ascending key order. Sorting
+    /// makes the bytes identical across replicas even though the backing
+    /// map iterates in arbitrary order.
+    fn checkpoint_image(&self) -> Option<Vec<u8>> {
+        let table = self.table_at_stable();
+        let entries = table.sorted_entries();
+        let payload: usize = entries.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
+        let mut out = Vec::with_capacity(8 + payload);
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (k, v) in entries {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        Some(out)
+    }
+
+    fn install_checkpoint(&mut self, seq: SeqNum, image: &[u8]) -> bool {
+        fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if buf.len() < n {
+                return None;
+            }
+            let (head, rest) = buf.split_at(n);
+            *buf = rest;
+            Some(head)
+        }
+        let mut buf = image;
+        let Some(count) = take(&mut buf, 8) else { return false };
+        let count = u64::from_le_bytes(count.try_into().expect("8 bytes"));
+        let mut table = KvTable::new();
+        for _ in 0..count {
+            let Some(klen) = take(&mut buf, 4) else { return false };
+            let klen = u32::from_le_bytes(klen.try_into().expect("4 bytes")) as usize;
+            let Some(key) = take(&mut buf, klen) else { return false };
+            let key = key.to_vec();
+            let Some(vlen) = take(&mut buf, 4) else { return false };
+            let vlen = u32::from_le_bytes(vlen.try_into().expect("4 bytes")) as usize;
+            let Some(value) = take(&mut buf, vlen) else { return false };
+            table.put(key, value.to_vec());
+        }
+        if !buf.is_empty() {
+            return false;
+        }
+        self.table = table;
+        self.undo.clear();
+        self.frontier = Some(seq);
+        self.stable = Some(seq);
+        true
     }
 }
 
@@ -313,6 +387,63 @@ mod tests {
         let out = s.apply(SeqNum(0), &bad);
         assert_eq!(&out.results[0][..], b"ERR:malformed");
         assert_eq!(s.rejected_txns(), 1);
+    }
+
+    #[test]
+    fn checkpoint_image_roundtrip_excludes_speculative_suffix() {
+        let mut a = SpeculativeStore::with_ycsb_table(20, 8);
+        a.apply(SeqNum(0), &batch_of(0, vec![Transaction::put("a", "1")]));
+        a.apply(SeqNum(1), &batch_of(1, vec![Transaction::put("b", "2")]));
+        a.stabilize(SeqNum(1));
+        let stable_digest = a.state_digest();
+        // A speculative batch above the stable point must not leak into
+        // the image.
+        a.apply(SeqNum(2), &batch_of(2, vec![Transaction::put("a", "dirty")]));
+        assert_ne!(a.state_digest(), stable_digest);
+        assert_eq!(a.stable_state_digest(), stable_digest);
+
+        let img = a.checkpoint_image().expect("supported");
+        let mut b = SpeculativeStore::new();
+        assert!(b.install_checkpoint(SeqNum(1), &img));
+        assert_eq!(b.state_digest(), stable_digest);
+        assert_eq!(b.applied_up_to(), Some(SeqNum(1)));
+        assert_eq!(b.table().get(b"a"), Some(&b"1".to_vec()));
+        // Installed state is stable: nothing above it can be reverted.
+        b.rollback_to(None);
+        assert_eq!(b.state_digest(), stable_digest);
+    }
+
+    #[test]
+    fn checkpoint_images_are_byte_identical_across_replicas() {
+        let mk = || {
+            let mut s = SpeculativeStore::with_ycsb_table(30, 8);
+            for round in 0..6u64 {
+                s.apply(
+                    SeqNum(round),
+                    &batch_of(
+                        round,
+                        vec![Transaction::put(crate::table::ycsb_key(round as usize % 30), "w")],
+                    ),
+                );
+            }
+            s.stabilize(SeqNum(3));
+            s
+        };
+        assert_eq!(mk().checkpoint_image(), mk().checkpoint_image());
+    }
+
+    #[test]
+    fn malformed_checkpoint_image_rejected() {
+        let mut s = SpeculativeStore::new();
+        assert!(!s.install_checkpoint(SeqNum(0), &[1, 2, 3]));
+        // Truncated entry after a valid count.
+        let mut img = 1u64.to_le_bytes().to_vec();
+        img.extend_from_slice(&100u32.to_le_bytes());
+        assert!(!s.install_checkpoint(SeqNum(0), &img));
+        // Trailing garbage after a well-formed image.
+        let mut ok = SpeculativeStore::new().checkpoint_image().expect("supported");
+        ok.push(0);
+        assert!(!s.install_checkpoint(SeqNum(0), &ok));
     }
 
     #[test]

@@ -94,6 +94,16 @@ impl KvTable {
         Digest::from_bytes(self.set_hash)
     }
 
+    /// All live entries sorted by key. The backing map iterates in
+    /// nondeterministic order, so anything serializing table contents
+    /// (checkpoint images compared byte-for-byte across replicas) must
+    /// go through this.
+    pub fn sorted_entries(&self) -> Vec<(&Vec<u8>, &Vec<u8>)> {
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
     /// Recomputes the digest from scratch (test oracle for the
     /// incremental maintenance).
     pub fn recompute_digest(&self) -> Digest {
