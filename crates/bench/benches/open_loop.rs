@@ -1,0 +1,255 @@
+//! `fabric_poe/open_loop` — drive a 4-replica cluster open-loop until it
+//! saturates, then report **requests/sec/core** and the latency shape of
+//! the curve below the knee.
+//!
+//! Unlike `fabric_poe/throughput/*` (closed-loop: clients wait for their
+//! reply, so offered load collapses with the cluster), this bench severs
+//! the feedback with [`run_open_loop`]: a fixed population of simulated
+//! sessions submits on a Poisson arrival clock regardless of how the
+//! cluster is doing. The sweep:
+//!
+//! 1. **Ladder** — double the target rate until the achieved rate stops
+//!    tracking it (completion drops below 80 % of offered). The best
+//!    achieved rate across rungs is the saturation throughput.
+//! 2. **Refine** — re-measure at 50 % / 80 % / 95 % of saturation for
+//!    p50/p99 latency along the open part of the curve.
+//! 3. **Overload** — one run at 2× saturation: the pipeline must shed
+//!    visibly, stay within its queue/cache bounds, and still converge to
+//!    byte-identical history digests.
+//!
+//! Every point lands in `bench-results/open_loop_curve.csv`; a summary
+//! (saturation rate, req/s/core, refined latencies) in
+//! `bench-results/open_loop.json`. requests/sec/core divides completed
+//! requests by *replica-thread* CPU seconds (`/proc` per-thread
+//! accounting), so driver cost is excluded by construction.
+//!
+//! Knobs: `POE_BENCH_FAST=1` shrinks the windows and population for CI
+//! smoke; `POE_BENCH_OUT` redirects the output directory.
+
+use poe_consensus::SupportMode;
+use poe_fabric::{run_open_loop, FabricConfig, OpenLoopConfig, OpenLoopReport};
+use poe_workload::ArrivalProcess;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// Sweep dimensions, shrunk under `POE_BENCH_FAST=1`.
+struct Shape {
+    sessions: u32,
+    drivers: usize,
+    warmup: Duration,
+    measure: Duration,
+    abandon: Duration,
+    start_rps: f64,
+    max_rungs: usize,
+}
+
+fn shape(fast: bool) -> Shape {
+    if fast {
+        Shape {
+            sessions: 8_192,
+            drivers: 2,
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+            abandon: Duration::from_millis(400),
+            start_rps: 500.0,
+            max_rungs: 6,
+        }
+    } else {
+        Shape {
+            sessions: 100_000,
+            drivers: 2,
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(2),
+            abandon: Duration::from_secs(1),
+            start_rps: 1_000.0,
+            max_rungs: 10,
+        }
+    }
+}
+
+/// One measured point of the curve, as a CSV row.
+struct Point {
+    phase: &'static str,
+    report: OpenLoopReport,
+}
+
+fn run_point(shape: &Shape, target_rps: f64) -> OpenLoopReport {
+    let mut cfg = OpenLoopConfig::new(FabricConfig::new(4, SupportMode::Threshold), target_rps);
+    cfg.sessions = shape.sessions;
+    cfg.drivers = shape.drivers;
+    cfg.process = ArrivalProcess::Poisson;
+    cfg.warmup = shape.warmup;
+    cfg.measure = shape.measure;
+    cfg.abandon_after = shape.abandon;
+    cfg.seed = SEED;
+    let report = run_open_loop(&cfg, DEADLINE).expect("open-loop point completes");
+    assert!(report.converged(), "replicas diverged at {target_rps} rps");
+    report
+}
+
+fn print_point(phase: &str, r: &OpenLoopReport) {
+    let rpspc = r
+        .requests_per_sec_per_core()
+        .map(|v| format!("{v:.0}"))
+        .unwrap_or_else(|| "n/a".to_string());
+    println!(
+        "fabric_poe/open_loop/{phase:<9} target {:>9.0} rps  achieved {:>9.0} rps  \
+         ratio {:>5.2}  p50 {:>7} µs  p99 {:>7} µs  shed {:>8}  req/s/core {rpspc}",
+        r.target_rps,
+        r.achieved_rps,
+        r.completion_ratio(),
+        r.latency.p50_us,
+        r.latency.p99_us,
+        r.total_shed(),
+    );
+}
+
+fn csv(points: &[Point]) -> String {
+    let mut s = String::from(
+        "phase,target_rps,achieved_rps,completion_ratio,p50_us,p99_us,\
+         shed,abandoned,completed,replica_cpu_secs,req_per_sec_per_core\n",
+    );
+    for p in points {
+        let r = &p.report;
+        let _ = writeln!(
+            s,
+            "{},{:.0},{:.1},{:.4},{},{},{},{},{},{:.4},{}",
+            p.phase,
+            r.target_rps,
+            r.achieved_rps,
+            r.completion_ratio(),
+            r.latency.p50_us,
+            r.latency.p99_us,
+            r.total_shed(),
+            r.mux.abandoned,
+            r.mux.completed,
+            r.fabric.replica_cpu_secs(),
+            r.requests_per_sec_per_core().map(|v| format!("{v:.1}")).unwrap_or_default(),
+        );
+    }
+    s
+}
+
+fn json_point(r: &OpenLoopReport) -> String {
+    format!(
+        "{{\"target_rps\":{:.0},\"achieved_rps\":{:.1},\"completion_ratio\":{:.4},\
+         \"p50_us\":{},\"p99_us\":{},\"shed\":{},\"req_per_sec_per_core\":{}}}",
+        r.target_rps,
+        r.achieved_rps,
+        r.completion_ratio(),
+        r.latency.p50_us,
+        r.latency.p99_us,
+        r.total_shed(),
+        r.requests_per_sec_per_core().map(|v| format!("{v:.1}")).unwrap_or_else(|| "null".into()),
+    )
+}
+
+fn out_dir() -> PathBuf {
+    std::env::var("POE_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+        let p = PathBuf::from(manifest);
+        p.ancestors().nth(2).unwrap_or(&p).join("bench-results")
+    })
+}
+
+fn main() {
+    // Mirror the criterion shim's CLI surface so `cargo bench -- <filter>`
+    // and `cargo test --benches` (which passes `--list`/`--test`) behave.
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => {
+                println!("fabric_poe/open_loop: bench");
+                return;
+            }
+            a if a.starts_with("--") => {}
+            a => filter = Some(a.to_string()),
+        }
+    }
+    if let Some(f) = &filter {
+        if !"fabric_poe/open_loop".contains(f.as_str()) {
+            return;
+        }
+    }
+    let fast = std::env::var("POE_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+    let shape = shape(fast);
+    let mut points: Vec<Point> = Vec::new();
+
+    // Phase 1 — the rate ladder. Keep doubling while the cluster keeps
+    // up; the first rung where completion falls under 80 % of offered is
+    // past the knee.
+    let mut target = shape.start_rps;
+    let mut saturation_rps = 0.0f64;
+    for _ in 0..shape.max_rungs {
+        let r = run_point(&shape, target);
+        print_point("ladder", &r);
+        saturation_rps = saturation_rps.max(r.achieved_rps);
+        let saturated = r.completion_ratio() < 0.8;
+        points.push(Point { phase: "ladder", report: r });
+        if saturated {
+            break;
+        }
+        target *= 2.0;
+    }
+    assert!(saturation_rps > 0.0, "ladder never completed a request");
+
+    // Phase 2 — latency below the knee: 50 % / 80 % / 95 % of the
+    // saturation throughput.
+    let mut refined = Vec::new();
+    for frac in [0.50, 0.80, 0.95] {
+        let r = run_point(&shape, saturation_rps * frac);
+        print_point("refine", &r);
+        refined.push((frac, json_point(&r)));
+        points.push(Point { phase: "refine", report: r });
+    }
+
+    // Phase 3 — 2× overload: bounded queues shed, agreement holds (the
+    // convergence assert lives in run_point).
+    let over = run_point(&shape, saturation_rps * 2.0);
+    print_point("overload", &over);
+    assert!(
+        over.total_shed() > 0 || over.completion_ratio() >= 0.8,
+        "2x overload neither shed nor kept up — backpressure counters are dead"
+    );
+    let over_json = json_point(&over);
+    let sat_rpspc =
+        points.iter().filter_map(|p| p.report.requests_per_sec_per_core()).fold(0.0f64, f64::max);
+    points.push(Point { phase: "overload", report: over });
+
+    println!(
+        "fabric_poe/open_loop: saturation {:.0} req/s, best {:.0} req/s/core",
+        saturation_rps, sat_rpspc
+    );
+
+    let dir = out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("open_loop: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let csv_path = dir.join("open_loop_curve.csv");
+    match std::fs::write(&csv_path, csv(&points)) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("open_loop: write {} failed: {e}", csv_path.display()),
+    }
+    let mut json = String::from("{\n  \"bench\": \"open_loop\",\n");
+    let _ = write!(
+        json,
+        "  \"saturation_rps\": {saturation_rps:.1},\n  \"req_per_sec_per_core\": {sat_rpspc:.1},\n"
+    );
+    json.push_str("  \"refined\": {\n");
+    for (i, (frac, point)) in refined.iter().enumerate() {
+        let _ = write!(json, "    \"{:.0}%\": {point}", frac * 100.0);
+        json.push_str(if i + 1 < refined.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+    let _ = write!(json, "  \"overload_2x\": {over_json}\n}}\n");
+    let json_path = dir.join("open_loop.json");
+    match std::fs::write(&json_path, json) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("open_loop: write {} failed: {e}", json_path.display()),
+    }
+}

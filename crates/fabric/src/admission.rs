@@ -1,0 +1,266 @@
+//! Parallel client-signature admission for the batching stage.
+//!
+//! On a signed cluster the primary's batching thread is the admission
+//! bottleneck: every client request costs one Ed25519 verify before it
+//! may enter a batch (Fig. 3 Line 14). Batched verification already
+//! amortizes the curve arithmetic (`verify_batch_from`); this module
+//! additionally *shards* each admission chunk across a small worker
+//! pool, so the verify throughput scales with cores instead of pinning
+//! one stage thread.
+//!
+//! The pool is deliberately scoped to the batching stage: workers are
+//! spawned by `batching_loop`, fed scatter/gather style (the batching
+//! thread always verifies one shard itself, so a pool of zero workers
+//! degrades to plain batched verification with no cross-thread hop),
+//! and joined when the stage winds down — they never appear in the
+//! cluster's stage-thread accounting.
+
+use crate::cpu::thread_cpu_ns;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use poe_crypto::CryptoProvider;
+use poe_kernel::ids::NodeId;
+use poe_kernel::request::ClientRequest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A shard of requests scattered to one worker: `(chunk id, requests)`.
+type Job = (u64, Vec<ClientRequest>);
+/// A worker's verdicts for one shard: `(chunk id, per-request valid)`.
+type Verdicts = (u64, Vec<bool>);
+
+/// How long a gather waits for a worker before failing its shard
+/// closed (workers only go missing if one panicked).
+const GATHER_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Worker {
+    job_tx: Sender<Job>,
+    handle: JoinHandle<()>,
+}
+
+/// A batching-stage verify pool of `workers` helper threads (plus the
+/// calling thread, which always verifies the first shard inline).
+pub(crate) struct AdmissionPool {
+    workers: Vec<Worker>,
+    done_rx: Receiver<Verdicts>,
+    crypto: CryptoProvider,
+    n: usize,
+    /// Monotone shard ids, so a verdict straggling past a gather
+    /// timeout can never be mistaken for a later call's shard.
+    next_chunk: u64,
+    /// Summed on-CPU ns of exited workers (replica CPU, reported so
+    /// req/s/core cannot hide admission work in unaccounted threads).
+    worker_cpu_ns: Arc<AtomicU64>,
+}
+
+/// Default worker count: leave two cores for the rest of the pipeline,
+/// never take more than four. On small hosts (including a 1-core CI
+/// runner) this is zero and admission stays inline — the batched
+/// verify is still the fast path; the pool only pays for threads where
+/// there are cores to back them.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(0, |p| p.get().saturating_sub(2).min(4))
+}
+
+impl AdmissionPool {
+    /// Spawns `workers` verify threads for replica `label` (0 workers
+    /// is valid and spawns none).
+    pub fn new(crypto: CryptoProvider, n: usize, workers: usize, label: u32) -> AdmissionPool {
+        let (done_tx, done_rx) = unbounded::<Verdicts>();
+        let worker_cpu_ns = Arc::new(AtomicU64::new(0));
+        let workers = (0..workers)
+            .map(|w| {
+                let (job_tx, job_rx) = unbounded::<Job>();
+                let crypto = crypto.clone();
+                let done_tx = done_tx.clone();
+                let cpu = worker_cpu_ns.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("r{label}-admit{w}"))
+                    .spawn(move || {
+                        while let Ok((chunk, reqs)) = job_rx.recv() {
+                            let verdicts = verify_shard(&crypto, n, &reqs);
+                            if done_tx.send((chunk, verdicts)).is_err() {
+                                break;
+                            }
+                        }
+                        cpu.fetch_add(thread_cpu_ns(), Ordering::Relaxed);
+                    })
+                    .expect("spawn admission worker");
+                Worker { job_tx, handle }
+            })
+            .collect();
+        AdmissionPool { workers, done_rx, crypto, n, next_chunk: 0, worker_cpu_ns }
+    }
+
+    /// Verifies `reqs` and returns one verdict per request, in order.
+    /// Shards across the workers; the calling thread verifies shard 0.
+    pub fn verify(&mut self, reqs: &[ClientRequest]) -> Vec<bool> {
+        let shards = self.workers.len() + 1;
+        // Tiny chunks are not worth the scatter hop.
+        if shards == 1 || reqs.len() < shards * 4 {
+            return verify_shard(&self.crypto, self.n, reqs);
+        }
+        let per = reqs.len().div_ceil(shards);
+        // Scatter: shard i+1 to worker i (chunk counts never exceed the
+        // worker count because `per` divides the tail into ≤ shards−1).
+        let mut pending: HashMap<u64, usize> = HashMap::new();
+        let mut offset = per;
+        for (w, shard) in reqs[per..].chunks(per).enumerate() {
+            let chunk = self.next_chunk;
+            self.next_chunk += 1;
+            // Requests are refcounted views; the clone is cheap.
+            let sent =
+                self.workers[w % self.workers.len()].job_tx.send((chunk, shard.to_vec())).is_ok();
+            if sent {
+                pending.insert(chunk, offset);
+            }
+            offset += shard.len();
+        }
+        // Verify the head shard on this thread, then gather. A shard
+        // that never comes back fails closed (all-false) — the client
+        // retransmission path recovers the requests.
+        let mut verdicts = vec![false; reqs.len()];
+        verdicts[..per].copy_from_slice(&verify_shard(&self.crypto, self.n, &reqs[..per]));
+        let deadline = Instant::now() + GATHER_TIMEOUT;
+        while !pending.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.done_rx.recv_timeout(left) {
+                Ok((chunk, shard)) => {
+                    // Unknown chunk = straggler from a timed-out gather.
+                    if let Some(off) = pending.remove(&chunk) {
+                        verdicts[off..off + shard.len()].copy_from_slice(&shard);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        verdicts
+    }
+
+    /// Joins the workers and returns their summed on-CPU nanoseconds.
+    pub fn shutdown(self) -> u64 {
+        let AdmissionPool { workers, done_rx, worker_cpu_ns, .. } = self;
+        let handles: Vec<JoinHandle<()>> = workers
+            .into_iter()
+            .map(|w| {
+                // Disconnect the job channel so the worker falls out of
+                // its recv loop.
+                drop(w.job_tx);
+                w.handle
+            })
+            .collect();
+        drop(done_rx);
+        for h in handles {
+            let _ = h.join();
+        }
+        worker_cpu_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Batched verification of one shard, with the serial fallback that
+/// identifies offenders when the all-or-nothing batch check fails.
+fn verify_shard(crypto: &CryptoProvider, n: usize, reqs: &[ClientRequest]) -> Vec<bool> {
+    let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let mut buf = Vec::with_capacity(req.op.len() + 16);
+        ClientRequest::write_signing_bytes(&mut buf, req.client, req.req_id, &req.op);
+        bufs.push(buf);
+    }
+    let mut items = Vec::with_capacity(reqs.len());
+    let mut verdicts = vec![false; reqs.len()];
+    for (i, req) in reqs.iter().enumerate() {
+        if let Some(sig) = &req.signature {
+            items.push((i, NodeId::Client(req.client).global_index(n), sig));
+        }
+    }
+    let triples: Vec<_> =
+        items.iter().map(|(i, from, sig)| (*from, bufs[*i].as_slice(), **sig)).collect();
+    if crypto.verify_batch_from(&triples) {
+        for (i, _, _) in items {
+            verdicts[i] = true;
+        }
+    } else {
+        for (i, from, sig) in items {
+            verdicts[i] = crypto.verify_from(from, &bufs[i], sig);
+        }
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+    use poe_kernel::ids::ClientId;
+
+    fn setup(n_clients: usize) -> (Arc<KeyMaterial>, Vec<ClientRequest>) {
+        let km =
+            KeyMaterial::generate(4, n_clients, 3, CryptoMode::Ed25519, CertScheme::Simulated, 1);
+        let reqs: Vec<ClientRequest> = (0..n_clients)
+            .map(|c| {
+                let signer = km.client(c);
+                let op = vec![c as u8; 24];
+                let bytes = ClientRequest::signing_bytes(ClientId(c as u32), c as u64, &op);
+                ClientRequest::new(ClientId(c as u32), c as u64, op, Some(signer.sign(&bytes)))
+            })
+            .collect();
+        (km, reqs)
+    }
+
+    #[test]
+    fn pool_matches_serial_verification() {
+        let (km, mut reqs) = setup(24);
+        // Corrupt one request's op (signature no longer matches) and
+        // strip another's signature entirely.
+        reqs[5] =
+            ClientRequest::new(reqs[5].client, reqs[5].req_id, vec![9; 24], reqs[5].signature);
+        reqs[11] = ClientRequest::new(reqs[11].client, reqs[11].req_id, vec![1; 24], None);
+        let expected: Vec<bool> = {
+            let crypto = km.replica(0);
+            reqs.iter()
+                .map(|r| match &r.signature {
+                    Some(sig) => {
+                        let bytes = ClientRequest::signing_bytes(r.client, r.req_id, &r.op);
+                        crypto.verify_from(NodeId::Client(r.client).global_index(4), &bytes, sig)
+                    }
+                    None => false,
+                })
+                .collect()
+        };
+        assert!(!expected[5] && !expected[11] && expected[0]);
+        for workers in [0, 2] {
+            let mut pool = AdmissionPool::new(km.replica(0), 4, workers, 0);
+            assert_eq!(pool.verify(&reqs), expected, "workers={workers}");
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_chunks() {
+        let (km, reqs) = setup(3);
+        let mut pool = AdmissionPool::new(km.replica(0), 4, 2, 0);
+        assert!(pool.verify(&[]).is_empty());
+        assert_eq!(pool.verify(&reqs[..1]), vec![true]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_reports_worker_cpu() {
+        let (km, reqs) = setup(40);
+        let mut pool = AdmissionPool::new(km.replica(0), 4, 2, 0);
+        for _ in 0..4 {
+            assert!(pool.verify(&reqs).iter().all(|v| *v));
+        }
+        let cpu = pool.shutdown();
+        // Workers did real Ed25519 verification; if the platform has
+        // CPU accounting at all, some of it must be attributed.
+        if thread_cpu_ns() > 0 {
+            assert!(cpu > 0, "worker CPU must be accounted");
+        }
+    }
+}

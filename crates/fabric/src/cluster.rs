@@ -4,9 +4,10 @@
 
 use crate::client::{client_loop, ClientStats};
 use crate::runtime::ClusterShared;
+use crate::session::SessionStats;
 use crate::stage::{
-    BatchingStats, ConsensusStats, EgressStats, ProbeSnapshot, ReplicaHandle, ReplicaJoin,
-    ReplicaSpawn,
+    BatchingStats, ConsensusStats, EgressStats, FabricTuning, ProbeSnapshot, ReplicaHandle,
+    ReplicaJoin, ReplicaSpawn,
 };
 use crate::IngressStats;
 use poe_consensus::{RepairStats, SupportMode};
@@ -45,6 +46,9 @@ pub struct FabricConfig {
     pub client_outstanding: usize,
     /// Workload shape (defaults to the laptop-scale YCSB table).
     pub ycsb: YcsbConfig,
+    /// Pipeline runtime knobs (queue bounds, reply cache, admission
+    /// parallelism) — protocol-invisible.
+    pub tuning: FabricTuning,
 }
 
 impl FabricConfig {
@@ -63,6 +67,7 @@ impl FabricConfig {
             requests_per_client: 250,
             client_outstanding: 4,
             ycsb: YcsbConfig::small(),
+            tuning: FabricTuning::default(),
         }
     }
 
@@ -131,8 +136,22 @@ pub struct ReplicaReport {
     pub consensus: ConsensusStats,
     /// Egress-stage counters.
     pub egress: EgressStats,
+    /// Session-table counters (dedup, reply cache, eviction).
+    pub session: SessionStats,
     /// State-transfer counters (repairs run/served, budget throttling).
     pub repair: RepairStats,
+}
+
+impl ReplicaReport {
+    /// Total on-CPU nanoseconds of this replica's stage threads plus its
+    /// admission workers (zero when the platform lacks CPU accounting).
+    pub fn cpu_ns(&self) -> u64 {
+        self.ingress.cpu_ns
+            + self.batching.cpu_ns
+            + self.batching.admission_cpu_ns
+            + self.consensus.cpu_ns
+            + self.egress.cpu_ns
+    }
 }
 
 /// Latency summary over all completed requests (microseconds).
@@ -151,7 +170,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_ns(mut samples: Vec<u64>) -> LatencySummary {
+    pub(crate) fn from_ns(mut samples: Vec<u64>) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
         }
@@ -205,6 +224,21 @@ impl FabricReport {
     pub fn throughput_rps(&self) -> f64 {
         self.completed_requests as f64 / self.wall.as_secs_f64().max(1e-9)
     }
+
+    /// Summed on-CPU seconds of every replica stage thread (+ admission
+    /// workers). Driver/client threads are excluded by construction —
+    /// only replica-side threads report `cpu_ns`.
+    pub fn replica_cpu_secs(&self) -> f64 {
+        self.replicas.iter().map(ReplicaReport::cpu_ns).sum::<u64>() as f64 / 1e9
+    }
+
+    /// Completed requests per second per replica CPU core — completed
+    /// requests divided by the CPU-seconds the replicas burned. `None`
+    /// when the platform reported no CPU accounting.
+    pub fn requests_per_sec_per_core(&self) -> Option<f64> {
+        let cpu = self.replica_cpu_secs();
+        (cpu > 0.0).then(|| self.completed_requests as f64 / cpu)
+    }
 }
 
 /// A running wall-clock PoE cluster: all threads are live from
@@ -225,6 +259,40 @@ impl FabricCluster {
     /// Builds key material, registers every node on a fresh hub, and
     /// spawns all replica stage threads and client threads.
     pub fn launch(cfg: &FabricConfig) -> FabricCluster {
+        let mut cluster = FabricCluster::launch_headless(cfg);
+        let km = cluster.km.clone();
+        let shared = cluster.shared.clone();
+        let ccluster = &cfg.cluster;
+        cluster.clients = (0..cfg.n_clients)
+            .map(|c| {
+                let id = ClientId(c as u32);
+                let rx = shared.hub.register(NodeId::Client(id));
+                let mut ccfg = ClientConfig::matching(id, ccluster.n, ccluster.f, ccluster.nf())
+                    .with_outstanding(cfg.client_outstanding)
+                    .with_max_requests(cfg.requests_per_client)
+                    .with_retry(ccluster.client_timeout);
+                ccfg.sign = ccluster.crypto_mode != CryptoMode::None;
+                let source = YcsbWorkload::new(YcsbConfig {
+                    seed: ccluster.seed ^ (0xC0FFEE + c as u64),
+                    ..cfg.ycsb.clone()
+                });
+                let client = WorkloadClient::new(ccfg, km.client(c), Box::new(source));
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("client-{c}"))
+                    .spawn(move || client_loop(shared, rx, client))
+                    .expect("spawn client")
+            })
+            .collect();
+        cluster
+    }
+
+    /// Replicas only — no client threads. The open-loop engine registers
+    /// its own driver endpoints (client groups) on the hub and submits
+    /// directly; with zero client handles, `run_to_completion`'s client
+    /// phase is trivially satisfied and the quiesce/join machinery is
+    /// reused as-is.
+    pub(crate) fn launch_headless(cfg: &FabricConfig) -> FabricCluster {
         let cluster = &cfg.cluster;
         let km = KeyMaterial::generate(
             cluster.n,
@@ -246,28 +314,8 @@ impl FabricCluster {
                     support: cfg.support,
                     km: km.clone(),
                     id: ReplicaId(i as u32),
+                    tuning: cfg.tuning.clone(),
                 }))
-            })
-            .collect();
-        let clients: Vec<JoinHandle<ClientStats>> = (0..cfg.n_clients)
-            .map(|c| {
-                let id = ClientId(c as u32);
-                let rx = shared.hub.register(NodeId::Client(id));
-                let mut ccfg = ClientConfig::matching(id, cluster.n, cluster.f, cluster.nf())
-                    .with_outstanding(cfg.client_outstanding)
-                    .with_max_requests(cfg.requests_per_client)
-                    .with_retry(cluster.client_timeout);
-                ccfg.sign = cluster.crypto_mode != CryptoMode::None;
-                let source = YcsbWorkload::new(YcsbConfig {
-                    seed: cluster.seed ^ (0xC0FFEE + c as u64),
-                    ..cfg.ycsb.clone()
-                });
-                let client = WorkloadClient::new(ccfg, km.client(c), Box::new(source));
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("client-{c}"))
-                    .spawn(move || client_loop(shared, rx, client))
-                    .expect("spawn client")
             })
             .collect();
         FabricCluster {
@@ -277,8 +325,19 @@ impl FabricCluster {
             km,
             replicas,
             downed: BTreeMap::new(),
-            clients,
+            clients: Vec::new(),
         }
+    }
+
+    /// The cluster-shared runtime context (hub + clock + stop flag).
+    pub(crate) fn shared(&self) -> Arc<ClusterShared> {
+        self.shared.clone()
+    }
+
+    /// The cluster's key material (driver threads sign client requests
+    /// with it when the cluster runs a signed crypto mode).
+    pub(crate) fn key_material(&self) -> Arc<KeyMaterial> {
+        self.km.clone()
     }
 
     /// Crashes replica `i` mid-run: its four stage threads halt and are
@@ -310,6 +369,7 @@ impl FabricCluster {
                 support: self.cfg.support,
                 km: self.km.clone(),
                 id: ReplicaId(i as u32),
+                tuning: self.cfg.tuning.clone(),
             },
             replica,
         ));
@@ -437,6 +497,7 @@ fn report_replica(join: ReplicaJoin) -> ReplicaReport {
         batching: join.batching,
         consensus: join.consensus,
         egress: join.egress,
+        session: join.session,
         repair: replica.repair_stats(),
     }
 }

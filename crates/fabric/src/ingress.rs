@@ -30,6 +30,14 @@ pub struct IngressStats {
     pub to_batching: u64,
     /// Decoded messages routed to the consensus stage.
     pub to_consensus: u64,
+    /// Client retransmissions shed at the batch queue's high-water mark
+    /// (deferred to the client's own retry — the cheapest load to drop).
+    pub shed_retransmits: u64,
+    /// Client requests shed because the batch queue was full (open-loop
+    /// overload backpressure; consensus traffic is never shed).
+    pub shed_full: u64,
+    /// On-CPU nanoseconds of the ingress thread (whole stage lifetime).
+    pub cpu_ns: u64,
     /// Batch containers recycled back into the pool.
     pub recycled: u64,
     /// Pool reuse hits (batch container served without allocating).
@@ -90,11 +98,10 @@ impl IngressDecoder {
         IngressStats {
             decoded: self.decoded,
             decode_errors: self.decode_errors,
-            to_batching: 0,
-            to_consensus: 0,
             recycled: self.recycled,
             pool_hits,
             pool_misses,
+            ..IngressStats::default()
         }
     }
 }

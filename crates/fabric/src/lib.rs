@@ -11,8 +11,11 @@
 //! The paper's replica pipeline (its Figure 6) has input/batching
 //! threads feeding a consensus ("worker") stage, whose ordered output is
 //! executed and answered to clients, with a checkpoint protocol running
-//! alongside. Here, one replica = four OS threads connected by
-//! unbounded channels over [`poe_net::InprocHub`]:
+//! alongside. Here, one replica = four OS threads over
+//! [`poe_net::InprocHub`], connected by a **bounded** ingress→batching
+//! queue (the backpressure point — overflow sheds client traffic,
+//! retransmits first) and depth-gauged channels downstream (batching
+//! defers cutting while the consensus queue is deep):
 //!
 //! | paper stage          | thread      | what it does                              |
 //! |----------------------|-------------|-------------------------------------------|
@@ -74,16 +77,25 @@
 
 pub mod cluster;
 pub mod ingress;
+pub mod openloop;
 pub mod wheel;
 
+mod admission;
 mod client;
+mod cpu;
+mod queue;
 mod runtime;
+mod session;
 mod stage;
+#[cfg(test)]
+mod storm;
 
 pub use cluster::{
     run_fabric, FabricCluster, FabricConfig, FabricError, FabricReport, LatencySummary,
     ReplicaReport,
 };
 pub use ingress::{IngressDecoder, IngressStats};
-pub use stage::{BatchingStats, ConsensusStats, EgressStats};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use session::SessionStats;
+pub use stage::{BatchingStats, ConsensusStats, EgressStats, FabricTuning};
 pub use wheel::TimerWheel;

@@ -1,0 +1,348 @@
+//! The open-loop load engine: drive a fabric cluster at a *target* rate
+//! and measure what it actually sustains.
+//!
+//! Closed-loop clients (one request in flight per window slot) measure
+//! latency but can never saturate the system — when the cluster slows
+//! down, so does the offered load. This engine severs that feedback: a
+//! few driver threads multiplex 10⁵–10⁶ simulated client sessions
+//! ([`SessionMux`]) and submit on an arrival clock ([`ArrivalGen`],
+//! fixed-rate or Poisson) no matter how the cluster is doing. Sweeping
+//! the target rate yields the latency-vs-throughput curve up to (and
+//! past) saturation, and per-thread CPU accounting normalizes the
+//! result to **requests/sec/core** with the drivers excluded.
+//!
+//! The engine reuses the whole fabric harness: replicas come up via the
+//! headless cluster launch (no closed-loop client threads); each driver
+//! registers one *client group* on the hub — a contiguous `ClientId`
+//! range multiplexed onto a single receive channel — and the session
+//! offset encoded in the high bits of `req_id` recovers the session
+//! from any reply in O(1). Shutdown reuses `run_to_completion`: with
+//! zero client threads its drain phase is trivially satisfied, and the
+//! quiesce/convergence machinery applies unchanged, so even an overload
+//! run ends with byte-identical history digests or an error.
+//!
+//! Open-loop semantics on loss: a request the cluster sheds under
+//! overload is *abandoned* (its session reaped after
+//! [`OpenLoopConfig::abandon_after`]), never retried — retrying would
+//! re-close the loop. Shed work is visible instead in the replicas'
+//! `shed_retransmits` / `shed_full` counters and the mux's `abandoned`.
+
+use crate::cluster::{FabricCluster, FabricError, FabricReport, LatencySummary};
+use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::FabricConfig;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use poe_crypto::ed25519::Signature;
+use poe_crypto::{CryptoMode, KeyMaterial};
+use poe_kernel::codec::{decode_envelope_shared, ScratchPool};
+use poe_kernel::ids::{ClientId, NodeId};
+use poe_kernel::messages::ProtocolMsg;
+use poe_kernel::request::ClientRequest;
+use poe_kernel::time::Time;
+use poe_kernel::wire::WireBytes;
+use poe_workload::{ArrivalGen, ArrivalProcess, MuxStats, SessionMux, YcsbConfig, YcsbWorkload};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-wake arrival burst cap: a stalled driver catches up at most this
+/// many arrivals per iteration instead of building an unbounded burst.
+const BURST_CAP: usize = 256;
+
+/// How often a driver sweeps its shard for abandoned in-flight requests.
+const REAP_EVERY: Duration = Duration::from_millis(100);
+
+/// Configuration of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Cluster shape (protocol, crypto, batch size, tuning). The
+    /// engine overrides `n_clients` to cover the session population.
+    pub fabric: FabricConfig,
+    /// Simulated client sessions, split evenly across the drivers.
+    pub sessions: u32,
+    /// Driver threads (each owns one session shard + hub client group).
+    pub drivers: usize,
+    /// Offered load in requests/second, across all drivers.
+    pub target_rps: f64,
+    /// Arrival process (Poisson exposes queueing near saturation).
+    pub process: ArrivalProcess,
+    /// Ramp-up excluded from the measured window.
+    pub warmup: Duration,
+    /// The measured window.
+    pub measure: Duration,
+    /// In-flight age after which a session is reaped (the request was
+    /// shed or lost; open loop never retries it).
+    pub abandon_after: Duration,
+    /// Seed for arrival schedules and workload streams.
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// Paper-shaped defaults on top of an existing cluster config:
+    /// 100 k sessions over two drivers, Poisson arrivals, 1 s warmup,
+    /// 4 s measured.
+    pub fn new(fabric: FabricConfig, target_rps: f64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            fabric,
+            sessions: 100_000,
+            drivers: 2,
+            target_rps,
+            process: ArrivalProcess::Poisson,
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(4),
+            abandon_after: Duration::from_secs(2),
+            seed: 42,
+        }
+    }
+}
+
+/// What one driver thread reports back.
+#[derive(Default)]
+struct DriverOut {
+    mux: MuxStats,
+    /// Latency samples (ns) for requests both submitted and completed
+    /// inside the measured window.
+    latencies_ns: Vec<u64>,
+    measured_submitted: u64,
+    measured_completed: u64,
+}
+
+/// The outcome of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// The offered rate this run targeted.
+    pub target_rps: f64,
+    /// Measured-window completions per second — the achieved rate.
+    pub achieved_rps: f64,
+    /// Requests submitted during the measured window.
+    pub measured_submitted: u64,
+    /// Requests submitted *and* completed during the measured window.
+    pub measured_completed: u64,
+    /// Latency over measured-window completions.
+    pub latency: LatencySummary,
+    /// Aggregate session-mux counters (all windows).
+    pub mux: MuxStats,
+    /// The measured window length.
+    pub measure: Duration,
+    /// The underlying cluster report (replica stats, convergence).
+    pub fabric: FabricReport,
+}
+
+impl OpenLoopReport {
+    /// Completed requests (all windows) per replica-CPU-second —
+    /// requests/sec/core with the load generator excluded. `None` when
+    /// the platform reported no per-thread CPU accounting.
+    pub fn requests_per_sec_per_core(&self) -> Option<f64> {
+        let cpu = self.fabric.replica_cpu_secs();
+        (cpu > 0.0).then(|| self.mux.completed as f64 / cpu)
+    }
+
+    /// Client requests shed by ingress backpressure, summed over
+    /// replicas (`shed_full` + `shed_retransmits`).
+    pub fn total_shed(&self) -> u64 {
+        self.fabric.replicas.iter().map(|r| r.ingress.shed_full + r.ingress.shed_retransmits).sum()
+    }
+
+    /// True when every replica converged to the same committed history.
+    pub fn converged(&self) -> bool {
+        self.fabric.converged()
+    }
+
+    /// Fraction of the offered (submitted) measured load that completed
+    /// in-window — below saturation this approaches 1.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.measured_submitted == 0 {
+            return 0.0;
+        }
+        self.measured_completed as f64 / self.measured_submitted as f64
+    }
+}
+
+/// Runs one open-loop point: launch a headless cluster, drive it at
+/// `cfg.target_rps` through the warmup + measured windows, drain, then
+/// quiesce and join via the regular shutdown machinery. `deadline`
+/// bounds the post-drive quiesce phase.
+pub fn run_open_loop(
+    cfg: &OpenLoopConfig,
+    deadline: Duration,
+) -> Result<OpenLoopReport, FabricError> {
+    assert!(cfg.drivers >= 1, "need at least one driver");
+    assert!(cfg.sessions >= cfg.drivers as u32, "fewer sessions than drivers");
+    let signed = cfg.fabric.cluster.crypto_mode != CryptoMode::None;
+    let mut fabric_cfg = cfg.fabric.clone();
+    // Key material must cover every session id the drivers will use —
+    // but Ed25519 key derivation is linear in `n_clients`, so unsigned
+    // runs (where client keys are never touched) keep it at 1.
+    fabric_cfg.n_clients = if signed { cfg.sessions as usize } else { 1 };
+    let cluster = FabricCluster::launch_headless(&fabric_cfg);
+    let shared = cluster.shared();
+    let km = cluster.key_material();
+    let n = fabric_cfg.cluster.n;
+    let nf = fabric_cfg.cluster.nf();
+
+    let epoch_ns = shared.now().0;
+    let warmup_end_ns = epoch_ns + cfg.warmup.as_nanos() as u64;
+    let measure_end_ns = warmup_end_ns + cfg.measure.as_nanos() as u64;
+
+    // Shard the session population: driver d owns `base .. base+count`.
+    let per = cfg.sessions / cfg.drivers as u32;
+    let extra = cfg.sessions % cfg.drivers as u32;
+    let mut base = 0u32;
+    let handles: Vec<std::thread::JoinHandle<DriverOut>> = (0..cfg.drivers)
+        .map(|d| {
+            let count = per + u32::from((d as u32) < extra);
+            let drv = Driver {
+                shared: shared.clone(),
+                rx: shared.hub.register_client_group(base, count),
+                mux: SessionMux::new(base, count, nf),
+                gen: ArrivalGen::new(
+                    cfg.process,
+                    cfg.target_rps / cfg.drivers as f64,
+                    cfg.seed ^ (0xA11CE + d as u64),
+                ),
+                source: YcsbWorkload::new(YcsbConfig {
+                    seed: cfg.seed ^ (0x09E17 + d as u64),
+                    ..cfg.fabric.ycsb.clone()
+                }),
+                km: signed.then(|| km.clone()),
+                n,
+                base,
+                epoch_ns,
+                warmup_end_ns,
+                measure_end_ns,
+                abandon_after: cfg.abandon_after,
+            };
+            base += count;
+            std::thread::Builder::new()
+                .name(format!("driver-{d}"))
+                .spawn(move || drv.run())
+                .expect("spawn driver")
+        })
+        .collect();
+
+    let mut out = DriverOut::default();
+    for (d, h) in handles.into_iter().enumerate() {
+        let one = h.join().unwrap_or_else(|_| panic!("driver {d} panicked"));
+        out.mux.submitted += one.mux.submitted;
+        out.mux.completed += one.mux.completed;
+        out.mux.no_idle_session += one.mux.no_idle_session;
+        out.mux.abandoned += one.mux.abandoned;
+        out.measured_submitted += one.measured_submitted;
+        out.measured_completed += one.measured_completed;
+        out.latencies_ns.extend(one.latencies_ns);
+    }
+
+    // Drivers are done; the regular three-phase shutdown takes over
+    // (client phase is trivially complete — there are no client threads).
+    let fabric = cluster.run_to_completion(deadline)?;
+    let achieved_rps = out.measured_completed as f64 / cfg.measure.as_secs_f64().max(1e-9);
+    Ok(OpenLoopReport {
+        target_rps: cfg.target_rps,
+        achieved_rps,
+        measured_submitted: out.measured_submitted,
+        measured_completed: out.measured_completed,
+        latency: LatencySummary::from_ns(out.latencies_ns),
+        mux: out.mux,
+        measure: cfg.measure,
+        fabric,
+    })
+}
+
+struct Driver {
+    shared: Arc<ClusterShared>,
+    rx: Receiver<WireBytes>,
+    mux: SessionMux,
+    gen: ArrivalGen,
+    source: YcsbWorkload,
+    /// `Some` when the cluster authenticates clients.
+    km: Option<Arc<KeyMaterial>>,
+    n: usize,
+    base: u32,
+    epoch_ns: u64,
+    warmup_end_ns: u64,
+    measure_end_ns: u64,
+    abandon_after: Duration,
+}
+
+impl Driver {
+    fn run(mut self) -> DriverOut {
+        let mut out = DriverOut::default();
+        let mut scratch = ScratchPool::new();
+        let signer = self.km.take().map(|km| {
+            move |client: ClientId, req_id: u64, op: &[u8]| -> Signature {
+                let bytes = ClientRequest::signing_bytes(client, req_id, op);
+                km.client(client.0 as usize).sign(&bytes)
+            }
+        });
+        let signer_ref: Option<poe_workload::Signer<'_>> = signer.as_ref().map(|f| f as _);
+        let mut next_reap_ns = self.epoch_ns + REAP_EVERY.as_nanos() as u64;
+        loop {
+            let now_ns = self.shared.now().0;
+            if now_ns >= self.measure_end_ns || self.shared.stopped() {
+                break;
+            }
+            // 1. Submit every arrival that is due (burst-capped).
+            let due = self.gen.due_by(now_ns - self.epoch_ns, BURST_CAP);
+            for _ in 0..due {
+                let Some(req) = self.mux.begin(Time(now_ns), &mut self.source, signer_ref) else {
+                    continue; // Population busy — counted by the mux.
+                };
+                if now_ns >= self.warmup_end_ns {
+                    out.measured_submitted += 1;
+                }
+                let client = req.client;
+                let target = self.mux.view_hint().primary(self.n);
+                let frame =
+                    encode_frame(&mut scratch, NodeId::Client(client), ProtocolMsg::Request(req));
+                self.shared.hub.send(NodeId::Replica(target), frame);
+            }
+            // 2. Drain replies without blocking.
+            while let Ok(frame) = self.rx.try_recv() {
+                self.on_frame(&frame, &mut out);
+            }
+            // 3. Periodically reap sessions whose request was shed.
+            if now_ns >= next_reap_ns {
+                self.mux.reap(
+                    Time(now_ns),
+                    poe_kernel::time::Duration::from_nanos(self.abandon_after.as_nanos() as u64),
+                );
+                next_reap_ns = now_ns + REAP_EVERY.as_nanos() as u64;
+            }
+            // 4. Sleep until the next arrival (or a reply, whichever
+            // first) — bounded by TICK so stop flags stay responsive.
+            let until = self.gen.ns_until_next(self.shared.now().0 - self.epoch_ns);
+            if until > 0 {
+                let wait = Duration::from_nanos(until).min(TICK);
+                if let Ok(frame) = self.rx.recv_timeout(wait) {
+                    self.on_frame(&frame, &mut out);
+                }
+            }
+        }
+        // Grace drain: let the tail of measured-window submissions
+        // complete (their latency samples count), bounded by the
+        // abandonment age.
+        let drain_end_ns = self.shared.now().0 + self.abandon_after.as_nanos() as u64;
+        while self.mux.in_flight() > 0
+            && self.shared.now().0 < drain_end_ns
+            && !self.shared.stopped()
+        {
+            match self.rx.recv_timeout(TICK) {
+                Ok(frame) => self.on_frame(&frame, &mut out),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.shared.hub.deregister_client_group(self.base);
+        out.mux = self.mux.stats();
+        out
+    }
+
+    fn on_frame(&mut self, frame: &WireBytes, out: &mut DriverOut) {
+        let Ok(env) = decode_envelope_shared(frame) else { return };
+        let ProtocolMsg::Reply(reply) = env.msg else { return };
+        if let Some(submitted_at) = self.mux.on_reply(&reply) {
+            if submitted_at.0 >= self.warmup_end_ns && submitted_at.0 < self.measure_end_ns {
+                out.measured_completed += 1;
+                out.latencies_ns.push(self.shared.now().0.saturating_sub(submitted_at.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Bounded stage queues and depth gauges — the backpressure fabric.
+//!
+//! The pipeline's original channels are all unbounded: fine in a closed
+//! loop, where clients stop submitting until they hear back, but an
+//! *open-loop* load engine keeps offering requests no matter what, and
+//! an unbounded ingress→batching queue then grows without limit the
+//! moment offered load exceeds capacity. Two pieces close the loop:
+//!
+//! * [`bounded`] — a capacity-limited MPSC queue with a non-blocking
+//!   [`BoundedSender::try_send`] (ingress must never block on a slow
+//!   batching stage; it *sheds* instead) and a high-water mark so the
+//!   shed policy can start deferring retransmissions before the queue
+//!   is hard-full.
+//! * [`DepthGauge`] — occupancy tracking (current + peak) wrapped
+//!   around the still-unbounded consensus and reply queues, so reports
+//!   show where the pipeline actually queues and the batching stage can
+//!   defer pulling admissions while consensus is deep (backpressure
+//!   propagates ingress ← batching ← consensus without ever bounding
+//!   — or dropping — replica-to-replica protocol traffic).
+//!
+//! Hand-rolled on `Mutex<VecDeque>` + `Condvar` because the vendored
+//! crossbeam shim only provides unbounded channels.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why [`BoundedSender::try_send`] returned the item.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TrySendError<T> {
+    /// The queue is at capacity; the caller sheds or defers.
+    Full(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
+/// Why [`BoundedReceiver::recv_timeout`] returned empty-handed.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RecvError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    rx_alive: bool,
+    /// Deepest the queue has ever been.
+    peak: usize,
+    /// Items ever accepted.
+    enqueued: u64,
+}
+
+struct Shared<T> {
+    q: Mutex<Inner<T>>,
+    avail: Condvar,
+    cap: usize,
+}
+
+/// Producer half of a bounded queue. Cloneable (MPSC).
+pub(crate) struct BoundedSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half of a bounded queue.
+pub(crate) struct BoundedReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A bounded MPSC queue of capacity `cap` (≥ 1).
+pub(crate) fn bounded<T>(cap: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    assert!(cap >= 1, "queue capacity must be positive");
+    let shared = Arc::new(Shared {
+        q: Mutex::new(Inner {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            senders: 1,
+            rx_alive: true,
+            peak: 0,
+            enqueued: 0,
+        }),
+        avail: Condvar::new(),
+        cap,
+    });
+    (BoundedSender { shared: shared.clone() }, BoundedReceiver { shared })
+}
+
+impl<T> BoundedSender<T> {
+    /// Enqueues without blocking, or hands the item back when the queue
+    /// is full or the receiver is gone.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.shared.q.lock().expect("queue poisoned");
+        if !q.rx_alive {
+            return Err(TrySendError::Disconnected(item));
+        }
+        if q.buf.len() >= self.shared.cap {
+            return Err(TrySendError::Full(item));
+        }
+        q.buf.push_back(item);
+        q.enqueued += 1;
+        let depth = q.buf.len();
+        if depth > q.peak {
+            q.peak = depth;
+        }
+        drop(q);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+
+    /// Current occupancy (racy by nature; used for high-water checks).
+    pub fn len(&self) -> usize {
+        self.shared.q.lock().expect("queue poisoned").buf.len()
+    }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> BoundedSender<T> {
+        self.shared.q.lock().expect("queue poisoned").senders += 1;
+        BoundedSender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.q.lock().expect("queue poisoned");
+        q.senders -= 1;
+        let last = q.senders == 0;
+        drop(q);
+        if last {
+            // Wake the receiver so it observes the disconnect.
+            self.shared.avail.notify_all();
+        }
+    }
+}
+
+impl<T> BoundedReceiver<T> {
+    /// Dequeues, waiting up to `timeout` for an item.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.q.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = q.buf.pop_front() {
+                return Ok(item);
+            }
+            if q.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _) = self.shared.avail.wait_timeout(q, left).expect("queue poisoned");
+            q = guard;
+        }
+    }
+
+    /// Dequeues without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.q.lock().expect("queue poisoned").buf.pop_front()
+    }
+
+    /// `(peak depth, items ever enqueued)` — the occupancy counters the
+    /// consuming stage folds into its report at exit.
+    pub fn occupancy(&self) -> (usize, u64) {
+        let q = self.shared.q.lock().expect("queue poisoned");
+        (q.peak, q.enqueued)
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.q.lock().expect("queue poisoned").rx_alive = false;
+    }
+}
+
+/// Occupancy tracking for a queue whose channel stays unbounded
+/// (consensus, replies): producers `inc` on send, the consumer `dec`
+/// on receive; `peak` records the deepest observed backlog.
+#[derive(Default)]
+pub(crate) struct DepthGauge {
+    depth: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl DepthGauge {
+    pub fn new() -> Arc<DepthGauge> {
+        Arc::new(DepthGauge::default())
+    }
+
+    /// One item entered the queue.
+    pub fn inc(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// One item left the queue.
+    pub fn dec(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest backlog observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let (tx, rx) = bounded::<u32>(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), i);
+        }
+        let (peak, enqueued) = rx.occupancy();
+        assert_eq!(peak, 5);
+        assert_eq!(enqueued, 5);
+    }
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn receiver_drop_disconnects_senders() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+    }
+
+    #[test]
+    fn sender_drop_disconnects_after_drain() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        tx.try_send(7).unwrap();
+        drop(tx);
+        // One sender still alive: timeout, not disconnect.
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)).unwrap(), 7);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvError::Timeout));
+        drop(tx2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let (tx, rx) = bounded::<u32>(4);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.try_send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = DepthGauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.peak(), 2);
+    }
+}

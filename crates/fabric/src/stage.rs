@@ -1,22 +1,29 @@
 //! The four pipeline stages of one fabric replica (paper §III, Fig. 6).
 //!
 //! ```text
-//!  hub ──▶ ingress ──▶ batching ──▶ consensus ──▶ egress ──▶ hub
-//!            ▲  (client traffic)        │ (replies)
-//!            └────── recycle ◀──────────┘ (batches retired at
-//!                                          checkpoint GC)
+//!  hub ──▶ ingress ══▶ batching ──▶ consensus ──▶ egress ──▶ hub
+//!            ▲  (bounded queue,        │ (replies)
+//!            │   shed policy)          │
+//!            └────── recycle ◀─────────┘ (batches retired at
+//!                                         checkpoint GC)
 //! ```
 //!
 //! * **ingress** — reads [`WireBytes`] frames from the hub, does pooled
 //!   zero-copy decode ([`IngressDecoder`]), and routes: client traffic
-//!   to the batching stage, everything else to the consensus stage. The
-//!   batch pool is refilled from the recycle channel.
-//! * **batching** — the primary's batch threads: verifies client
-//!   signatures, warms request digests, and cuts PROPOSE batches on
-//!   size or `batch_cut_delay` triggers, handing whole batches to the
-//!   consensus stage ([`PoeReplica::on_local_batch`]). On a non-primary
-//!   it degrades to a relay so the automaton's forward/progress-timer
-//!   machinery sees every request.
+//!   onto the **bounded** batch queue (shedding retransmissions at the
+//!   high-water mark and any client request when full — open-loop
+//!   overload must not grow memory without bound), everything else to
+//!   the consensus stage (never bounded, never shed). The batch pool is
+//!   refilled from the recycle channel.
+//! * **batching** — the primary's admission stage: dedups against the
+//!   per-client [`SessionTable`] (exactly-once replies under retry
+//!   storms), verifies client signatures in chunks sharded across the
+//!   [`AdmissionPool`], warms request digests, and cuts PROPOSE batches
+//!   on size or `batch_cut_delay` triggers. While the consensus queue
+//!   is deep it *defers* pulling admissions, which backpressures
+//!   through the bounded queue into ingress shedding. On a non-primary
+//!   it degrades to a relay (plus cached-reply service) so the
+//!   automaton's forward/progress-timer machinery sees every request.
 //! * **consensus** — owns the [`PoeReplica`] automaton and its
 //!   [`TimerWheel`]; every outbox action is interpreted here: sends and
 //!   broadcasts encode **once** into a shared frame, client replies are
@@ -24,7 +31,11 @@
 //!   retired by checkpoint GC flow back to the ingress pool.
 //! * **egress** — encodes and delivers client replies (the INFORM
 //!   fan-out is `batch_size` messages per batch, so taking it off the
-//!   consensus thread is a real pipeline win).
+//!   consensus thread is a real pipeline win), recording each encoded
+//!   frame in the session table's reply cache.
+//!
+//! Every stage thread reports its on-CPU time at exit, so a run can be
+//! normalized to requests/sec/core with the load generator excluded.
 //!
 //! Speculative execution itself stays inside the automaton transition
 //! (on the consensus thread): in PoE, execution at the proposal is part
@@ -33,8 +44,12 @@
 //! runtime. What the paper's execution stage *delivers* — results to
 //! clients — is what the egress stage pipelines.
 
+use crate::admission::{default_workers, AdmissionPool};
+use crate::cpu::thread_cpu_ns;
 use crate::ingress::{IngressDecoder, IngressStats};
+use crate::queue::{bounded, BoundedReceiver, BoundedSender, DepthGauge, RecvError, TrySendError};
 use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::session::{Admit, SessionStats, SessionTable};
 use crate::wheel::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use poe_consensus::{PoeReplica, SupportMode};
@@ -46,10 +61,53 @@ use poe_kernel::messages::ProtocolMsg;
 use poe_kernel::request::{Batch, Batcher, ClientRequest};
 use poe_kernel::wire::WireBytes;
 use poe_store::SpeculativeStore;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// How many client messages the batching stage drains per admission
+/// chunk (amortizes batched signature verification and session-table
+/// locking; also the scatter unit for the admission pool).
+const ADMIT_CHUNK: usize = 64;
+
+/// How long batching pauses before re-checking a deep consensus queue.
+const DEFER_PAUSE: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Runtime tuning knobs of the pipeline: backpressure bounds, session
+/// reply cache, and admission parallelism. Everything protocol-visible
+/// stays in [`ClusterConfig`]; these only shape how the wall-clock
+/// runtime schedules the same automaton.
+#[derive(Clone, Debug)]
+pub struct FabricTuning {
+    /// Capacity of the bounded ingress→batching queue (the backpressure
+    /// point: when full, ingress sheds client requests).
+    pub batch_queue_cap: usize,
+    /// Client-signature verify workers per replica; `None` picks a
+    /// default from the core count (0 on small hosts = inline batched
+    /// verification).
+    pub admission_workers: Option<usize>,
+    /// Byte budget for cached encoded reply frames per replica.
+    pub reply_cache_bytes: usize,
+    /// How long a duplicate-in-flight request is suppressed before
+    /// being passed through to the automaton anyway (liveness valve).
+    pub session_grace: std::time::Duration,
+    /// Consensus-queue depth above which batching defers admissions.
+    pub consensus_defer_depth: u64,
+}
+
+impl Default for FabricTuning {
+    fn default() -> FabricTuning {
+        FabricTuning {
+            batch_queue_cap: 4096,
+            admission_workers: None,
+            reply_cache_bytes: 1 << 20,
+            session_grace: std::time::Duration::from_millis(400),
+            consensus_defer_depth: 256,
+        }
+    }
+}
 
 /// Work items on a replica's consensus queue.
 enum ConsensusJob {
@@ -57,6 +115,33 @@ enum ConsensusJob {
     Deliver { from: NodeId, msg: ProtocolMsg },
     /// A batch pre-cut by the batching stage.
     LocalBatch(Arc<Batch>),
+}
+
+/// An unbounded sender with occupancy tracking: producers `inc` the
+/// gauge on send, the consuming loop `dec`s on receive, so reports can
+/// show where the pipeline queues (and batching can defer on depth).
+struct Gauged<T> {
+    tx: Sender<T>,
+    gauge: Arc<DepthGauge>,
+}
+
+impl<T> Clone for Gauged<T> {
+    fn clone(&self) -> Gauged<T> {
+        Gauged { tx: self.tx.clone(), gauge: self.gauge.clone() }
+    }
+}
+
+impl<T> Gauged<T> {
+    fn send(&self, item: T) -> bool {
+        // Inc *before* the send: the receiver may dequeue (and dec)
+        // before a post-send inc could run, wrapping the gauge.
+        self.gauge.inc();
+        let ok = self.tx.send(item).is_ok();
+        if !ok {
+            self.gauge.dec();
+        }
+        ok
+    }
 }
 
 /// Cheap cross-thread view of one replica's progress, published by the
@@ -130,6 +215,19 @@ pub struct BatchingStats {
     pub batches_cut: u64,
     /// Messages relayed to consensus while not primary.
     pub relayed: u64,
+    /// Cached replies served directly from this stage (retry hits).
+    pub cache_replies_sent: u64,
+    /// Times the stage paused admissions because the consensus queue
+    /// was above the defer depth (backpressure propagating to ingress).
+    pub deferrals: u64,
+    /// Peak depth of the bounded ingress→batching queue.
+    pub queue_peak: usize,
+    /// Items ever accepted by the bounded queue.
+    pub queue_enqueued: u64,
+    /// On-CPU ns of the admission pool's worker threads.
+    pub admission_cpu_ns: u64,
+    /// On-CPU ns of the batching thread itself.
+    pub cpu_ns: u64,
 }
 
 /// Counters of one replica's consensus stage.
@@ -159,6 +257,10 @@ pub struct ConsensusStats {
     pub caught_up: u64,
     /// Batches retired by checkpoint GC and sent back for recycling.
     pub retired: u64,
+    /// Peak depth of the consensus queue.
+    pub queue_peak: u64,
+    /// On-CPU ns of the consensus thread.
+    pub cpu_ns: u64,
 }
 
 /// Counters of one replica's egress (reply) stage.
@@ -168,6 +270,10 @@ pub struct EgressStats {
     pub replies_sent: u64,
     /// Replies whose client was already gone (send failed).
     pub dropped: u64,
+    /// Peak depth of the reply queue.
+    pub queue_peak: u64,
+    /// On-CPU ns of the egress thread.
+    pub cpu_ns: u64,
 }
 
 /// Everything needed to spawn one replica's stage threads.
@@ -177,6 +283,7 @@ pub(crate) struct ReplicaSpawn {
     pub support: SupportMode,
     pub km: Arc<KeyMaterial>,
     pub id: ReplicaId,
+    pub tuning: FabricTuning,
 }
 
 /// Join handles + probe of one running replica.
@@ -187,6 +294,7 @@ pub(crate) struct ReplicaHandle {
     /// just this replica's four stage threads while the rest of the
     /// cluster keeps running (crash-recovery experiments).
     halt: Arc<AtomicBool>,
+    session: Arc<Mutex<SessionTable>>,
     ingress: JoinHandle<IngressStats>,
     batching: JoinHandle<BatchingStats>,
     consensus: JoinHandle<(ConsensusStats, Box<PoeReplica>)>,
@@ -201,6 +309,7 @@ pub(crate) struct ReplicaJoin {
     pub batching: BatchingStats,
     pub consensus: ConsensusStats,
     pub egress: EgressStats,
+    pub session: SessionStats,
 }
 
 impl ReplicaHandle {
@@ -223,14 +332,18 @@ impl ReplicaHandle {
     /// durable state ([`PoeReplica::into_restarted`]) and re-registering
     /// on the hub replaces the dead endpoint, so traffic flows again.
     pub fn spawn_with(spec: ReplicaSpawn, replica: Box<PoeReplica>) -> ReplicaHandle {
-        let ReplicaSpawn { shared, cluster, support: _, km, id } = spec;
+        let ReplicaSpawn { shared, cluster, support: _, km, id, tuning } = spec;
         let hub_rx = shared.hub.register(NodeId::Replica(id));
         let (cons_tx, cons_rx) = unbounded::<ConsensusJob>();
-        let (batch_tx, batch_rx) = unbounded::<(NodeId, ProtocolMsg)>();
+        let cons_tx = Gauged { tx: cons_tx, gauge: DepthGauge::new() };
+        let (batch_tx, batch_rx) = bounded::<(NodeId, ProtocolMsg)>(tuning.batch_queue_cap);
         let (reply_tx, reply_rx) = unbounded::<(ClientId, ProtocolMsg)>();
+        let reply_tx = Gauged { tx: reply_tx, gauge: DepthGauge::new() };
         let (recycle_tx, recycle_rx) = unbounded::<Arc<Batch>>();
         let probe = ReplicaProbe::new(id, cluster.n);
         let halt = Arc::new(AtomicBool::new(false));
+        let session =
+            Arc::new(Mutex::new(SessionTable::new(tuning.reply_cache_bytes, tuning.session_grace)));
 
         let name = |stage: &str| format!("r{}-{stage}", id.0);
 
@@ -244,42 +357,51 @@ impl ReplicaHandle {
                 .expect("spawn ingress")
         };
         let batching = {
-            let shared = shared.clone();
-            let probe = probe.clone();
-            let halt = halt.clone();
-            let crypto = (cluster.crypto_mode != CryptoMode::None).then(|| km.replica(id.index()));
-            let batch_size = cluster.batch_size;
-            let cut_delay = cluster.batch_cut_delay.to_std();
-            let n = cluster.n;
+            let deps = BatchingDeps {
+                shared: shared.clone(),
+                halt: halt.clone(),
+                batch_rx,
+                cons_tx: cons_tx.clone(),
+                probe: probe.clone(),
+                crypto: (cluster.crypto_mode != CryptoMode::None).then(|| km.replica(id.index())),
+                batch_size: cluster.batch_size,
+                cut_delay: cluster.batch_cut_delay.to_std(),
+                n: cluster.n,
+                session: session.clone(),
+                workers: tuning.admission_workers.unwrap_or_else(default_workers),
+                defer_depth: tuning.consensus_defer_depth,
+                id,
+            };
             std::thread::Builder::new()
                 .name(name("batching"))
-                .spawn(move || {
-                    batching_loop(
-                        shared, halt, batch_rx, cons_tx, probe, crypto, batch_size, cut_delay, n,
-                    )
-                })
+                .spawn(move || batching_loop(deps))
                 .expect("spawn batching")
         };
+        let reply_gauge = reply_tx.gauge.clone();
         let consensus = {
             let shared = shared.clone();
             let probe = probe.clone();
             let halt = halt.clone();
+            let gauge = cons_tx.gauge.clone();
             std::thread::Builder::new()
                 .name(name("consensus"))
                 .spawn(move || {
-                    consensus_loop(shared, halt, cons_rx, reply_tx, recycle_tx, probe, replica)
+                    consensus_loop(
+                        shared, halt, cons_rx, gauge, reply_tx, recycle_tx, probe, replica,
+                    )
                 })
                 .expect("spawn consensus")
         };
         let egress = {
             let shared = shared.clone();
             let halt = halt.clone();
+            let session = session.clone();
             std::thread::Builder::new()
                 .name(name("egress"))
-                .spawn(move || egress_loop(shared, halt, reply_rx, id))
+                .spawn(move || egress_loop(shared, halt, reply_rx, reply_gauge, id, session))
                 .expect("spawn egress")
         };
-        ReplicaHandle { id, probe, halt, ingress, batching, consensus, egress }
+        ReplicaHandle { id, probe, halt, session, ingress, batching, consensus, egress }
     }
 
     /// Crashes this replica: all four stage threads observe the flag
@@ -302,7 +424,8 @@ impl ReplicaHandle {
         let (consensus, replica) =
             self.consensus.join().unwrap_or_else(|_| panic!("{id} consensus panicked"));
         let egress = self.egress.join().unwrap_or_else(|_| panic!("{id} egress panicked"));
-        ReplicaJoin { id, replica, ingress, batching, consensus, egress }
+        let session = self.session.lock().expect("session table poisoned").stats();
+        ReplicaJoin { id, replica, ingress, batching, consensus, egress, session }
     }
 }
 
@@ -319,12 +442,15 @@ fn ingress_loop(
     halt: Arc<AtomicBool>,
     hub_rx: Receiver<WireBytes>,
     recycle_rx: Receiver<Arc<Batch>>,
-    batch_tx: Sender<(NodeId, ProtocolMsg)>,
-    cons_tx: Sender<ConsensusJob>,
+    batch_tx: BoundedSender<(NodeId, ProtocolMsg)>,
+    cons_tx: Gauged<ConsensusJob>,
 ) -> IngressStats {
     let mut decoder = IngressDecoder::new();
     let mut to_batching = 0u64;
     let mut to_consensus = 0u64;
+    let mut shed_retransmits = 0u64;
+    let mut shed_full = 0u64;
+    let high_water = batch_tx.capacity() / 2;
     loop {
         // Refill the pool with containers GC retired, so subsequent
         // batch decodes reuse instead of allocating.
@@ -335,15 +461,29 @@ fn ingress_loop(
             Ok(frame) => {
                 if let Some(env) = decoder.decode(&frame) {
                     match env.msg {
-                        ProtocolMsg::Request(_)
+                        msg @ (ProtocolMsg::Request(_)
                         | ProtocolMsg::RequestBroadcast(_)
-                        | ProtocolMsg::Forward(_) => {
-                            to_batching += 1;
-                            let _ = batch_tx.send((env.from, env.msg));
+                        | ProtocolMsg::Forward(_)) => {
+                            // Shed policy, cheapest loss first: above
+                            // the high-water mark drop retransmissions
+                            // (the client retries anyway); at capacity
+                            // drop any client request. Consensus
+                            // traffic is never shed.
+                            if matches!(msg, ProtocolMsg::RequestBroadcast(_))
+                                && batch_tx.len() >= high_water
+                            {
+                                shed_retransmits += 1;
+                            } else {
+                                match batch_tx.try_send((env.from, msg)) {
+                                    Ok(()) => to_batching += 1,
+                                    Err(TrySendError::Full(_)) => shed_full += 1,
+                                    Err(TrySendError::Disconnected(_)) => {}
+                                }
+                            }
                         }
                         msg => {
                             to_consensus += 1;
-                            let _ = cons_tx.send(ConsensusJob::Deliver { from: env.from, msg });
+                            cons_tx.send(ConsensusJob::Deliver { from: env.from, msg });
                         }
                     }
                 }
@@ -358,72 +498,96 @@ fn ingress_loop(
     let mut stats = decoder.stats();
     stats.to_batching = to_batching;
     stats.to_consensus = to_consensus;
+    stats.shed_retransmits = shed_retransmits;
+    stats.shed_full = shed_full;
+    stats.cpu_ns = thread_cpu_ns();
     stats
 }
 
 // ------------------------------------------------------------ batching
 
-#[allow(clippy::too_many_arguments)]
-fn batching_loop(
+struct BatchingDeps {
     shared: Arc<ClusterShared>,
     halt: Arc<AtomicBool>,
-    batch_rx: Receiver<(NodeId, ProtocolMsg)>,
-    cons_tx: Sender<ConsensusJob>,
+    batch_rx: BoundedReceiver<(NodeId, ProtocolMsg)>,
+    cons_tx: Gauged<ConsensusJob>,
     probe: Arc<ReplicaProbe>,
     crypto: Option<CryptoProvider>,
     batch_size: usize,
     cut_delay: std::time::Duration,
     n: usize,
-) -> BatchingStats {
+    session: Arc<Mutex<SessionTable>>,
+    workers: usize,
+    defer_depth: u64,
+    id: ReplicaId,
+}
+
+fn batching_loop(deps: BatchingDeps) -> BatchingStats {
+    let BatchingDeps {
+        shared,
+        halt,
+        batch_rx,
+        cons_tx,
+        probe,
+        crypto,
+        batch_size,
+        cut_delay,
+        n,
+        session,
+        workers,
+        defer_depth,
+        id,
+    } = deps;
     let mut stats = BatchingStats::default();
     let mut batcher = Batcher::new(batch_size);
     let mut deadline: Option<Instant> = None;
-    let mut sig_scratch: Vec<u8> = Vec::new();
+    let mut pool = crypto.map(|c| AdmissionPool::new(c, n, workers, id.0));
     let mut disconnected = false;
+    let mut chunk: Vec<(NodeId, ProtocolMsg)> = Vec::with_capacity(ADMIT_CHUNK);
+    let mut verify_set: Vec<ClientRequest> = Vec::with_capacity(ADMIT_CHUNK);
+    let mut chunk_seen: HashSet<(u32, u64)> = HashSet::with_capacity(ADMIT_CHUNK);
     loop {
-        let wait = match deadline {
-            Some(d) => d.saturating_duration_since(Instant::now()).min(TICK),
-            None => TICK,
-        };
-        match batch_rx.recv_timeout(wait) {
-            Ok((from, msg)) => {
-                stats.requests_seen += 1;
-                if probe.is_primary() {
-                    let req = match msg {
-                        ProtocolMsg::Request(r)
-                        | ProtocolMsg::RequestBroadcast(r)
-                        | ProtocolMsg::Forward(r) => r,
-                        // Ingress only routes client traffic here, but a
-                        // stray message is relayed rather than lost.
-                        other => {
-                            stats.relayed += 1;
-                            let _ = cons_tx.send(ConsensusJob::Deliver { from, msg: other });
-                            continue;
+        // Backpressure valve: while the consensus queue is deep, stop
+        // pulling admissions — the bounded batch queue fills up and
+        // ingress starts shedding, so overload is absorbed at the edge
+        // instead of ballooning the consensus queue.
+        if cons_tx.gauge.depth() > defer_depth && !disconnected && !winding_down(&shared, &halt) {
+            stats.deferrals += 1;
+            std::thread::sleep(DEFER_PAUSE);
+        } else {
+            let wait = match deadline {
+                Some(d) => d.saturating_duration_since(Instant::now()).min(TICK),
+                None => TICK,
+            };
+            match batch_rx.recv_timeout(wait) {
+                Ok(item) => {
+                    chunk.push(item);
+                    while chunk.len() < ADMIT_CHUNK {
+                        match batch_rx.try_recv() {
+                            Some(item) => chunk.push(item),
+                            None => break,
                         }
-                    };
-                    if admit(&crypto, &mut sig_scratch, n, &req) {
-                        // Warm the digest cache here, off the consensus
-                        // thread (the clone inside the batch shares it).
-                        let _ = req.digest();
-                        if let Some(batch) = batcher.push(req) {
-                            stats.batches_cut += 1;
-                            let _ = cons_tx.send(ConsensusJob::LocalBatch(batch));
-                            deadline = None;
-                        } else if deadline.is_none() {
-                            deadline = Some(Instant::now() + cut_delay);
-                        }
-                    } else {
-                        stats.rejected_sigs += 1;
                     }
-                } else {
-                    // Not the primary: relay so the automaton's forward
-                    // path and failure-detection timers stay exact.
-                    stats.relayed += 1;
-                    let _ = cons_tx.send(ConsensusJob::Deliver { from, msg });
                 }
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => disconnected = true,
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            if !chunk.is_empty() {
+                admit_chunk(
+                    &shared,
+                    &probe,
+                    &session,
+                    &cons_tx,
+                    &mut pool,
+                    &mut batcher,
+                    &mut deadline,
+                    cut_delay,
+                    &mut stats,
+                    &mut chunk,
+                    &mut verify_set,
+                    &mut chunk_seen,
+                );
+            }
         }
         // Cut triggers: the delay expired, primaryship moved away while
         // requests were pending, or the stage is winding down. The
@@ -437,7 +601,7 @@ fn batching_loop(
         if cut {
             if let Some(batch) = batcher.flush() {
                 stats.batches_cut += 1;
-                let _ = cons_tx.send(ConsensusJob::LocalBatch(batch));
+                cons_tx.send(ConsensusJob::LocalBatch(batch));
             }
             deadline = None;
         }
@@ -445,31 +609,125 @@ fn batching_loop(
             break;
         }
     }
+    if let Some(pool) = pool {
+        stats.admission_cpu_ns = pool.shutdown();
+    }
+    let (queue_peak, queue_enqueued) = batch_rx.occupancy();
+    stats.queue_peak = queue_peak;
+    stats.queue_enqueued = queue_enqueued;
+    stats.cpu_ns = thread_cpu_ns();
     stats
 }
 
-/// Admission control for the primary's batch path: the runtime verifies
-/// the client signature (when the cluster authenticates clients) before
-/// the request can enter a locally cut batch — mirroring Figure 3
-/// Line 14, but pipelined off the consensus thread.
-fn admit(
-    crypto: &Option<CryptoProvider>,
-    scratch: &mut Vec<u8>,
-    n: usize,
-    req: &ClientRequest,
-) -> bool {
-    let Some(crypto) = crypto else { return true };
-    let Some(sig) = &req.signature else { return false };
-    scratch.clear();
-    ClientRequest::write_signing_bytes(scratch, req.client, req.req_id, &req.op);
-    crypto.verify_from(NodeId::Client(req.client).global_index(n), scratch, sig)
+/// Processes one drained chunk of client traffic: session dedup,
+/// sharded signature verification, then batch insertion — the order
+/// matters (dedup before the expensive verify; watermarks only after
+/// the verify passed).
+#[allow(clippy::too_many_arguments)]
+fn admit_chunk(
+    shared: &Arc<ClusterShared>,
+    probe: &ReplicaProbe,
+    session: &Mutex<SessionTable>,
+    cons_tx: &Gauged<ConsensusJob>,
+    pool: &mut Option<AdmissionPool>,
+    batcher: &mut Batcher,
+    deadline: &mut Option<Instant>,
+    cut_delay: std::time::Duration,
+    stats: &mut BatchingStats,
+    chunk: &mut Vec<(NodeId, ProtocolMsg)>,
+    verify_set: &mut Vec<ClientRequest>,
+    chunk_seen: &mut HashSet<(u32, u64)>,
+) {
+    stats.requests_seen += chunk.len() as u64;
+    let now_ns = shared.now().0;
+    let primary = probe.is_primary();
+    verify_set.clear();
+    chunk_seen.clear();
+    for (from, msg) in chunk.drain(..) {
+        if !primary {
+            // Not the primary: serve exact retries straight from the
+            // reply cache; relay everything else so the automaton's
+            // forward path and failure-detection timers stay exact.
+            if let ProtocolMsg::Request(r)
+            | ProtocolMsg::RequestBroadcast(r)
+            | ProtocolMsg::Forward(r) = &msg
+            {
+                let cached =
+                    session.lock().expect("session table poisoned").replay(r.client, r.req_id);
+                if let Some(frame) = cached {
+                    stats.cache_replies_sent += 1;
+                    shared.hub.send(NodeId::Client(r.client), frame);
+                    continue;
+                }
+            }
+            stats.relayed += 1;
+            cons_tx.send(ConsensusJob::Deliver { from, msg });
+            continue;
+        }
+        let req = match msg {
+            ProtocolMsg::Request(r)
+            | ProtocolMsg::RequestBroadcast(r)
+            | ProtocolMsg::Forward(r) => r,
+            // Ingress only routes client traffic here, but a stray
+            // message is relayed rather than lost.
+            other => {
+                stats.relayed += 1;
+                cons_tx.send(ConsensusJob::Deliver { from, msg: other });
+                continue;
+            }
+        };
+        let verdict = session
+            .lock()
+            .expect("session table poisoned")
+            .classify(req.client, req.req_id, now_ns);
+        match verdict {
+            Admit::Fresh => {
+                // The same request may appear twice in one chunk (a
+                // Request racing its own broadcast) — verify it once.
+                if chunk_seen.insert((req.client.0, req.req_id)) {
+                    verify_set.push(req);
+                }
+            }
+            Admit::ReplyCached(frame) => {
+                stats.cache_replies_sent += 1;
+                shared.hub.send(NodeId::Client(req.client), frame);
+            }
+            // Counted inside the session table.
+            Admit::DuplicateInFlight | Admit::Stale => {}
+        }
+    }
+    if verify_set.is_empty() {
+        return;
+    }
+    let verdicts = match pool.as_mut() {
+        Some(pool) => pool.verify(verify_set),
+        None => vec![true; verify_set.len()],
+    };
+    let mut table = session.lock().expect("session table poisoned");
+    for (req, ok) in verify_set.drain(..).zip(verdicts) {
+        if !ok {
+            stats.rejected_sigs += 1;
+            continue;
+        }
+        table.note_enqueued(req.client, req.req_id, now_ns);
+        // Warm the digest cache here, off the consensus thread (the
+        // clone inside the batch shares it).
+        let _ = req.digest();
+        if let Some(batch) = batcher.push(req) {
+            stats.batches_cut += 1;
+            cons_tx.send(ConsensusJob::LocalBatch(batch));
+            *deadline = None;
+        } else if deadline.is_none() {
+            *deadline = Some(Instant::now() + cut_delay);
+        }
+    }
 }
 
 // ----------------------------------------------------------- consensus
 
 struct ConsensusCtx {
     shared: Arc<ClusterShared>,
-    reply_tx: Sender<(ClientId, ProtocolMsg)>,
+    reply_tx: Gauged<(ClientId, ProtocolMsg)>,
     recycle_tx: Sender<Arc<Batch>>,
     probe: Arc<ReplicaProbe>,
     replica: Box<PoeReplica>,
@@ -514,7 +772,7 @@ impl ConsensusCtx {
         match action {
             Action::Send { to: NodeId::Client(c), msg } => {
                 // Replies are encoded and delivered by the egress stage.
-                let _ = self.reply_tx.send((c, msg));
+                self.reply_tx.send((c, msg));
             }
             Action::Send { to, msg } => {
                 let frame = encode_frame(&mut self.scratch, self.my_node, msg);
@@ -547,11 +805,13 @@ impl ConsensusCtx {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn consensus_loop(
     shared: Arc<ClusterShared>,
     halt: Arc<AtomicBool>,
     cons_rx: Receiver<ConsensusJob>,
-    reply_tx: Sender<(ClientId, ProtocolMsg)>,
+    gauge: Arc<DepthGauge>,
+    reply_tx: Gauged<(ClientId, ProtocolMsg)>,
     recycle_tx: Sender<Arc<Batch>>,
     probe: Arc<ReplicaProbe>,
     replica: Box<PoeReplica>,
@@ -580,11 +840,15 @@ fn consensus_loop(
         let wait = ctx.wheel.wait_budget(ctx.shared.now(), TICK);
         match cons_rx.recv_timeout(wait) {
             Ok(job) => {
+                gauge.dec();
                 handle(&mut ctx, job);
                 // Opportunistic burst drain amortizes wakeups under load.
                 for _ in 0..128 {
                     match cons_rx.try_recv() {
-                        Ok(job) => handle(&mut ctx, job),
+                        Ok(job) => {
+                            gauge.dec();
+                            handle(&mut ctx, job);
+                        }
                         Err(_) => break,
                     }
                 }
@@ -602,6 +866,8 @@ fn consensus_loop(
         }
     }
     ctx.probe.publish(&ctx.replica);
+    ctx.stats.queue_peak = gauge.peak();
+    ctx.stats.cpu_ns = thread_cpu_ns();
     (ctx.stats, ctx.replica)
 }
 
@@ -618,7 +884,9 @@ fn egress_loop(
     shared: Arc<ClusterShared>,
     halt: Arc<AtomicBool>,
     reply_rx: Receiver<(ClientId, ProtocolMsg)>,
+    gauge: Arc<DepthGauge>,
     id: ReplicaId,
+    session: Arc<Mutex<SessionTable>>,
 ) -> EgressStats {
     let mut stats = EgressStats::default();
     let mut scratch = poe_kernel::codec::ScratchPool::new();
@@ -626,7 +894,20 @@ fn egress_loop(
     loop {
         match reply_rx.recv_timeout(TICK) {
             Ok((client, msg)) => {
+                gauge.dec();
+                let req_id = match &msg {
+                    ProtocolMsg::Reply(r) => Some(r.req_id),
+                    _ => None,
+                };
                 let frame = encode_frame(&mut scratch, my_node, msg);
+                // Record before sending: even if this client's endpoint
+                // is gone, a retry must hit the cache, not re-execute.
+                if let Some(req_id) = req_id {
+                    session
+                        .lock()
+                        .expect("session table poisoned")
+                        .record_reply(client, req_id, &frame);
+                }
                 if shared.hub.send(NodeId::Client(client), frame) {
                     stats.replies_sent += 1;
                 } else {
@@ -641,5 +922,7 @@ fn egress_loop(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    stats.queue_peak = gauge.peak();
+    stats.cpu_ns = thread_cpu_ns();
     stats
 }

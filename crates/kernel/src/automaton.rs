@@ -270,6 +270,11 @@ pub trait ReplicaAutomaton: Send {
 
     /// Protocol name for reports.
     fn protocol_name(&self) -> &'static str;
+
+    /// The concrete automaton behind the trait object — the escape
+    /// hatch for runtime-side inspection of protocol-specific state
+    /// (e.g. repair counters in recovery tests).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// A client-side automaton: submits requests, collects replies,

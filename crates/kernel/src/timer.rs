@@ -36,6 +36,12 @@ pub enum TimerKind {
     /// current repair phase (probe, missing chunks, or tail) with
     /// exponential backoff and source rotation.
     Repair,
+    /// A responder whose repair-serving budget ran dry arms this to
+    /// refill on an idle tick: budgets normally refill when a new
+    /// checkpoint stabilizes, but a repair that starts after client
+    /// traffic fully drains would otherwise stall until traffic
+    /// resumes (no new checkpoints → no refills).
+    RepairBudget,
 }
 
 /// Bookkeeping for pending timers on the runtime side.

@@ -18,10 +18,24 @@ use poe_kernel::wire::WireBytes;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A contiguous block of client ids sharing one inbound queue.
+struct ClientGroup {
+    /// First client id of the block.
+    base: u32,
+    /// One past the last client id.
+    end: u32,
+    tx: Sender<WireBytes>,
+}
+
 /// A shared message hub connecting all nodes of one cluster.
 #[derive(Clone, Default)]
 pub struct InprocHub {
     inner: Arc<RwLock<HashMap<NodeId, Sender<WireBytes>>>>,
+    /// Client-id ranges multiplexed onto shared queues (open-loop
+    /// drivers simulate 10⁵–10⁶ sessions; registering each one in the
+    /// map would cost memory per session for endpoints that all drain
+    /// into the same thread anyway). Exact registrations win.
+    groups: Arc<RwLock<Vec<ClientGroup>>>,
 }
 
 impl InprocHub {
@@ -38,6 +52,24 @@ impl InprocHub {
         rx
     }
 
+    /// Registers the client-id block `base .. base + count` onto one
+    /// shared queue: anything sent to any client in the range lands on
+    /// the returned receiver. An exact [`InprocHub::register`] entry
+    /// for an id in the range takes precedence; overlapping groups
+    /// resolve to the earliest registration.
+    pub fn register_client_group(&self, base: u32, count: u32) -> Receiver<WireBytes> {
+        assert!(count >= 1, "empty client group");
+        let (tx, rx) = unbounded();
+        self.groups.write().push(ClientGroup { base, end: base + count, tx });
+        rx
+    }
+
+    /// Removes the client group starting at `base` (subsequent sends to
+    /// its range fail unless covered by another registration).
+    pub fn deregister_client_group(&self, base: u32) {
+        self.groups.write().retain(|g| g.base != base);
+    }
+
     /// Removes a node (subsequent sends to it fail).
     pub fn deregister(&self, node: NodeId) {
         self.inner.write().remove(&node);
@@ -46,11 +78,21 @@ impl InprocHub {
     /// Sends an encoded frame to `to`. Returns false if the node is
     /// unknown or its receiver was dropped.
     pub fn send(&self, to: NodeId, frame: WireBytes) -> bool {
-        let guard = self.inner.read();
-        match guard.get(&to) {
-            Some(tx) => tx.send(frame).is_ok(),
-            None => false,
+        {
+            let guard = self.inner.read();
+            if let Some(tx) = guard.get(&to) {
+                return tx.send(frame).is_ok();
+            }
         }
+        if let NodeId::Client(c) = to {
+            let groups = self.groups.read();
+            for g in groups.iter() {
+                if (g.base..g.end).contains(&c.0) {
+                    return g.tx.send(frame).is_ok();
+                }
+            }
+        }
+        false
     }
 
     /// Delivers one already-encoded frame to every *replica* except
@@ -160,6 +202,39 @@ mod tests {
         let _rx1 = hub.register(r(1));
         hub.broadcast(r(0), &frame(b"x"));
         assert!(rx0.try_recv().is_err(), "sender must not hear its own broadcast");
+    }
+
+    #[test]
+    fn client_group_multiplexes_a_range() {
+        let hub = InprocHub::new();
+        let rx = hub.register_client_group(100, 3);
+        assert!(hub.send(NodeId::Client(ClientId(100)), frame(&[0])));
+        assert!(hub.send(NodeId::Client(ClientId(102)), frame(&[2])));
+        assert!(!hub.send(NodeId::Client(ClientId(103)), frame(&[3])), "outside the range");
+        assert!(!hub.send(NodeId::Client(ClientId(99)), frame(&[9])), "below the range");
+        let got: Vec<u8> = (0..2).map(|_| rx.recv().unwrap()[0]).collect();
+        assert_eq!(got, vec![0, 2]);
+        hub.deregister_client_group(100);
+        assert!(!hub.send(NodeId::Client(ClientId(100)), frame(&[0])));
+    }
+
+    #[test]
+    fn exact_registration_beats_the_group() {
+        let hub = InprocHub::new();
+        let group_rx = hub.register_client_group(0, 10);
+        let exact_rx = hub.register(NodeId::Client(ClientId(5)));
+        assert!(hub.send(NodeId::Client(ClientId(5)), frame(&[5])));
+        assert_eq!(&exact_rx.recv().unwrap()[..], &[5]);
+        assert!(group_rx.try_recv().is_err(), "the exact endpoint won");
+    }
+
+    #[test]
+    fn group_receivers_are_not_replica_broadcast_targets() {
+        let hub = InprocHub::new();
+        let group_rx = hub.register_client_group(0, 1000);
+        let _r1 = hub.register(r(1));
+        assert_eq!(hub.broadcast(r(0), &frame(b"propose")), 1, "replicas only");
+        assert!(group_rx.try_recv().is_err());
     }
 
     #[test]

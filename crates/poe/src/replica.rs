@@ -172,6 +172,10 @@ pub struct RepairStats {
     /// Repair requests dropped because the per-view serving budget was
     /// exhausted (the rate limit protecting normal-case consensus).
     pub throttled: u64,
+    /// Budget refills granted by the idle tick rather than a new stable
+    /// checkpoint — the liveness valve for repairs that start after
+    /// client traffic has fully drained.
+    pub idle_refills: u64,
 }
 
 /// Requester-side state of an in-progress repair (state transfer).
@@ -271,6 +275,9 @@ pub struct PoeReplica {
     /// (refilled on checkpoint stability and view installation). Serving
     /// catch-up traffic must not starve normal-case consensus.
     repair_tokens: u32,
+    /// Whether the idle-refill timer is armed (set on the first throttle
+    /// after the budget runs dry; cleared when any refill lands).
+    repair_refill_armed: bool,
     /// Responder-side cached checkpoint image.
     repair_cache: Option<RepairImageCache>,
     repair_stats: RepairStats,
@@ -324,6 +331,7 @@ impl PoeReplica {
             repair: None,
             peer_checkpoints: BTreeMap::new(),
             repair_tokens,
+            repair_refill_armed: false,
             repair_cache: None,
             repair_stats: RepairStats::default(),
         }
@@ -378,6 +386,7 @@ impl PoeReplica {
             repair: None,
             peer_checkpoints: BTreeMap::new(),
             repair_tokens,
+            repair_refill_armed: false,
             repair_cache: None,
             repair_stats: RepairStats::default(),
         }
@@ -1061,7 +1070,7 @@ impl PoeReplica {
         // the rate limit is per checkpoint interval, so a recovering
         // peer makes steady progress while normal-case consensus always
         // keeps the lion's share of this replica's bandwidth.
-        self.repair_tokens = self.cfg.repair_budget_chunks;
+        self.refill_repair_budget(out);
         out.notify(Notification::CheckpointStable { seq });
         self.drain_proposals(out);
     }
@@ -1140,13 +1149,36 @@ impl PoeReplica {
     }
 
     /// Spends one serving token, counting the drop when none are left.
-    fn take_repair_token(&mut self) -> bool {
+    ///
+    /// The first throttle after the budget runs dry arms the idle-refill
+    /// timer: refills normally ride on checkpoint stabilization, but
+    /// when a repair starts after client traffic has fully drained no
+    /// new checkpoints form, so without this valve the requester's
+    /// retries would bounce off an empty bucket forever. The timer is
+    /// armed once (not re-armed per throttle — requester retries faster
+    /// than the refill period would push the deadline out indefinitely)
+    /// and cleared by whichever refill lands first.
+    fn take_repair_token(&mut self, out: &mut Outbox) -> bool {
         if self.repair_tokens == 0 {
             self.repair_stats.throttled += 1;
+            if !self.repair_refill_armed {
+                self.repair_refill_armed = true;
+                out.set_timer(TimerKind::RepairBudget, self.cfg.repair_retry_timeout(0));
+            }
             return false;
         }
         self.repair_tokens -= 1;
         true
+    }
+
+    /// Refills the serving budget to the configured cap and disarms the
+    /// idle-refill timer (it only backstops the checkpoint refills).
+    fn refill_repair_budget(&mut self, out: &mut Outbox) {
+        self.repair_tokens = self.cfg.repair_budget_chunks;
+        if self.repair_refill_armed {
+            self.repair_refill_armed = false;
+            out.cancel_timer(TimerKind::RepairBudget);
+        }
     }
 
     /// Builds (or reuses) the serialized image + manifest for `stable`.
@@ -1196,7 +1228,7 @@ impl PoeReplica {
         match kind {
             StateRequestKind::Manifest => {
                 let Some(stable) = self.stable_seq else { return };
-                if !self.ensure_repair_cache(stable) || !self.take_repair_token() {
+                if !self.ensure_repair_cache(stable) || !self.take_repair_token(out) {
                     return;
                 }
                 let manifest = self.repair_cache.as_ref().expect("just built").manifest;
@@ -1211,7 +1243,7 @@ impl PoeReplica {
                 if self.repair_cache.as_ref().is_none_or(|c| c.manifest.stable != stable) {
                     return;
                 }
-                if !self.take_repair_token() {
+                if !self.take_repair_token(out) {
                     return;
                 }
                 let cache = self.repair_cache.as_ref().expect("checked");
@@ -1236,7 +1268,7 @@ impl PoeReplica {
                 );
             }
             StateRequestKind::Tail { after } => {
-                if !self.take_repair_token() {
+                if !self.take_repair_token(out) {
                     return;
                 }
                 let mut entries = Vec::new();
@@ -1965,7 +1997,7 @@ impl PoeReplica {
             out.cancel_timer(TimerKind::RequestProgress(d));
         }
         // Per-view refill of the repair-serving budget.
-        self.repair_tokens = self.cfg.repair_budget_chunks;
+        self.refill_repair_budget(out);
         out.notify(Notification::ViewChanged { view: w });
         let stashed = std::mem::take(&mut self.stashed);
         for (from, msg) in stashed {
@@ -2044,6 +2076,13 @@ impl PoeReplica {
                 self.start_view_change(target.next(), out);
             }
             TimerKind::Repair => self.repair_retry(out),
+            TimerKind::RepairBudget => {
+                // Idle refill: grant a fresh budget so a repair that
+                // started after traffic drained keeps making progress.
+                self.repair_refill_armed = false;
+                self.repair_tokens = self.cfg.repair_budget_chunks;
+                self.repair_stats.idle_refills += 1;
+            }
             _ => {}
         }
     }
@@ -2080,5 +2119,9 @@ impl ReplicaAutomaton for PoeReplica {
 
     fn protocol_name(&self) -> &'static str {
         "poe"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }

@@ -532,6 +532,10 @@ mod tests {
         fn protocol_name(&self) -> &'static str {
             "chatter"
         }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
     }
 
     fn chatter_sim(n: usize, mode: DeliveryMode) -> Simulator {

@@ -4,7 +4,7 @@
 //! converges byte-identically with the cluster, plus a seeded chaos
 //! sweep that randomizes fault schedules across checkpoint boundaries.
 
-use poe_consensus::SupportMode;
+use poe_consensus::{PoeReplica, SupportMode};
 use poe_crypto::Digest;
 use poe_kernel::ids::{NodeId, ReplicaId, SeqNum};
 use poe_kernel::time::{Duration, Time};
@@ -120,6 +120,70 @@ fn repair_run_is_deterministic() {
     let (trace_b, ledger_b) = run(7);
     assert_eq!(ledger_a, ledger_b);
     assert_eq!(trace_a, trace_b, "same seed must replay the repair identically");
+}
+
+/// Regression for the repair-budget liveness edge: serving budgets used
+/// to refill only when a *new* checkpoint stabilized, so a repair that
+/// started as client traffic drained exhausted the responders' buckets
+/// and stalled until traffic resumed. The idle-refill timer
+/// (`TimerKind::RepairBudget`, armed on the first throttle) now grants
+/// a fresh budget after an idle tick, so catch-up completes against a
+/// fully quiesced cluster.
+#[test]
+fn repair_completes_after_traffic_drains_via_idle_refill() {
+    let mut cfg = recovery_cfg(SupportMode::Threshold);
+    // A single-token budget over a many-chunk image: the repair needs
+    // far more tokens than the final checkpoint refill granted, so it
+    // can only finish through idle refills. Zero-payload values keep
+    // the image (and the test) small; the short repair timeout keeps
+    // the retry backoff from dominating the run.
+    cfg.requests_per_client = 60;
+    cfg.ycsb.zero_payload = true;
+    cfg.cluster = cfg
+        .cluster
+        .with_repair_budget_chunks(1)
+        .with_repair_chunk_bytes(512)
+        .with_repair_timeout(Duration::from_millis(100));
+    let total = cfg.total_requests();
+    let mut sim = build_poe_cluster(&cfg);
+    let victim = NodeId::Replica(ReplicaId(3));
+    sim.schedule_fault(sim.now() + Duration::from_millis(30), Fault::Isolate(victim));
+    // Hold the outage until the workload is nearly done, then
+    // reconnect: the final checkpoints' votes trigger the victim's
+    // repair, but by the time it fetches chunks the cluster is quiet —
+    // no new checkpoints, hence no checkpoint-driven refills.
+    while sim.completed_requests() < total * 80 / 100 {
+        sim.run_for(Duration::from_millis(10));
+        assert!(sim.now() < secs(60), "cluster stalled during the outage");
+    }
+    sim.schedule_fault(sim.now() + Duration::from_millis(1), Fault::Reconnect(victim));
+    assert!(sim.run_until_completed(total, secs(120)), "only {} done", sim.completed_requests());
+    // All client traffic has drained; the repair must finish anyway.
+    sim.run_for(Duration::from_secs(60));
+    if std::env::var("POE_DEBUG").is_ok() {
+        for i in 0..4 {
+            let st = sim.replica(i).as_any().downcast_ref::<PoeReplica>().unwrap().repair_stats();
+            eprintln!("r{i}: {:?} exec={:?}", st, sim.replica(i).execution_frontier());
+        }
+        for l in sim.trace().iter().rev().take(30).rev() {
+            eprintln!("{l}");
+        }
+    }
+    assert!(sim.stats().caught_up >= 1, "the victim must complete a repair");
+    assert_converged(&sim);
+    let (throttled, idle_refills) = (0..4)
+        .map(|i| {
+            let stats = sim
+                .replica(i)
+                .as_any()
+                .downcast_ref::<PoeReplica>()
+                .expect("poe replica")
+                .repair_stats();
+            (stats.throttled, stats.idle_refills)
+        })
+        .fold((0, 0), |(t, r), (dt, dr)| (t + dt, r + dr));
+    assert!(throttled >= 1, "the single-token budget must have throttled responders");
+    assert!(idle_refills >= 1, "the idle tick must have granted at least one refill");
 }
 
 // ------------------------------------------------------------- chaos

@@ -13,14 +13,19 @@
 //! * [`client`] — the client automaton: open/closed-loop submission,
 //!   reply-quorum collection (per-protocol policies), retransmission with
 //!   primary discovery, and Zyzzyva's client-side commit path.
+//! * [`openloop`] — the open-loop load engine: fixed-rate/Poisson
+//!   arrival schedules and the session multiplexer that drives 10⁵–10⁶
+//!   simulated client sessions from a few driver threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod openloop;
 pub mod ycsb;
 pub mod zipf;
 
 pub use client::{ClientConfig, ReplyPolicy, WorkloadClient};
+pub use openloop::{ArrivalGen, ArrivalProcess, MuxStats, OpSource, SessionMux, Signer};
 pub use ycsb::{YcsbConfig, YcsbWorkload};
 pub use zipf::Zipfian;

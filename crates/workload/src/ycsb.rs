@@ -14,6 +14,7 @@ use poe_store::op::{Op, Transaction};
 use poe_store::table::ycsb_key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -58,17 +59,24 @@ impl YcsbConfig {
 #[derive(Clone, Debug)]
 pub struct YcsbWorkload {
     cfg: YcsbConfig,
-    zipf: Zipfian,
+    zipf: Arc<Zipfian>,
     rng: StdRng,
     issued: u64,
 }
 
 impl YcsbWorkload {
-    /// Builds the workload from its configuration.
+    /// Builds the workload from its configuration. The Zipfian table
+    /// is shared process-wide across instances with the same keyspace,
+    /// so fanning out 10⁵–10⁶ client sessions pays setup once.
     pub fn new(cfg: YcsbConfig) -> YcsbWorkload {
-        let zipf = Zipfian::new(cfg.records, cfg.skew).scrambled();
+        let zipf = Zipfian::shared(cfg.records, cfg.skew, true);
         let rng = StdRng::seed_from_u64(cfg.seed);
         YcsbWorkload { cfg, zipf, rng, issued: 0 }
+    }
+
+    /// The shared key generator (for sharing assertions in tests).
+    pub fn key_generator(&self) -> &Arc<Zipfian> {
+        &self.zipf
     }
 
     /// The configuration in use.

@@ -39,6 +39,33 @@ impl Zipfian {
         self
     }
 
+    /// A process-wide shared generator over `0..n`: every caller with
+    /// the same `(n, theta, scrambled)` gets the *same* `Arc`, so a
+    /// 10⁵–10⁶-session open-loop fan-out pays the table setup once
+    /// (zeta is already memoized, but at a million records even the
+    /// per-instance constant work and per-session copies add up).
+    pub fn shared(n: usize, theta: f64, scrambled: bool) -> std::sync::Arc<Zipfian> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        type Cache = Mutex<HashMap<(usize, u64, bool), Arc<Zipfian>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(z) = cache.lock().expect("zipf cache").get(&(n, theta.to_bits(), scrambled)) {
+            return Arc::clone(z);
+        }
+        // Build outside the lock: zeta at 10⁶ records is O(n) powf
+        // calls and must not stall other keyspaces' lookups.
+        let built =
+            if scrambled { Zipfian::new(n, theta).scrambled() } else { Zipfian::new(n, theta) };
+        Arc::clone(
+            cache
+                .lock()
+                .expect("zipf cache")
+                .entry((n, theta.to_bits(), scrambled))
+                .or_insert_with(|| Arc::new(built)),
+        )
+    }
+
     /// The key-space size.
     pub fn n(&self) -> usize {
         self.n
@@ -186,5 +213,25 @@ mod tests {
         let z = Zipfian::new(1, 0.5);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn shared_instances_are_the_same_table() {
+        // Two sessions over the same keyspace share one generator …
+        let a = Zipfian::shared(4096, 0.9, true);
+        let b = Zipfian::shared(4096, 0.9, true);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same keyspace must share the table");
+        // … and draw identically to a privately built one.
+        let fresh = Zipfian::new(4096, 0.9).scrambled();
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut r1), fresh.sample(&mut r2));
+        }
+        // Different keyspace or mode ⇒ different table.
+        let c = Zipfian::shared(4097, 0.9, true);
+        let d = Zipfian::shared(4096, 0.9, false);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert!(!std::sync::Arc::ptr_eq(&a, &d));
     }
 }

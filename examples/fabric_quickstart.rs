@@ -6,6 +6,9 @@
 //! cargo run --release --example fabric_quickstart
 //! # bounded run (CI smoke):
 //! FABRIC_REQUESTS=200 cargo run --release --example fabric_quickstart
+//! # open-loop mode: offer a fixed target rate instead of closed-loop
+//! # clients, and report the achieved rate + backpressure counters:
+//! FABRIC_TARGET_RPS=20000 cargo run --release --example fabric_quickstart
 //! ```
 //!
 //! Contrast with `examples/sim_cluster.rs`, which runs the same
@@ -14,7 +17,9 @@
 //! client threads exchanging encode-once shared frames in process.
 
 use proof_of_execution::consensus::SupportMode;
-use proof_of_execution::fabric::{run_fabric, FabricConfig, FabricReport};
+use proof_of_execution::fabric::{
+    run_fabric, run_open_loop, FabricConfig, FabricReport, OpenLoopConfig,
+};
 use std::time::Duration;
 
 fn configured(support: SupportMode) -> FabricConfig {
@@ -53,6 +58,24 @@ fn report_line(label: &str, r: &FabricReport) {
     if fell_behind > 0 {
         println!("{:<18} ⚠ {fell_behind} replica(s) fell behind the stable checkpoint", "");
     }
+    backpressure_line(r);
+}
+
+/// Backpressure visibility: what the bounded ingress→batching queue
+/// shed, how often batching deferred to a backed-up consensus stage,
+/// and the per-stage queue-depth peaks.
+fn backpressure_line(r: &FabricReport) {
+    let shed: u64 =
+        r.replicas.iter().map(|x| x.ingress.shed_full + x.ingress.shed_retransmits).sum();
+    let deferrals: u64 = r.replicas.iter().map(|x| x.batching.deferrals).sum();
+    let batch_peak = r.replicas.iter().map(|x| x.batching.queue_peak).max().unwrap_or(0);
+    let cons_peak = r.replicas.iter().map(|x| x.consensus.queue_peak).max().unwrap_or(0);
+    let reply_peak = r.replicas.iter().map(|x| x.egress.queue_peak).max().unwrap_or(0);
+    println!(
+        "{:<18} shed {shed}, deferrals {deferrals}, queue peaks: \
+         batch {batch_peak} / consensus {cons_peak} / reply {reply_peak}",
+        "",
+    );
 }
 
 fn run(label: &str, support: SupportMode) {
@@ -63,7 +86,53 @@ fn run(label: &str, support: SupportMode) {
     report_line(label, &report);
 }
 
+/// Open-loop mode: multiplexed sessions submit at `target_rps` on a
+/// Poisson clock regardless of how the cluster is doing — the way to
+/// actually saturate the pipeline (closed-loop offered load collapses
+/// with the cluster). See `benches/open_loop.rs` for the full sweep.
+fn open_loop(target_rps: f64) {
+    let mut cfg = OpenLoopConfig::new(FabricConfig::new(4, SupportMode::Threshold), target_rps);
+    cfg.sessions = 16_384;
+    cfg.warmup = Duration::from_millis(500);
+    cfg.measure = Duration::from_secs(2);
+    cfg.abandon_after = Duration::from_secs(1);
+    println!(
+        "PoE fabric cluster, open loop: n=4, f=1, {} sessions over {} drivers, \
+         offering {target_rps:.0} req/s (Poisson)\n",
+        cfg.sessions, cfg.drivers
+    );
+    let r = run_open_loop(&cfg, Duration::from_secs(120)).expect("open-loop run completes");
+    assert!(r.converged(), "replicas diverged under open-loop load");
+    println!(
+        "{:<18} offered {:>9.0} req/s  achieved {:>9.0} req/s  (ratio {:.2})   \
+         p50 {:>6} µs  p99 {:>6} µs",
+        "open loop (TS)",
+        r.target_rps,
+        r.achieved_rps,
+        r.completion_ratio(),
+        r.latency.p50_us,
+        r.latency.p99_us,
+    );
+    if let Some(rpspc) = r.requests_per_sec_per_core() {
+        println!(
+            "{:<18} {rpspc:.0} req/s/core ({:.2} replica-CPU-seconds, drivers excluded)",
+            "",
+            r.fabric.replica_cpu_secs()
+        );
+    }
+    let abandoned = r.mux.abandoned;
+    if abandoned > 0 {
+        println!("{:<18} {abandoned} requests shed by the cluster were abandoned (open loop never retries)", "");
+    }
+    backpressure_line(&r.fabric);
+}
+
 fn main() {
+    if let Ok(rate) = std::env::var("FABRIC_TARGET_RPS") {
+        let rate: f64 = rate.parse().expect("FABRIC_TARGET_RPS must be a number");
+        open_loop(rate);
+        return;
+    }
     let total = configured(SupportMode::Threshold).total_requests();
     println!(
         "PoE fabric cluster: n=4, f=1, {total} requests, batch 20, \
