@@ -16,7 +16,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use poe_consensus::SupportMode;
-use poe_fabric::{run_fabric, FabricCluster, FabricConfig};
+use poe_crypto::CryptoMode;
+use poe_fabric::{run_fabric, FabricCluster, FabricConfig, TcpTransport};
 use std::time::Duration;
 
 const REQUESTS: u64 = 200;
@@ -31,6 +32,20 @@ fn fabric_config(support: SupportMode) -> FabricConfig {
 fn run(cfg: &FabricConfig) -> u64 {
     let report = run_fabric(cfg, Duration::from_secs(60)).expect("fabric run completes");
     assert!(report.converged(), "replicas diverged");
+    assert_eq!(report.completed_requests, REQUESTS);
+    report.completed_requests
+}
+
+/// Socket-substrate run: the identical cluster and workload, but every
+/// replica on its own TCP hub over a loopback mesh — real sockets,
+/// length-prefixed framing, supervised links.
+fn run_tcp(cfg: &FabricConfig) -> u64 {
+    let mut transport =
+        TcpTransport::loopback(&cfg.cluster, cfg.link_auth).expect("bind loopback mesh");
+    let report = FabricCluster::launch_with(cfg, &mut transport)
+        .run_to_completion(Duration::from_secs(60))
+        .expect("tcp fabric run completes");
+    assert!(report.converged(), "replicas diverged over TCP");
     assert_eq!(report.completed_requests, REQUESTS);
     report.completed_requests
 }
@@ -68,6 +83,26 @@ fn bench_fabric_throughput(c: &mut Criterion) {
         g.throughput(Throughput::Elements(REQUESTS));
         g.bench_function(BenchmarkId::new("throughput", label), |b| {
             b.iter(|| run(black_box(&cfg)))
+        });
+    }
+    // Transport × link-MAC A/B, same runner, same workload shape as
+    // `throughput/ts`: what the socket substrate costs over the in-proc
+    // hub, and what per-peer link MACs (which end encode-once frame
+    // sharing on broadcast — each peer gets its own tagged envelope)
+    // cost on each substrate.
+    let linkmac = fabric_config(SupportMode::Threshold).with_link_auth(CryptoMode::Cmac);
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function(BenchmarkId::new("throughput", "ts_linkmac"), |b| {
+        b.iter(|| run(black_box(&linkmac)))
+    });
+    for (label, link_auth) in [("ts_tcp", None), ("ts_tcp_linkmac", Some(CryptoMode::Cmac))] {
+        let mut cfg = fabric_config(SupportMode::Threshold);
+        if let Some(mode) = link_auth {
+            cfg = cfg.with_link_auth(mode);
+        }
+        g.throughput(Throughput::Elements(REQUESTS));
+        g.bench_function(BenchmarkId::new("throughput", label), |b| {
+            b.iter(|| run_tcp(black_box(&cfg)))
         });
     }
     let mut cfg = fabric_config(SupportMode::Threshold);

@@ -16,9 +16,20 @@
 //! 3. **Overload** — one run at 2× saturation: the pipeline must shed
 //!    visibly, stay within its queue/cache bounds, and still converge to
 //!    byte-identical history digests.
+//! 4. **Socket substrate** — the same engine over a loopback TCP mesh
+//!    ([`TcpTransport`]) at 50 % of the in-proc saturation rate (the
+//!    same offered load as the first refine point, so the inproc-vs-TCP
+//!    latency comparison reads row to row), then the identical point
+//!    with a scripted connection kill halfway into the measured window:
+//!    supervised reconnects must carry the run to byte-identical
+//!    digests while load keeps arriving. The kill point needs live
+//!    traffic *after* the reconnect — checkpoint-based repair is what
+//!    re-fills the tail the severed link lost, and its lag detector
+//!    only fires while peers keep proving newer checkpoints — which is
+//!    why the socket points sit below the knee rather than at it.
 //!
 //! Every point lands in `bench-results/open_loop_curve.csv`; a summary
-//! (saturation rate, req/s/core, refined latencies) in
+//! (saturation rate, req/s/core, refined latencies, the TCP points) in
 //! `bench-results/open_loop.json`. requests/sec/core divides completed
 //! requests by *replica-thread* CPU seconds (`/proc` per-thread
 //! accounting), so driver cost is excluded by construction.
@@ -27,7 +38,9 @@
 //! smoke; `POE_BENCH_OUT` redirects the output directory.
 
 use poe_consensus::SupportMode;
-use poe_fabric::{run_open_loop, FabricConfig, OpenLoopConfig, OpenLoopReport};
+use poe_fabric::{
+    run_open_loop, run_open_loop_with, FabricConfig, OpenLoopConfig, OpenLoopReport, TcpTransport,
+};
 use poe_workload::ArrivalProcess;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -77,7 +90,7 @@ struct Point {
     report: OpenLoopReport,
 }
 
-fn run_point(shape: &Shape, target_rps: f64) -> OpenLoopReport {
+fn point_config(shape: &Shape, target_rps: f64) -> OpenLoopConfig {
     let mut cfg = OpenLoopConfig::new(FabricConfig::new(4, SupportMode::Threshold), target_rps);
     cfg.sessions = shape.sessions;
     cfg.drivers = shape.drivers;
@@ -86,8 +99,38 @@ fn run_point(shape: &Shape, target_rps: f64) -> OpenLoopReport {
     cfg.measure = shape.measure;
     cfg.abandon_after = shape.abandon;
     cfg.seed = SEED;
+    cfg
+}
+
+fn run_point(shape: &Shape, target_rps: f64) -> OpenLoopReport {
+    let cfg = point_config(shape, target_rps);
     let report = run_open_loop(&cfg, DEADLINE).expect("open-loop point completes");
     assert!(report.converged(), "replicas diverged at {target_rps} rps");
+    report
+}
+
+/// The same point over a loopback TCP mesh — real sockets under the
+/// open-loop engine. `kill_at` severs replica 1's links that far into
+/// the run (warmup included) while load keeps arriving: supervised
+/// reconnects and state transfer must still carry every replica to the
+/// identical committed history.
+fn run_point_tcp(shape: &Shape, target_rps: f64, kill_at: Option<Duration>) -> OpenLoopReport {
+    let cfg = point_config(shape, target_rps);
+    let mut transport =
+        TcpTransport::loopback(&cfg.fabric.cluster, cfg.fabric.link_auth).expect("bind loopback");
+    let killer = kill_at.map(|after| {
+        let hub = transport.replica_hubs()[1].clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(after);
+            hub.drop_links();
+        })
+    });
+    let report =
+        run_open_loop_with(&cfg, &mut transport, DEADLINE).expect("tcp open-loop point completes");
+    if let Some(k) = killer {
+        k.join().expect("kill timer");
+    }
+    assert!(report.converged(), "replicas diverged over TCP at {target_rps} rps");
     report
 }
 
@@ -220,8 +263,26 @@ fn main() {
         points.iter().filter_map(|p| p.report.requests_per_sec_per_core()).fold(0.0f64, f64::max);
     points.push(Point { phase: "overload", report: over });
 
+    // Phase 4 — the socket substrate: same engine, loopback TCP mesh,
+    // at the 50 % refine rate (safely below both knees); then the
+    // identical point with replica 1's links severed halfway through
+    // the measured window.
+    let tcp_rate = saturation_rps * 0.5;
+    let tcp = run_point_tcp(&shape, tcp_rate, None);
+    print_point("tcp", &tcp);
+    let tcp_json = json_point(&tcp);
+    points.push(Point { phase: "tcp", report: tcp });
+    let tcp_kill = run_point_tcp(&shape, tcp_rate, Some(shape.warmup + shape.measure / 2));
+    print_point("tcp_kill", &tcp_kill);
+    let reconnects: u64 =
+        tcp_kill.fabric.replicas.iter().flat_map(|r| r.links.iter()).map(|l| l.reconnects).sum();
+    assert!(reconnects >= 1, "scripted kill must force at least one supervised reconnect");
+    let tcp_kill_json = json_point(&tcp_kill);
+    points.push(Point { phase: "tcp_kill", report: tcp_kill });
+
     println!(
-        "fabric_poe/open_loop: saturation {:.0} req/s, best {:.0} req/s/core",
+        "fabric_poe/open_loop: saturation {:.0} req/s, best {:.0} req/s/core, \
+         tcp kill survived with {reconnects} reconnect(s)",
         saturation_rps, sat_rpspc
     );
 
@@ -246,7 +307,10 @@ fn main() {
         json.push_str(if i + 1 < refined.len() { ",\n" } else { "\n" });
     }
     json.push_str("  },\n");
-    let _ = write!(json, "  \"overload_2x\": {over_json}\n}}\n");
+    let _ = writeln!(json, "  \"overload_2x\": {over_json},");
+    let _ = writeln!(json, "  \"tcp\": {tcp_json},");
+    let _ = writeln!(json, "  \"tcp_kill\": {tcp_kill_json},");
+    let _ = write!(json, "  \"tcp_kill_reconnects\": {reconnects}\n}}\n");
     let json_path = dir.join("open_loop.json");
     match std::fs::write(&json_path, json) {
         Ok(()) => println!("wrote {}", json_path.display()),

@@ -15,6 +15,7 @@ use poe_kernel::automaton::{Action, ClientAutomaton, Event, Notification, Outbox
 use poe_kernel::codec::{decode_envelope_shared, ScratchPool};
 use poe_kernel::ids::NodeId;
 use poe_kernel::wire::WireBytes;
+use poe_net::Hub;
 use poe_workload::WorkloadClient;
 use std::sync::Arc;
 
@@ -27,8 +28,8 @@ pub(crate) struct ClientStats {
     pub latencies_ns: Vec<u64>,
 }
 
-pub(crate) fn client_loop(
-    shared: Arc<ClusterShared>,
+pub(crate) fn client_loop<H: Hub>(
+    shared: Arc<ClusterShared<H>>,
     rx: Receiver<WireBytes>,
     mut client: WorkloadClient,
 ) -> ClientStats {

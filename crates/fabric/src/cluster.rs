@@ -1,21 +1,24 @@
 //! [`FabricCluster`]: n replicas × four pipeline stages + YCSB client
-//! threads, wired over one [`poe_net::InprocHub`], with a deterministic
-//! three-phase shutdown (clients drain → replicas quiesce → stop/join).
+//! threads, wired over any [`Hub`] substrate (in-process channels or
+//! supervised TCP links, selected by a [`Transport`]), with a
+//! deterministic three-phase shutdown (clients drain → replicas
+//! quiesce → stop/join).
 
 use crate::client::{client_loop, ClientStats};
-use crate::runtime::ClusterShared;
+use crate::runtime::{ClusterCtl, ClusterShared, LinkAuth};
 use crate::session::SessionStats;
 use crate::stage::{
     BatchingStats, ConsensusStats, EgressStats, FabricTuning, ProbeSnapshot, ReplicaHandle,
     ReplicaJoin, ReplicaSpawn,
 };
+use crate::transport::{link_key_material, InprocTransport, Transport};
 use crate::IngressStats;
 use poe_consensus::{RepairStats, SupportMode};
 use poe_crypto::{CertScheme, CryptoMode, Digest, KeyMaterial};
 use poe_kernel::automaton::ReplicaAutomaton;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
-use poe_net::InprocHub;
+use poe_net::{Hub, InprocHub, LinkReport};
 use poe_workload::{ClientConfig, WorkloadClient, YcsbConfig, YcsbWorkload};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -49,6 +52,13 @@ pub struct FabricConfig {
     /// Pipeline runtime knobs (queue bounds, reply cache, admission
     /// parallelism) — protocol-invisible.
     pub tuning: FabricTuning,
+    /// Link authentication of replica→replica frames: `Some(mode)`
+    /// tags every consensus frame with a per-peer MAC (or signature)
+    /// in that mode and verifies it at ingress — the paper's
+    /// MAC-cluster trade-off. `None` (default) keeps the trusted-
+    /// channel model. Independent of `cluster.crypto_mode`, which
+    /// governs client request signatures.
+    pub link_auth: Option<CryptoMode>,
 }
 
 impl FabricConfig {
@@ -68,7 +78,14 @@ impl FabricConfig {
             client_outstanding: 4,
             ycsb: YcsbConfig::small(),
             tuning: FabricTuning::default(),
+            link_auth: None,
         }
+    }
+
+    /// Enables per-peer link authentication of replica frames.
+    pub fn with_link_auth(mut self, mode: CryptoMode) -> FabricConfig {
+        self.link_auth = (mode != CryptoMode::None).then_some(mode);
+        self
     }
 
     /// Total requests the clients will submit.
@@ -140,6 +157,10 @@ pub struct ReplicaReport {
     pub session: SessionStats,
     /// State-transfer counters (repairs run/served, budget throttling).
     pub repair: RepairStats,
+    /// Per-link supervision counters of this replica's hub (connects,
+    /// reconnects, frames/bytes, queue peaks, sheds). Empty on
+    /// link-less substrates like the in-process hub.
+    pub links: Vec<LinkReport>,
 }
 
 impl ReplicaReport {
@@ -243,11 +264,22 @@ impl FabricReport {
 
 /// A running wall-clock PoE cluster: all threads are live from
 /// [`FabricCluster::launch`] on; clients start submitting immediately.
-pub struct FabricCluster {
+///
+/// Generic over the [`Hub`] substrate: `FabricCluster<InprocHub>` (the
+/// default) wires every node through one in-process hub;
+/// `FabricCluster<TcpHub>` (via [`crate::TcpTransport`]) gives every
+/// node its own socket hub meshed over real TCP links.
+pub struct FabricCluster<H: Hub = InprocHub> {
     cfg: FabricConfig,
-    shared: Arc<ClusterShared>,
+    ctl: Arc<ClusterCtl>,
+    /// One shared runtime context per replica (its hub + the cluster
+    /// ctl). On the in-proc substrate the hubs are clones of one hub.
+    replica_shared: Vec<Arc<ClusterShared<H>>>,
+    /// Client-side hubs handed out by the transport, kept for shutdown.
+    client_hubs: Vec<H>,
     started: Instant,
     km: Arc<KeyMaterial>,
+    link_km: Option<Arc<KeyMaterial>>,
     /// `None` while a replica is crashed (its durable state is parked in
     /// `downed` until [`FabricCluster::restart_replica`]).
     replicas: Vec<Option<ReplicaHandle>>,
@@ -255,44 +287,74 @@ pub struct FabricCluster {
     clients: Vec<JoinHandle<ClientStats>>,
 }
 
-impl FabricCluster {
-    /// Builds key material, registers every node on a fresh hub, and
-    /// spawns all replica stage threads and client threads.
+impl FabricCluster<InprocHub> {
+    /// Builds key material, registers every node on a fresh in-process
+    /// hub, and spawns all replica stage threads and client threads.
     pub fn launch(cfg: &FabricConfig) -> FabricCluster {
-        let mut cluster = FabricCluster::launch_headless(cfg);
+        FabricCluster::launch_with(cfg, &mut InprocTransport::new())
+    }
+
+    /// Replicas only, on the in-process substrate.
+    #[cfg(test)]
+    pub(crate) fn launch_headless(cfg: &FabricConfig) -> FabricCluster {
+        FabricCluster::launch_headless_with(cfg, &mut InprocTransport::new())
+    }
+
+    /// The shared runtime context (on the in-proc substrate every node
+    /// shares one hub, so replica 0's handle serves a test harness as
+    /// "the" cluster hub).
+    #[cfg(test)]
+    pub(crate) fn shared(&self) -> Arc<ClusterShared<InprocHub>> {
+        self.replica_shared[0].clone()
+    }
+}
+
+impl<H: Hub> FabricCluster<H> {
+    /// [`FabricCluster::launch`] over an explicit transport (e.g.
+    /// [`crate::TcpTransport::loopback`] for a socket-substrate cluster
+    /// in one process).
+    pub fn launch_with<T: Transport<Hub = H>>(
+        cfg: &FabricConfig,
+        transport: &mut T,
+    ) -> FabricCluster<H> {
+        let mut cluster = FabricCluster::launch_headless_with(cfg, transport);
         let km = cluster.km.clone();
-        let shared = cluster.shared.clone();
+        let ctl = cluster.ctl.clone();
         let ccluster = &cfg.cluster;
-        cluster.clients = (0..cfg.n_clients)
-            .map(|c| {
-                let id = ClientId(c as u32);
-                let rx = shared.hub.register(NodeId::Client(id));
-                let mut ccfg = ClientConfig::matching(id, ccluster.n, ccluster.f, ccluster.nf())
-                    .with_outstanding(cfg.client_outstanding)
-                    .with_max_requests(cfg.requests_per_client)
-                    .with_retry(ccluster.client_timeout);
-                ccfg.sign = ccluster.crypto_mode != CryptoMode::None;
-                let source = YcsbWorkload::new(YcsbConfig {
-                    seed: ccluster.seed ^ (0xC0FFEE + c as u64),
-                    ..cfg.ycsb.clone()
-                });
-                let client = WorkloadClient::new(ccfg, km.client(c), Box::new(source));
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("client-{c}"))
-                    .spawn(move || client_loop(shared, rx, client))
-                    .expect("spawn client")
-            })
-            .collect();
+        for c in 0..cfg.n_clients {
+            let id = ClientId(c as u32);
+            let hub = transport.client_hub(c as u32, 1);
+            let rx = hub.register(NodeId::Client(id));
+            cluster.client_hubs.push(hub.clone());
+            let shared = ClusterShared::with_ctl(hub, ctl.clone());
+            let mut ccfg = ClientConfig::matching(id, ccluster.n, ccluster.f, ccluster.nf())
+                .with_outstanding(cfg.client_outstanding)
+                .with_max_requests(cfg.requests_per_client)
+                .with_retry(ccluster.client_timeout);
+            ccfg.sign = ccluster.crypto_mode != CryptoMode::None;
+            let source = YcsbWorkload::new(YcsbConfig {
+                seed: ccluster.seed ^ (0xC0FFEE + c as u64),
+                ..cfg.ycsb.clone()
+            });
+            let client = WorkloadClient::new(ccfg, km.client(c), Box::new(source));
+            let handle = std::thread::Builder::new()
+                .name(format!("client-{c}"))
+                .spawn(move || client_loop(shared, rx, client))
+                .expect("spawn client");
+            cluster.clients.push(handle);
+        }
         cluster
     }
 
     /// Replicas only — no client threads. The open-loop engine registers
-    /// its own driver endpoints (client groups) on the hub and submits
-    /// directly; with zero client handles, `run_to_completion`'s client
-    /// phase is trivially satisfied and the quiesce/join machinery is
-    /// reused as-is.
-    pub(crate) fn launch_headless(cfg: &FabricConfig) -> FabricCluster {
+    /// its own driver endpoints (client groups) on transport-provided
+    /// hubs and submits directly; with zero client handles,
+    /// `run_to_completion`'s client phase is trivially satisfied and the
+    /// quiesce/join machinery is reused as-is.
+    pub(crate) fn launch_headless_with<T: Transport<Hub = H>>(
+        cfg: &FabricConfig,
+        transport: &mut T,
+    ) -> FabricCluster<H> {
         let cluster = &cfg.cluster;
         let km = KeyMaterial::generate(
             cluster.n,
@@ -302,36 +364,52 @@ impl FabricCluster {
             cluster.cert_scheme,
             cluster.seed,
         );
-        let shared = ClusterShared::new(InprocHub::new());
+        let link_km = cfg.link_auth.map(|mode| link_key_material(cluster, mode));
+        let ctl = ClusterCtl::new();
         let started = Instant::now();
         // Replicas first: every replica endpoint must exist before the
         // first client request can be broadcast.
+        let replica_shared: Vec<Arc<ClusterShared<H>>> = (0..cluster.n)
+            .map(|i| {
+                ClusterShared::with_ctl(transport.replica_hub(ReplicaId(i as u32)), ctl.clone())
+            })
+            .collect();
         let replicas: Vec<Option<ReplicaHandle>> = (0..cluster.n)
             .map(|i| {
                 Some(ReplicaHandle::spawn(ReplicaSpawn {
-                    shared: shared.clone(),
+                    shared: replica_shared[i].clone(),
                     cluster: cluster.clone(),
                     support: cfg.support,
                     km: km.clone(),
                     id: ReplicaId(i as u32),
                     tuning: cfg.tuning.clone(),
+                    link_auth: link_auth_for(&link_km, i),
                 }))
             })
             .collect();
         FabricCluster {
             cfg: cfg.clone(),
-            shared,
+            ctl,
+            replica_shared,
+            client_hubs: Vec::new(),
             started,
             km,
+            link_km,
             replicas,
             downed: BTreeMap::new(),
             clients: Vec::new(),
         }
     }
 
-    /// The cluster-shared runtime context (hub + clock + stop flag).
-    pub(crate) fn shared(&self) -> Arc<ClusterShared> {
-        self.shared.clone()
+    /// The cluster control block (clock + stop flag) — for driver
+    /// threads that bring their own hubs.
+    pub(crate) fn ctl(&self) -> Arc<ClusterCtl> {
+        self.ctl.clone()
+    }
+
+    /// Registers a driver-owned client hub for teardown at shutdown.
+    pub(crate) fn adopt_client_hub(&mut self, hub: H) {
+        self.client_hubs.push(hub);
     }
 
     /// The cluster's key material (driver threads sign client requests
@@ -364,12 +442,13 @@ impl FabricCluster {
         let replica = Box::new((*join.replica).into_restarted());
         self.replicas[i] = Some(ReplicaHandle::spawn_with(
             ReplicaSpawn {
-                shared: self.shared.clone(),
+                shared: self.replica_shared[i].clone(),
                 cluster: self.cfg.cluster.clone(),
                 support: self.cfg.support,
                 km: self.km.clone(),
                 id: ReplicaId(i as u32),
                 tuning: self.cfg.tuning.clone(),
+                link_auth: link_auth_for(&self.link_km, i),
             },
             replica,
         ));
@@ -432,8 +511,10 @@ impl FabricCluster {
     /// — all loops are `recv_timeout`-bounded, so no join can hang on a
     /// blocked queue.
     pub fn shutdown(self) -> FabricReport {
-        self.shared.request_stop();
-        let FabricCluster { shared: _, started, replicas, downed, clients, .. } = self;
+        self.ctl.request_stop();
+        let FabricCluster {
+            replica_shared, client_hubs, started, replicas, downed, clients, ..
+        } = self;
         let mut threads_joined = 0;
         let mut latencies = Vec::new();
         let mut completed = 0;
@@ -453,7 +534,17 @@ impl FabricCluster {
                 None => downed.remove(&i).expect("crashed replica state parked"),
             };
             threads_joined += 4;
-            reports.push(report_replica(join));
+            let links = replica_shared[i].hub.link_reports();
+            reports.push(report_replica(join, links));
+        }
+        // Tear down the network substrate last: every stage thread is
+        // joined, so no send can race a closing socket. No-op on the
+        // in-process hub.
+        for hub in client_hubs {
+            hub.shutdown();
+        }
+        for shared in &replica_shared {
+            shared.hub.shutdown();
         }
         FabricReport {
             wall: started.elapsed(),
@@ -481,9 +572,17 @@ impl FabricCluster {
     }
 }
 
+/// The per-replica [`LinkAuth`] (disabled when no link key material).
+fn link_auth_for(link_km: &Option<Arc<KeyMaterial>>, i: usize) -> LinkAuth {
+    match link_km {
+        Some(km) => LinkAuth::new(km.replica(i)),
+        None => LinkAuth::disabled(),
+    }
+}
+
 /// Builds one replica's final report from its joined stage threads,
 /// auditing the committed chain end to end before it is reported.
-fn report_replica(join: ReplicaJoin) -> ReplicaReport {
+pub(crate) fn report_replica(join: ReplicaJoin, links: Vec<LinkReport>) -> ReplicaReport {
     let replica = &join.replica;
     replica.ledger().verify_chain().expect("ledger chain must verify");
     ReplicaReport {
@@ -499,6 +598,7 @@ fn report_replica(join: ReplicaJoin) -> ReplicaReport {
         egress: join.egress,
         session: join.session,
         repair: replica.repair_stats(),
+        links,
     }
 }
 

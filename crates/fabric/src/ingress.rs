@@ -36,6 +36,10 @@ pub struct IngressStats {
     /// Client requests shed because the batch queue was full (open-loop
     /// overload backpressure; consensus traffic is never shed).
     pub shed_full: u64,
+    /// Frames dropped by link-authentication verification (invalid
+    /// per-peer MAC/signature, or a consensus message claiming a client
+    /// sender). Always 0 with link auth disabled.
+    pub auth_failures: u64,
     /// On-CPU nanoseconds of the ingress thread (whole stage lifetime).
     pub cpu_ns: u64,
     /// Batch containers recycled back into the pool.

@@ -77,7 +77,9 @@
 
 pub mod cluster;
 pub mod ingress;
+pub mod node;
 pub mod openloop;
+pub mod transport;
 pub mod wheel;
 
 mod admission;
@@ -95,7 +97,14 @@ pub use cluster::{
     ReplicaReport,
 };
 pub use ingress::{IngressDecoder, IngressStats};
-pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use node::{NodeProgress, ReplicaNode};
+pub use openloop::{
+    drive_external, run_open_loop, run_open_loop_with, DriveReport, OpenLoopConfig, OpenLoopReport,
+};
+pub use poe_net::LinkReport;
 pub use session::SessionStats;
 pub use stage::{BatchingStats, ConsensusStats, EgressStats, FabricTuning};
+pub use transport::{
+    cluster_instance_id, link_key_material, InprocTransport, TcpTransport, Transport,
+};
 pub use wheel::TimerWheel;

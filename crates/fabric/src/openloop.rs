@@ -28,7 +28,8 @@
 //! `shed_retransmits` / `shed_full` counters and the mux's `abandoned`.
 
 use crate::cluster::{FabricCluster, FabricError, FabricReport, LatencySummary};
-use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::runtime::{encode_frame, ClusterCtl, ClusterShared, TICK};
+use crate::transport::{cluster_instance_id, InprocTransport, Transport};
 use crate::FabricConfig;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use poe_crypto::ed25519::Signature;
@@ -39,7 +40,9 @@ use poe_kernel::messages::ProtocolMsg;
 use poe_kernel::request::ClientRequest;
 use poe_kernel::time::Time;
 use poe_kernel::wire::WireBytes;
+use poe_net::{Hub, TcpConfig, TcpHub};
 use poe_workload::{ArrivalGen, ArrivalProcess, MuxStats, SessionMux, YcsbConfig, YcsbWorkload};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -164,6 +167,17 @@ pub fn run_open_loop(
     cfg: &OpenLoopConfig,
     deadline: Duration,
 ) -> Result<OpenLoopReport, FabricError> {
+    run_open_loop_with(cfg, &mut InprocTransport::new(), deadline)
+}
+
+/// [`run_open_loop`] over an explicit transport: each driver's client
+/// group registers on a transport-provided hub, so the same engine
+/// drives the in-process substrate or a real TCP mesh.
+pub fn run_open_loop_with<H: Hub, T: Transport<Hub = H>>(
+    cfg: &OpenLoopConfig,
+    transport: &mut T,
+    deadline: Duration,
+) -> Result<OpenLoopReport, FabricError> {
     assert!(cfg.drivers >= 1, "need at least one driver");
     assert!(cfg.sessions >= cfg.drivers as u32, "fewer sessions than drivers");
     let signed = cfg.fabric.cluster.crypto_mode != CryptoMode::None;
@@ -172,13 +186,13 @@ pub fn run_open_loop(
     // but Ed25519 key derivation is linear in `n_clients`, so unsigned
     // runs (where client keys are never touched) keep it at 1.
     fabric_cfg.n_clients = if signed { cfg.sessions as usize } else { 1 };
-    let cluster = FabricCluster::launch_headless(&fabric_cfg);
-    let shared = cluster.shared();
+    let mut cluster = FabricCluster::launch_headless_with(&fabric_cfg, transport);
+    let ctl = cluster.ctl();
     let km = cluster.key_material();
     let n = fabric_cfg.cluster.n;
     let nf = fabric_cfg.cluster.nf();
 
-    let epoch_ns = shared.now().0;
+    let epoch_ns = ctl.now().0;
     let warmup_end_ns = epoch_ns + cfg.warmup.as_nanos() as u64;
     let measure_end_ns = warmup_end_ns + cfg.measure.as_nanos() as u64;
 
@@ -189,9 +203,12 @@ pub fn run_open_loop(
     let handles: Vec<std::thread::JoinHandle<DriverOut>> = (0..cfg.drivers)
         .map(|d| {
             let count = per + u32::from((d as u32) < extra);
+            let hub = transport.client_hub(base, count);
+            cluster.adopt_client_hub(hub.clone());
+            let rx = hub.register_client_group(base, count);
             let drv = Driver {
-                shared: shared.clone(),
-                rx: shared.hub.register_client_group(base, count),
+                shared: ClusterShared::with_ctl(hub, ctl.clone()),
+                rx,
                 mux: SessionMux::new(base, count, nf),
                 gen: ArrivalGen::new(
                     cfg.process,
@@ -221,13 +238,7 @@ pub fn run_open_loop(
     let mut out = DriverOut::default();
     for (d, h) in handles.into_iter().enumerate() {
         let one = h.join().unwrap_or_else(|_| panic!("driver {d} panicked"));
-        out.mux.submitted += one.mux.submitted;
-        out.mux.completed += one.mux.completed;
-        out.mux.no_idle_session += one.mux.no_idle_session;
-        out.mux.abandoned += one.mux.abandoned;
-        out.measured_submitted += one.measured_submitted;
-        out.measured_completed += one.measured_completed;
-        out.latencies_ns.extend(one.latencies_ns);
+        merge_driver_out(&mut out, one);
     }
 
     // Drivers are done; the regular three-phase shutdown takes over
@@ -246,8 +257,126 @@ pub fn run_open_loop(
     })
 }
 
-struct Driver {
-    shared: Arc<ClusterShared>,
+/// Drive-side outcome of an external (multi-process) open-loop run.
+/// The replica-side reports live in the remote `poe-node` processes.
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// The offered rate this run targeted.
+    pub target_rps: f64,
+    /// Measured-window completions per second.
+    pub achieved_rps: f64,
+    /// Requests submitted during the measured window.
+    pub measured_submitted: u64,
+    /// Requests submitted *and* completed during the measured window.
+    pub measured_completed: u64,
+    /// Latency over measured-window completions.
+    pub latency: LatencySummary,
+    /// Aggregate session-mux counters (all windows).
+    pub mux: MuxStats,
+    /// The measured window length.
+    pub measure: Duration,
+}
+
+/// Drives an *externally launched* cluster — separate `poe-node`
+/// processes listening on `peers` — at `cfg.target_rps` through the
+/// warmup + measured windows, then drains and disconnects.
+/// `cfg.fabric` must match what the nodes were launched with (seed, n,
+/// crypto): client key material and the handshake cluster-instance id
+/// both derive from it.
+pub fn drive_external(cfg: &OpenLoopConfig, peers: &[(u32, SocketAddr)]) -> DriveReport {
+    assert!(cfg.drivers >= 1, "need at least one driver");
+    assert!(cfg.sessions >= cfg.drivers as u32, "fewer sessions than drivers");
+    let cluster = &cfg.fabric.cluster;
+    let signed = cluster.crypto_mode != CryptoMode::None;
+    // Must mirror the nodes' key material (they verify these signatures).
+    let n_client_keys = if signed { cfg.sessions as usize } else { 1 };
+    let km = KeyMaterial::generate(
+        cluster.n,
+        n_client_keys,
+        cluster.nf(),
+        cluster.crypto_mode,
+        cluster.cert_scheme,
+        cluster.seed,
+    );
+    let cluster_id = cluster_instance_id(cluster);
+    let n = cluster.n;
+    let nf = cluster.nf();
+    let ctl = ClusterCtl::new();
+    let epoch_ns = ctl.now().0;
+    let warmup_end_ns = epoch_ns + cfg.warmup.as_nanos() as u64;
+    let measure_end_ns = warmup_end_ns + cfg.measure.as_nanos() as u64;
+
+    let per = cfg.sessions / cfg.drivers as u32;
+    let extra = cfg.sessions % cfg.drivers as u32;
+    let mut base = 0u32;
+    let mut hubs: Vec<TcpHub> = Vec::new();
+    let handles: Vec<std::thread::JoinHandle<DriverOut>> = (0..cfg.drivers)
+        .map(|d| {
+            let count = per + u32::from((d as u32) < extra);
+            let hub = TcpHub::connect_only(TcpConfig::clients(base, count, n, cluster_id));
+            hub.set_peers(peers);
+            hubs.push(hub.clone());
+            let rx = hub.register_client_group(base, count);
+            let drv = Driver {
+                shared: ClusterShared::with_ctl(hub, ctl.clone()),
+                rx,
+                mux: SessionMux::new(base, count, nf),
+                gen: ArrivalGen::new(
+                    cfg.process,
+                    cfg.target_rps / cfg.drivers as f64,
+                    cfg.seed ^ (0xA11CE + d as u64),
+                ),
+                source: YcsbWorkload::new(YcsbConfig {
+                    seed: cfg.seed ^ (0x09E17 + d as u64),
+                    ..cfg.fabric.ycsb.clone()
+                }),
+                km: signed.then(|| km.clone()),
+                n,
+                base,
+                epoch_ns,
+                warmup_end_ns,
+                measure_end_ns,
+                abandon_after: cfg.abandon_after,
+            };
+            base += count;
+            std::thread::Builder::new()
+                .name(format!("driver-{d}"))
+                .spawn(move || drv.run())
+                .expect("spawn driver")
+        })
+        .collect();
+
+    let mut out = DriverOut::default();
+    for (d, h) in handles.into_iter().enumerate() {
+        let one = h.join().unwrap_or_else(|_| panic!("driver {d} panicked"));
+        merge_driver_out(&mut out, one);
+    }
+    for hub in hubs {
+        hub.shutdown();
+    }
+    DriveReport {
+        target_rps: cfg.target_rps,
+        achieved_rps: out.measured_completed as f64 / cfg.measure.as_secs_f64().max(1e-9),
+        measured_submitted: out.measured_submitted,
+        measured_completed: out.measured_completed,
+        latency: LatencySummary::from_ns(out.latencies_ns),
+        mux: out.mux,
+        measure: cfg.measure,
+    }
+}
+
+fn merge_driver_out(out: &mut DriverOut, one: DriverOut) {
+    out.mux.submitted += one.mux.submitted;
+    out.mux.completed += one.mux.completed;
+    out.mux.no_idle_session += one.mux.no_idle_session;
+    out.mux.abandoned += one.mux.abandoned;
+    out.measured_submitted += one.measured_submitted;
+    out.measured_completed += one.measured_completed;
+    out.latencies_ns.extend(one.latencies_ns);
+}
+
+struct Driver<H: Hub> {
+    shared: Arc<ClusterShared<H>>,
     rx: Receiver<WireBytes>,
     mux: SessionMux,
     gen: ArrivalGen,
@@ -262,7 +391,7 @@ struct Driver {
     abandon_after: Duration,
 }
 
-impl Driver {
+impl<H: Hub> Driver<H> {
     fn run(mut self) -> DriverOut {
         let mut out = DriverOut::default();
         let mut scratch = ScratchPool::new();

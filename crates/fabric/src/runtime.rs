@@ -1,13 +1,16 @@
-//! Shared runtime plumbing: the cluster-wide clock/stop handle and the
-//! encode-once framing helper every stage uses on its egress side.
+//! Shared runtime plumbing: the cluster-wide clock/stop handle (generic
+//! over the [`Hub`] substrate), the encode-once framing helper every
+//! stage uses on its egress side, and [`LinkAuth`] — per-peer MAC
+//! tagging of replica→replica frames.
 
-use poe_crypto::provider::AuthTag;
-use poe_kernel::codec::ScratchPool;
+use poe_crypto::provider::{AuthTag, CryptoProvider};
+use poe_crypto::CryptoMode;
+use poe_kernel::codec::{write_envelope_parts, ScratchPool};
 use poe_kernel::ids::NodeId;
 use poe_kernel::messages::{Envelope, ProtocolMsg};
 use poe_kernel::time::Time;
 use poe_kernel::wire::WireBytes;
-use poe_net::InprocHub;
+use poe_net::Hub;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -18,18 +21,19 @@ use std::time::Instant;
 /// deadlock-free).
 pub(crate) const TICK: std::time::Duration = std::time::Duration::from_millis(10);
 
-/// State shared by every thread of one cluster: the in-process hub, the
-/// stop flag, and the epoch mapping the wall clock onto the kernel's
-/// [`Time`] (nanoseconds since cluster launch).
-pub(crate) struct ClusterShared {
-    pub hub: InprocHub,
+/// The cluster-wide control block: one stop flag and one epoch shared
+/// by every thread of a cluster, across every hub instance. On the
+/// in-proc substrate all nodes share one hub *and* one ctl; on the
+/// socket substrate each node has its own hub but (within one process)
+/// still shares the ctl.
+pub(crate) struct ClusterCtl {
     stop: AtomicBool,
     epoch: Instant,
 }
 
-impl ClusterShared {
-    pub fn new(hub: InprocHub) -> Arc<ClusterShared> {
-        Arc::new(ClusterShared { hub, stop: AtomicBool::new(false), epoch: Instant::now() })
+impl ClusterCtl {
+    pub fn new() -> Arc<ClusterCtl> {
+        Arc::new(ClusterCtl { stop: AtomicBool::new(false), epoch: Instant::now() })
     }
 
     /// The wall clock as automaton time.
@@ -48,21 +52,134 @@ impl ClusterShared {
     }
 }
 
+/// State shared by every thread of one node: its network hub, plus the
+/// cluster control block.
+pub(crate) struct ClusterShared<H: Hub> {
+    pub hub: H,
+    ctl: Arc<ClusterCtl>,
+}
+
+impl<H: Hub> ClusterShared<H> {
+    /// A shared handle over `hub` joining an existing cluster's control
+    /// block (sibling nodes of one cluster).
+    pub fn with_ctl(hub: H, ctl: Arc<ClusterCtl>) -> Arc<ClusterShared<H>> {
+        Arc::new(ClusterShared { hub, ctl })
+    }
+
+    /// The wall clock as automaton time.
+    pub fn now(&self) -> Time {
+        self.ctl.now()
+    }
+
+    /// Asks every thread sharing this ctl to wind down.
+    pub fn request_stop(&self) {
+        self.ctl.request_stop();
+    }
+
+    /// Whether shutdown was requested.
+    pub fn stopped(&self) -> bool {
+        self.ctl.stopped()
+    }
+}
+
 /// Encodes `msg` once into a refcounted frame ready for the hub (a
 /// broadcast hands the *same* frame to every recipient queue). The
 /// scratch pool makes the encode itself allocation-free once warm; the
 /// single copy lands in the frame's exact-size shared buffer.
 ///
-/// Link authentication is [`AuthTag::None`]: inside one process the hub
-/// is the trusted datacenter network of the paper's model (sender
-/// identity travels in the envelope, exactly like the simulator's
-/// `Event::Deliver { from, .. }` contract). A real socket transport
-/// would authenticate here — and per-peer MAC tags would also end
-/// frame sharing, the same trade-off the paper notes for MAC clusters.
+/// Link authentication is [`AuthTag::None`] here: this is the
+/// trusted-channel path (in-process hub, or client traffic whose
+/// authenticity rides on per-request signatures). Authenticated
+/// replica links go through [`LinkAuth::encode_to`] instead.
 pub(crate) fn encode_frame(scratch: &mut ScratchPool, from: NodeId, msg: ProtocolMsg) -> WireBytes {
     let env = Envelope { from, auth: AuthTag::None, msg };
     let buf = scratch.encode_envelope(&env);
     let frame = WireBytes::copy_from(&buf);
     scratch.recycle(buf);
     frame
+}
+
+/// Per-peer MAC (or signature) tagging of replica→replica frames — the
+/// paper's MAC-cluster trade-off made concrete. With pairwise MACs
+/// (HMAC/CMAC) every recipient needs a *different* tag, so a broadcast
+/// can no longer share one encoded frame: the message body is encoded
+/// once, but each peer gets its own envelope assembly. With signatures
+/// (Ed25519) one tag convinces everyone and frame-sharing survives.
+#[derive(Clone)]
+pub(crate) struct LinkAuth {
+    provider: Option<CryptoProvider>,
+}
+
+impl LinkAuth {
+    /// Link authentication off: `encode_frame` semantics everywhere.
+    pub fn disabled() -> LinkAuth {
+        LinkAuth { provider: None }
+    }
+
+    /// Tags outbound replica frames with `provider` (a no-op provider
+    /// in [`CryptoMode::None`] degrades to disabled).
+    pub fn new(provider: CryptoProvider) -> LinkAuth {
+        match provider.mode() {
+            CryptoMode::None => LinkAuth::disabled(),
+            _ => LinkAuth { provider: Some(provider) },
+        }
+    }
+
+    /// Whether frames carry tags at all.
+    pub fn enabled(&self) -> bool {
+        self.provider.is_some()
+    }
+
+    /// Whether one tag is valid for every peer (signature modes), so a
+    /// broadcast can still share its encoded frame.
+    pub fn shared_tag(&self) -> bool {
+        matches!(self.provider.as_ref().map(CryptoProvider::mode), Some(CryptoMode::Ed25519) | None)
+    }
+
+    /// Encodes `msg` with a tag addressed to replica `peer`.
+    pub fn encode_to(
+        &self,
+        scratch: &mut ScratchPool,
+        from: NodeId,
+        peer: u32,
+        msg: &ProtocolMsg,
+    ) -> WireBytes {
+        let provider = self.provider.as_ref().expect("LinkAuth::encode_to when disabled");
+        let msg_buf = scratch.encode_msg(msg);
+        let tag = provider.authenticate(peer, &msg_buf);
+        let mut buf = scratch.take();
+        write_envelope_parts(&mut buf, from, &tag, &msg_buf);
+        let frame = WireBytes::copy_from(&buf);
+        scratch.recycle(buf);
+        scratch.recycle(msg_buf);
+        frame
+    }
+
+    /// Encodes `msg` once with a shared (signature) tag.
+    pub fn encode_shared(
+        &self,
+        scratch: &mut ScratchPool,
+        from: NodeId,
+        msg: &ProtocolMsg,
+    ) -> WireBytes {
+        let provider = self.provider.as_ref().expect("LinkAuth::encode_shared when disabled");
+        let msg_buf = scratch.encode_msg(msg);
+        // Signature tags ignore the peer argument.
+        let tag = provider.authenticate(provider.index(), &msg_buf);
+        let mut buf = scratch.take();
+        write_envelope_parts(&mut buf, from, &tag, &msg_buf);
+        let frame = WireBytes::copy_from(&buf);
+        scratch.recycle(buf);
+        scratch.recycle(msg_buf);
+        frame
+    }
+
+    /// Verifies an inbound replica frame's tag over its authenticated
+    /// region (`msg_bytes`). True when auth is disabled.
+    pub fn verify(&self, from_index: u32, msg_bytes: &[u8], tag: &AuthTag) -> bool {
+        match &self.provider {
+            Some(p) => p.check(from_index, msg_bytes, tag),
+            None => true,
+        }
+    }
 }

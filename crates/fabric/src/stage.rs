@@ -48,18 +48,20 @@ use crate::admission::{default_workers, AdmissionPool};
 use crate::cpu::thread_cpu_ns;
 use crate::ingress::{IngressDecoder, IngressStats};
 use crate::queue::{bounded, BoundedReceiver, BoundedSender, DepthGauge, RecvError, TrySendError};
-use crate::runtime::{encode_frame, ClusterShared, TICK};
+use crate::runtime::{encode_frame, ClusterShared, LinkAuth, TICK};
 use crate::session::{Admit, SessionStats, SessionTable};
 use crate::wheel::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use poe_consensus::{PoeReplica, SupportMode};
 use poe_crypto::{CryptoMode, CryptoProvider, KeyMaterial};
 use poe_kernel::automaton::{Action, Event, Notification, Outbox, ReplicaAutomaton};
+use poe_kernel::codec::envelope_msg_offset;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
 use poe_kernel::messages::ProtocolMsg;
 use poe_kernel::request::{Batch, Batcher, ClientRequest};
 use poe_kernel::wire::WireBytes;
+use poe_net::Hub;
 use poe_store::SpeculativeStore;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -277,13 +279,16 @@ pub struct EgressStats {
 }
 
 /// Everything needed to spawn one replica's stage threads.
-pub(crate) struct ReplicaSpawn {
-    pub shared: Arc<ClusterShared>,
+pub(crate) struct ReplicaSpawn<H: Hub> {
+    pub shared: Arc<ClusterShared<H>>,
     pub cluster: ClusterConfig,
     pub support: SupportMode,
     pub km: Arc<KeyMaterial>,
     pub id: ReplicaId,
     pub tuning: FabricTuning,
+    /// Per-peer tagging of replica→replica frames (socket substrates);
+    /// [`LinkAuth::disabled`] on trusted in-process hubs.
+    pub link_auth: LinkAuth,
 }
 
 /// Join handles + probe of one running replica.
@@ -316,7 +321,7 @@ impl ReplicaHandle {
     /// Registers the replica on the hub and spawns its four stage
     /// threads. Must be called for every replica before any client
     /// starts submitting (the hub only routes to registered nodes).
-    pub fn spawn(spec: ReplicaSpawn) -> ReplicaHandle {
+    pub fn spawn<H: Hub>(spec: ReplicaSpawn<H>) -> ReplicaHandle {
         let replica = Box::new(PoeReplica::new(
             spec.cluster.clone(),
             spec.id,
@@ -331,8 +336,8 @@ impl ReplicaHandle {
     /// path after a crash: the caller rebuilds the replica from its
     /// durable state ([`PoeReplica::into_restarted`]) and re-registering
     /// on the hub replaces the dead endpoint, so traffic flows again.
-    pub fn spawn_with(spec: ReplicaSpawn, replica: Box<PoeReplica>) -> ReplicaHandle {
-        let ReplicaSpawn { shared, cluster, support: _, km, id, tuning } = spec;
+    pub fn spawn_with<H: Hub>(spec: ReplicaSpawn<H>, replica: Box<PoeReplica>) -> ReplicaHandle {
+        let ReplicaSpawn { shared, cluster, support: _, km, id, tuning, link_auth } = spec;
         let hub_rx = shared.hub.register(NodeId::Replica(id));
         let (cons_tx, cons_rx) = unbounded::<ConsensusJob>();
         let cons_tx = Gauged { tx: cons_tx, gauge: DepthGauge::new() };
@@ -351,9 +356,13 @@ impl ReplicaHandle {
             let shared = shared.clone();
             let cons_tx = cons_tx.clone();
             let halt = halt.clone();
+            let link_auth = link_auth.clone();
+            let n = cluster.n;
             std::thread::Builder::new()
                 .name(name("ingress"))
-                .spawn(move || ingress_loop(shared, halt, hub_rx, recycle_rx, batch_tx, cons_tx))
+                .spawn(move || {
+                    ingress_loop(shared, halt, hub_rx, recycle_rx, batch_tx, cons_tx, link_auth, n)
+                })
                 .expect("spawn ingress")
         };
         let batching = {
@@ -383,11 +392,14 @@ impl ReplicaHandle {
             let probe = probe.clone();
             let halt = halt.clone();
             let gauge = cons_tx.gauge.clone();
+            let link_auth = link_auth.clone();
+            let n = cluster.n;
             std::thread::Builder::new()
                 .name(name("consensus"))
                 .spawn(move || {
                     consensus_loop(
                         shared, halt, cons_rx, gauge, reply_tx, recycle_tx, probe, replica,
+                        link_auth, n,
                     )
                 })
                 .expect("spawn consensus")
@@ -433,23 +445,54 @@ impl ReplicaHandle {
 
 /// A stage winds down when the whole cluster stops or this one replica
 /// is crashed via its halt flag.
-fn winding_down(shared: &ClusterShared, halt: &AtomicBool) -> bool {
+fn winding_down<H: Hub>(shared: &ClusterShared<H>, halt: &AtomicBool) -> bool {
     shared.stopped() || halt.load(Ordering::Relaxed)
 }
 
-fn ingress_loop(
-    shared: Arc<ClusterShared>,
+/// Link-auth admission check on one decoded frame. Replica-origin
+/// envelopes must carry a tag valid over the message region; client-
+/// origin envelopes may only be request traffic (whose authenticity
+/// rides on per-request signatures checked at admission) — anything
+/// else claiming a client sender is a spoofed consensus message.
+fn frame_authentic(
+    link_auth: &LinkAuth,
+    frame: &WireBytes,
+    env: &poe_kernel::messages::Envelope,
+    n: usize,
+) -> bool {
+    if !link_auth.enabled() {
+        return true;
+    }
+    match env.from {
+        NodeId::Replica(_) => match envelope_msg_offset(frame.as_slice()) {
+            Some(off) => {
+                link_auth.verify(env.from.global_index(n), &frame.as_slice()[off..], &env.auth)
+            }
+            None => false,
+        },
+        NodeId::Client(_) => {
+            matches!(env.msg, ProtocolMsg::Request(_) | ProtocolMsg::RequestBroadcast(_))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ingress_loop<H: Hub>(
+    shared: Arc<ClusterShared<H>>,
     halt: Arc<AtomicBool>,
     hub_rx: Receiver<WireBytes>,
     recycle_rx: Receiver<Arc<Batch>>,
     batch_tx: BoundedSender<(NodeId, ProtocolMsg)>,
     cons_tx: Gauged<ConsensusJob>,
+    link_auth: LinkAuth,
+    n: usize,
 ) -> IngressStats {
     let mut decoder = IngressDecoder::new();
     let mut to_batching = 0u64;
     let mut to_consensus = 0u64;
     let mut shed_retransmits = 0u64;
     let mut shed_full = 0u64;
+    let mut auth_failures = 0u64;
     let high_water = batch_tx.capacity() / 2;
     loop {
         // Refill the pool with containers GC retired, so subsequent
@@ -459,7 +502,15 @@ fn ingress_loop(
         }
         match hub_rx.recv_timeout(TICK) {
             Ok(frame) => {
-                if let Some(env) = decoder.decode(&frame) {
+                let env = match decoder.decode(&frame) {
+                    Some(env) if frame_authentic(&link_auth, &frame, &env, n) => Some(env),
+                    Some(_) => {
+                        auth_failures += 1;
+                        None
+                    }
+                    None => None,
+                };
+                if let Some(env) = env {
                     match env.msg {
                         msg @ (ProtocolMsg::Request(_)
                         | ProtocolMsg::RequestBroadcast(_)
@@ -500,14 +551,15 @@ fn ingress_loop(
     stats.to_consensus = to_consensus;
     stats.shed_retransmits = shed_retransmits;
     stats.shed_full = shed_full;
+    stats.auth_failures = auth_failures;
     stats.cpu_ns = thread_cpu_ns();
     stats
 }
 
 // ------------------------------------------------------------ batching
 
-struct BatchingDeps {
-    shared: Arc<ClusterShared>,
+struct BatchingDeps<H: Hub> {
+    shared: Arc<ClusterShared<H>>,
     halt: Arc<AtomicBool>,
     batch_rx: BoundedReceiver<(NodeId, ProtocolMsg)>,
     cons_tx: Gauged<ConsensusJob>,
@@ -522,7 +574,7 @@ struct BatchingDeps {
     id: ReplicaId,
 }
 
-fn batching_loop(deps: BatchingDeps) -> BatchingStats {
+fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
     let BatchingDeps {
         shared,
         halt,
@@ -624,8 +676,8 @@ fn batching_loop(deps: BatchingDeps) -> BatchingStats {
 /// matters (dedup before the expensive verify; watermarks only after
 /// the verify passed).
 #[allow(clippy::too_many_arguments)]
-fn admit_chunk(
-    shared: &Arc<ClusterShared>,
+fn admit_chunk<H: Hub>(
+    shared: &Arc<ClusterShared<H>>,
     probe: &ReplicaProbe,
     session: &Mutex<SessionTable>,
     cons_tx: &Gauged<ConsensusJob>,
@@ -725,8 +777,8 @@ fn admit_chunk(
 
 // ----------------------------------------------------------- consensus
 
-struct ConsensusCtx {
-    shared: Arc<ClusterShared>,
+struct ConsensusCtx<H: Hub> {
+    shared: Arc<ClusterShared<H>>,
     reply_tx: Gauged<(ClientId, ProtocolMsg)>,
     recycle_tx: Sender<Arc<Batch>>,
     probe: Arc<ReplicaProbe>,
@@ -736,9 +788,11 @@ struct ConsensusCtx {
     out: Outbox,
     stats: ConsensusStats,
     my_node: NodeId,
+    link_auth: LinkAuth,
+    n: usize,
 }
 
-impl ConsensusCtx {
+impl<H: Hub> ConsensusCtx<H> {
     fn step_event(&mut self, event: Event) {
         let now = self.shared.now();
         let mut out = std::mem::take(&mut self.out);
@@ -775,15 +829,50 @@ impl ConsensusCtx {
                 self.reply_tx.send((c, msg));
             }
             Action::Send { to, msg } => {
-                let frame = encode_frame(&mut self.scratch, self.my_node, msg);
                 self.stats.sends += 1;
+                let frame = if self.link_auth.enabled() {
+                    match to {
+                        NodeId::Replica(r) => {
+                            self.link_auth.encode_to(&mut self.scratch, self.my_node, r.0, &msg)
+                        }
+                        NodeId::Client(_) => encode_frame(&mut self.scratch, self.my_node, msg),
+                    }
+                } else {
+                    encode_frame(&mut self.scratch, self.my_node, msg)
+                };
                 self.shared.hub.send(to, frame);
             }
             Action::Broadcast { msg } => {
-                // Encode once; the hub clones the *view* per recipient.
-                let frame = encode_frame(&mut self.scratch, self.my_node, msg);
                 self.stats.broadcasts += 1;
-                self.shared.hub.broadcast(self.my_node, &frame);
+                if self.link_auth.enabled() && !self.link_auth.shared_tag() {
+                    // Pairwise MACs: every peer needs its own tag, so
+                    // the encode-once shared frame is gone — the message
+                    // body is still encoded once, but each recipient
+                    // gets its own envelope assembly + copy. This is the
+                    // paper's MAC-cluster trade-off, measured for real
+                    // by the inproc-vs-TCP A/B.
+                    let me = match self.my_node {
+                        NodeId::Replica(r) => r.0,
+                        NodeId::Client(_) => unreachable!("replica stage"),
+                    };
+                    for peer in 0..self.n as u32 {
+                        if peer == me {
+                            continue;
+                        }
+                        let frame =
+                            self.link_auth.encode_to(&mut self.scratch, self.my_node, peer, &msg);
+                        self.shared.hub.send(NodeId::Replica(ReplicaId(peer)), frame);
+                    }
+                } else if self.link_auth.enabled() {
+                    // Signature tags convince every verifier: one encode,
+                    // frame sharing preserved.
+                    let frame = self.link_auth.encode_shared(&mut self.scratch, self.my_node, &msg);
+                    self.shared.hub.broadcast(self.my_node, &frame);
+                } else {
+                    // Encode once; the hub clones the *view* per recipient.
+                    let frame = encode_frame(&mut self.scratch, self.my_node, msg);
+                    self.shared.hub.broadcast(self.my_node, &frame);
+                }
             }
             Action::SetTimer { kind, delay } => self.wheel.arm(kind, now + delay),
             Action::CancelTimer { kind } => self.wheel.cancel(&kind),
@@ -806,8 +895,8 @@ impl ConsensusCtx {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn consensus_loop(
-    shared: Arc<ClusterShared>,
+fn consensus_loop<H: Hub>(
+    shared: Arc<ClusterShared<H>>,
     halt: Arc<AtomicBool>,
     cons_rx: Receiver<ConsensusJob>,
     gauge: Arc<DepthGauge>,
@@ -815,6 +904,8 @@ fn consensus_loop(
     recycle_tx: Sender<Arc<Batch>>,
     probe: Arc<ReplicaProbe>,
     replica: Box<PoeReplica>,
+    link_auth: LinkAuth,
+    n: usize,
 ) -> (ConsensusStats, Box<PoeReplica>) {
     let my_node = NodeId::Replica(replica.id());
     let mut ctx = ConsensusCtx {
@@ -828,6 +919,8 @@ fn consensus_loop(
         out: Outbox::new(),
         stats: ConsensusStats::default(),
         my_node,
+        link_auth,
+        n,
     };
     ctx.step_event(Event::Init);
     loop {
@@ -871,7 +964,7 @@ fn consensus_loop(
     (ctx.stats, ctx.replica)
 }
 
-fn handle(ctx: &mut ConsensusCtx, job: ConsensusJob) {
+fn handle<H: Hub>(ctx: &mut ConsensusCtx<H>, job: ConsensusJob) {
     match job {
         ConsensusJob::Deliver { from, msg } => ctx.step_event(Event::Deliver { from, msg }),
         ConsensusJob::LocalBatch(batch) => ctx.step_local_batch(batch),
@@ -880,8 +973,8 @@ fn handle(ctx: &mut ConsensusCtx, job: ConsensusJob) {
 
 // -------------------------------------------------------------- egress
 
-fn egress_loop(
-    shared: Arc<ClusterShared>,
+fn egress_loop<H: Hub>(
+    shared: Arc<ClusterShared<H>>,
     halt: Arc<AtomicBool>,
     reply_rx: Receiver<(ClientId, ProtocolMsg)>,
     gauge: Arc<DepthGauge>,

@@ -1,0 +1,153 @@
+//! Transport selection: how a [`crate::FabricCluster`] gets its hubs.
+//!
+//! A [`Transport`] hands out one [`Hub`] per node. The in-proc
+//! transport clones a single shared [`InprocHub`] — every node is a
+//! thread of one process. The TCP transport pre-binds one [`TcpHub`]
+//! per replica on loopback and meshes them over real sockets, so the
+//! same cluster code runs the socket substrate in-process (benches,
+//! supervision tests) — while separate `poe-node` processes build the
+//! equivalent mesh by hand from addresses.
+
+use poe_crypto::{CryptoMode, KeyMaterial};
+use poe_kernel::config::ClusterConfig;
+use poe_kernel::ids::ReplicaId;
+use poe_net::{Hub, InprocHub, TcpConfig, TcpHub};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Seed salt separating link-MAC keys from the client-signing key
+/// space (both derive deterministically from the cluster seed, so
+/// every `poe-node` process computes identical pairwise keys).
+const LINK_KEY_SALT: u64 = 0x4C49_4E4B; // "LINK"
+
+/// Key material for link authentication: pairwise MAC keys (and
+/// link-signature keys) among the replicas, derived from the cluster
+/// seed. Deterministic — every process of one cluster agrees.
+pub fn link_key_material(cluster: &ClusterConfig, mode: CryptoMode) -> Arc<KeyMaterial> {
+    KeyMaterial::generate(
+        cluster.n,
+        0,
+        cluster.nf(),
+        mode,
+        cluster.cert_scheme,
+        cluster.seed ^ LINK_KEY_SALT,
+    )
+}
+
+/// The cluster-instance id both handshake sides must present — derived
+/// from the seed so independently launched `poe-node` processes agree.
+pub fn cluster_instance_id(cluster: &ClusterConfig) -> u64 {
+    cluster.seed ^ 0x506F_4521 // "PoE!"
+}
+
+/// Hands out per-node hubs for one cluster launch.
+pub trait Transport {
+    /// The hub type every node of this cluster uses.
+    type Hub: Hub;
+
+    /// The hub replica `id` registers on and sends through.
+    fn replica_hub(&mut self, id: ReplicaId) -> Self::Hub;
+
+    /// A hub for a client-side endpoint owning the client-id block
+    /// `base .. base + count` (one closed-loop client, or one open-loop
+    /// driver multiplexing a shard of sessions).
+    fn client_hub(&mut self, base: u32, count: u32) -> Self::Hub;
+}
+
+/// The in-process transport: one shared hub, every node a clone.
+#[derive(Default)]
+pub struct InprocTransport {
+    hub: InprocHub,
+}
+
+impl InprocTransport {
+    /// A fresh in-process hub.
+    pub fn new() -> InprocTransport {
+        InprocTransport { hub: InprocHub::new() }
+    }
+}
+
+impl Transport for InprocTransport {
+    type Hub = InprocHub;
+
+    fn replica_hub(&mut self, _id: ReplicaId) -> InprocHub {
+        self.hub.clone()
+    }
+
+    fn client_hub(&mut self, _base: u32, _count: u32) -> InprocHub {
+        self.hub.clone()
+    }
+}
+
+/// The loopback TCP transport: one socket hub per replica, fully
+/// meshed over `127.0.0.1` — real sockets, real framing, real
+/// supervision, one process. Client hubs dial the same mesh.
+pub struct TcpTransport {
+    cluster_id: u64,
+    n: usize,
+    hubs: Vec<TcpHub>,
+    peers: Vec<(u32, SocketAddr)>,
+}
+
+impl TcpTransport {
+    /// Binds one listening hub per replica on loopback and meshes them.
+    /// `link_auth` keys the peer-identity handshakes (and must match
+    /// the cluster's [`crate::FabricConfig::link_auth`] so frames
+    /// verify at ingress).
+    pub fn loopback(
+        cluster: &ClusterConfig,
+        link_auth: Option<CryptoMode>,
+    ) -> std::io::Result<TcpTransport> {
+        let cluster_id = cluster_instance_id(cluster);
+        let link_km = match link_auth {
+            Some(mode) if mode != CryptoMode::None => Some(link_key_material(cluster, mode)),
+            _ => None,
+        };
+        let listen: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+        let hubs: Vec<TcpHub> = (0..cluster.n)
+            .map(|i| {
+                let mut cfg = TcpConfig::replica(i as u32, cluster.n, cluster_id);
+                if let Some(km) = &link_km {
+                    cfg = cfg.with_auth(km.replica(i));
+                }
+                TcpHub::bind(cfg, listen)
+            })
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<(u32, SocketAddr)> = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i as u32, h.local_addr().expect("bound hub has an address")))
+            .collect();
+        for h in &hubs {
+            h.set_peers(&peers);
+        }
+        Ok(TcpTransport { cluster_id, n: cluster.n, hubs, peers })
+    }
+
+    /// The replica hubs (e.g. to sever a replica's connections mid-run
+    /// via [`TcpHub::drop_links`]).
+    pub fn replica_hubs(&self) -> &[TcpHub] {
+        &self.hubs
+    }
+
+    /// The replica listen addresses of the mesh.
+    pub fn peer_addrs(&self) -> &[(u32, SocketAddr)] {
+        &self.peers
+    }
+}
+
+impl Transport for TcpTransport {
+    type Hub = TcpHub;
+
+    fn replica_hub(&mut self, id: ReplicaId) -> TcpHub {
+        self.hubs[id.index()].clone()
+    }
+
+    fn client_hub(&mut self, base: u32, count: u32) -> TcpHub {
+        // Client links carry no link MACs: client authenticity rides on
+        // per-request signatures checked at admission.
+        let hub = TcpHub::connect_only(TcpConfig::clients(base, count, self.n, self.cluster_id));
+        hub.set_peers(&self.peers);
+        hub
+    }
+}

@@ -1065,6 +1065,41 @@ pub fn encode_envelope_into(env: &Envelope, out: &mut Vec<u8>) {
     write_envelope(out, env);
 }
 
+/// Writes an envelope around **already-encoded** message bytes — the
+/// per-peer link-authentication path: the message is encoded once (via
+/// [`ScratchPool::encode_msg`]), then each peer's envelope is assembled
+/// around the shared bytes with that peer's tag, without re-walking the
+/// message structure per recipient.
+pub fn write_envelope_parts<S: Sink>(out: &mut S, from: NodeId, auth: &AuthTag, msg_bytes: &[u8]) {
+    match from {
+        NodeId::Replica(r) => {
+            out.put_u8(0);
+            out.put(&r.0.to_le_bytes());
+        }
+        NodeId::Client(c) => {
+            out.put_u8(1);
+            out.put(&c.0.to_le_bytes());
+        }
+    }
+    put_auth_tag(out, auth);
+    out.put(msg_bytes);
+}
+
+/// Byte offset where the message encoding starts inside an encoded
+/// envelope — exactly the region a link authenticator covers (the
+/// sender header and the tag itself are excluded, since the tag cannot
+/// cover its own bytes). `None` when the buffer is too short to hold
+/// the header or claims a tag running past the end.
+pub fn envelope_msg_offset(buf: &[u8]) -> Option<usize> {
+    // [from kind u8][from id u32][auth_len u32][auth tag ...][msg ...]
+    if buf.len() < 9 || buf[0] > 1 {
+        return None;
+    }
+    let auth_len = u32::from_le_bytes(buf[5..9].try_into().expect("len 4")) as usize;
+    let offset = 9usize.checked_add(auth_len)?;
+    (offset <= buf.len()).then_some(offset)
+}
+
 // ---------------------------------------------------------- scratch pool
 
 /// A reusable pool of encode buffers for allocation-free steady-state
@@ -1649,6 +1684,44 @@ mod tests {
         let mut into = Vec::new();
         encode_envelope_into(&env, &mut into);
         assert_eq!(into, buf);
+    }
+
+    #[test]
+    fn envelope_parts_match_whole_envelope_encode() {
+        for from in [NodeId::Replica(ReplicaId(3)), NodeId::Client(ClientId(7))] {
+            for auth in [AuthTag::None, AuthTag::Hmac([9u8; 32]), AuthTag::Cmac([2u8; 16])] {
+                let msg =
+                    ProtocolMsg::Checkpoint { seq: SeqNum(4), state_digest: Digest::of(b"c") };
+                let env = Envelope { from, auth: auth.clone(), msg: msg.clone() };
+                let whole = encode_envelope(&env);
+                let msg_bytes = encode_msg(&msg);
+                let mut parts = Vec::new();
+                write_envelope_parts(&mut parts, from, &auth, &msg_bytes);
+                assert_eq!(parts, whole);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_msg_offset_finds_the_authenticated_region() {
+        let msg = ProtocolMsg::Checkpoint { seq: SeqNum(8), state_digest: Digest::of(b"x") };
+        for auth in [AuthTag::None, AuthTag::Hmac([1u8; 32]), AuthTag::Cmac([6u8; 16])] {
+            let env = Envelope { from: NodeId::Replica(ReplicaId(1)), auth, msg: msg.clone() };
+            let buf = encode_envelope(&env);
+            let offset = envelope_msg_offset(&buf).expect("well-formed envelope");
+            assert_eq!(&buf[offset..], &encode_msg(&msg)[..], "auth {:?}", env.auth);
+        }
+    }
+
+    #[test]
+    fn envelope_msg_offset_rejects_malformed_headers() {
+        assert_eq!(envelope_msg_offset(&[]), None, "empty");
+        assert_eq!(envelope_msg_offset(&[0u8; 8]), None, "short of the auth length");
+        assert_eq!(envelope_msg_offset(&[2, 0, 0, 0, 0, 0, 0, 0, 0]), None, "bad sender kind");
+        // Claimed tag length runs past the end of the buffer.
+        let mut lying = vec![0u8; 9];
+        lying[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(envelope_msg_offset(&lying), None, "tag length overruns");
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Length-prefixed stream framing for socket transports.
+//!
+//! A TCP stream carries `[u32 LE payload_len][payload]` frames. The
+//! [`StreamFramer`] turns the stream's arbitrary read boundaries back
+//! into whole frames **zero-copy**: each `refill` reads one chunk into a
+//! fresh refcounted block, and every frame that lands wholly inside a
+//! block is returned as a [`WireBytes`] sub-view of it — the same
+//! buffer-sharing contract the rest of the wire path (decode, batch
+//! slots, ledger) is built on. Only a frame torn across blocks pays a
+//! stitch copy.
+//!
+//! Hostile/torn input is a first-class case, not an error path:
+//!
+//! * a length prefix above [`StreamFramer::max_frame_len`] is rejected
+//!   **before any allocation** — a malicious 4-byte header cannot make
+//!   the receiver reserve gigabytes;
+//! * a zero-length frame is rejected (no valid envelope is empty, and
+//!   accepting it would let a peer spin the reader for free);
+//! * partial reads, truncation mid-header and mid-payload simply leave
+//!   bytes pending until more arrive or EOF drops the connection.
+
+use poe_kernel::wire::WireBytes;
+use std::io::{Read, Write};
+
+/// Bytes of the `u32` little-endian length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default ceiling on one frame's payload (16 MiB — a full batch of
+/// large YCSB values fits with room; a hostile prefix does not).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Default size of one read chunk.
+pub const DEFAULT_READ_CHUNK: usize = 64 << 10;
+
+/// Why a stream must be torn down (framing violations are not
+/// recoverable: after one, byte alignment with the peer is gone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds the configured ceiling.
+    Oversize {
+        /// The claimed payload length.
+        len: usize,
+        /// The configured ceiling it broke.
+        max: usize,
+    },
+    /// The length prefix was zero.
+    Empty,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds max_frame_len {max}")
+            }
+            FrameError::Empty => write!(f, "zero-length frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame assembler over arbitrary read boundaries.
+///
+/// Usage shape (one per connection, reader-thread owned):
+///
+/// ```text
+/// loop {
+///     while let Some(frame) = framer.next_frame()? { deliver(frame) }
+///     if framer.refill(&mut socket)? == 0 { break /* EOF */ }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct StreamFramer {
+    max_frame_len: usize,
+    read_chunk: usize,
+    /// Current zero-copy block and the parse position inside it.
+    block: WireBytes,
+    pos: usize,
+    /// Stitch buffer for a frame torn across blocks (holds header +
+    /// payload bytes accumulated so far).
+    pending: Vec<u8>,
+    /// Total bytes (header + payload) of the frame being stitched; 0
+    /// while the pending header itself is still incomplete.
+    need: usize,
+}
+
+impl Default for StreamFramer {
+    fn default() -> Self {
+        StreamFramer::new(DEFAULT_MAX_FRAME_LEN)
+    }
+}
+
+impl StreamFramer {
+    /// A framer enforcing `max_frame_len` on every length prefix.
+    pub fn new(max_frame_len: usize) -> StreamFramer {
+        StreamFramer {
+            max_frame_len,
+            read_chunk: DEFAULT_READ_CHUNK,
+            block: WireBytes::empty(),
+            pos: 0,
+            pending: Vec::new(),
+            need: 0,
+        }
+    }
+
+    /// The configured per-frame payload ceiling.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
+    }
+
+    /// Sets the read-chunk size (testing knob; tiny chunks exercise the
+    /// stitch path).
+    pub fn with_read_chunk(mut self, read_chunk: usize) -> StreamFramer {
+        self.read_chunk = read_chunk.max(1);
+        self
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        (self.block.len() - self.pos) + self.pending.len()
+    }
+
+    /// Reads one chunk from `r` into a fresh shared block. Returns the
+    /// byte count (0 = EOF). Call when [`StreamFramer::next_frame`]
+    /// returns `Ok(None)`; any unconsumed tail of the previous block is
+    /// first moved into the stitch buffer.
+    pub fn refill<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.spill_tail();
+        let mut buf = vec![0u8; self.read_chunk];
+        let n = r.read(&mut buf)?;
+        buf.truncate(n);
+        self.block = WireBytes::from(buf);
+        self.pos = 0;
+        Ok(n)
+    }
+
+    /// Hands the framer bytes that were already read elsewhere (the
+    /// handshake path reads its fixed-size preamble directly and may
+    /// over-read into the first frames).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.spill_tail();
+        self.block = WireBytes::copy_from(bytes);
+        self.pos = 0;
+    }
+
+    /// Moves the unconsumed tail of the current block into the stitch
+    /// buffer so the block can be replaced.
+    fn spill_tail(&mut self) {
+        let tail = &self.block.as_slice()[self.pos..];
+        if !tail.is_empty() {
+            self.pending.extend_from_slice(tail);
+        }
+        self.block = WireBytes::empty();
+        self.pos = 0;
+    }
+
+    /// Returns the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or a [`FrameError`] on a framing violation (tear the
+    /// connection down — alignment is unrecoverable).
+    pub fn next_frame(&mut self) -> Result<Option<WireBytes>, FrameError> {
+        loop {
+            // A stitch in progress consumes the new block first.
+            if !self.pending.is_empty() {
+                if self.need == 0 {
+                    // Header incomplete: top it up to 4 bytes, then vet
+                    // the length before reserving anything.
+                    let want = FRAME_HEADER_LEN - self.pending.len().min(FRAME_HEADER_LEN);
+                    let take = want.min(self.block.len() - self.pos);
+                    self.pending.extend_from_slice(&self.block[self.pos..self.pos + take]);
+                    self.pos += take;
+                    if self.pending.len() < FRAME_HEADER_LEN {
+                        return Ok(None);
+                    }
+                    let len = u32::from_le_bytes(
+                        self.pending[..FRAME_HEADER_LEN].try_into().expect("len 4"),
+                    ) as usize;
+                    self.vet(len)?;
+                    self.need = FRAME_HEADER_LEN + len;
+                    self.pending.reserve(self.need - self.pending.len());
+                }
+                let want = self.need - self.pending.len();
+                let take = want.min(self.block.len() - self.pos);
+                self.pending.extend_from_slice(&self.block[self.pos..self.pos + take]);
+                self.pos += take;
+                if self.pending.len() < self.need {
+                    return Ok(None);
+                }
+                let whole = WireBytes::from(std::mem::take(&mut self.pending));
+                self.need = 0;
+                return Ok(Some(whole.slice(FRAME_HEADER_LEN..whole.len())));
+            }
+            let avail = self.block.len() - self.pos;
+            if avail == 0 {
+                return Ok(None);
+            }
+            if avail < FRAME_HEADER_LEN {
+                self.spill_tail();
+                continue;
+            }
+            let len = u32::from_le_bytes(
+                self.block[self.pos..self.pos + FRAME_HEADER_LEN].try_into().expect("len 4"),
+            ) as usize;
+            self.vet(len)?;
+            let total = FRAME_HEADER_LEN + len;
+            if avail < total {
+                self.spill_tail();
+                self.need = total;
+                self.pending.reserve(total - self.pending.len());
+                return Ok(None);
+            }
+            // The whole frame sits inside this block: zero-copy view.
+            let start = self.pos + FRAME_HEADER_LEN;
+            self.pos += total;
+            return Ok(Some(self.block.slice(start..start + len)));
+        }
+    }
+
+    /// Validates a length prefix before any buffer is sized by it.
+    fn vet(&self, len: usize) -> Result<(), FrameError> {
+        if len == 0 {
+            return Err(FrameError::Empty);
+        }
+        if len > self.max_frame_len {
+            return Err(FrameError::Oversize { len, max: self.max_frame_len });
+        }
+        Ok(())
+    }
+}
+
+/// Writes one `[u32 LE len][parts...]` frame; `len` covers all parts.
+/// Multiple parts let a sender prepend a routing header to a shared
+/// payload buffer without concatenating them first.
+pub fn write_frame<W: Write>(w: &mut W, parts: &[&[u8]]) -> std::io::Result<usize> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    let header = (u32::try_from(len).expect("frame length fits u32")).to_le_bytes();
+    w.write_all(&header)?;
+    for part in parts {
+        w.write_all(part)?;
+    }
+    Ok(FRAME_HEADER_LEN + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that serves a byte script in fixed-size drips.
+    struct Drip {
+        bytes: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(self.bytes.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn encode(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            write_frame(&mut out, &[p]).unwrap();
+        }
+        out
+    }
+
+    fn drain<R: Read>(framer: &mut StreamFramer, r: &mut R) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        loop {
+            while let Some(f) = framer.next_frame().expect("well-formed stream") {
+                frames.push(f.as_slice().to_vec());
+            }
+            if framer.refill(r).expect("in-memory read") == 0 {
+                return frames;
+            }
+        }
+    }
+
+    #[test]
+    fn frames_within_one_block_are_zero_copy() {
+        let mut framer = StreamFramer::default();
+        let wire = encode(&[b"alpha", b"beta"]);
+        let mut src = Drip { bytes: wire, pos: 0, step: usize::MAX };
+        framer.refill(&mut src).unwrap();
+        let a = framer.next_frame().unwrap().expect("first frame");
+        let b = framer.next_frame().unwrap().expect("second frame");
+        assert_eq!(a.as_slice(), b"alpha");
+        assert_eq!(b.as_slice(), b"beta");
+        assert!(a.shares_buffer_with(&b), "both frames are views of the read block");
+        assert!(framer.next_frame().unwrap().is_none());
+        assert_eq!(framer.buffered(), 0);
+    }
+
+    /// One-byte reads tear every frame across block boundaries: the
+    /// stitch path must reassemble them byte-perfectly, in order.
+    #[test]
+    fn partial_reads_reassemble() {
+        for step in [1, 2, 3, 5, 7] {
+            let payloads: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; 1 + i as usize * 17]).collect();
+            let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+            let mut src = Drip { bytes: encode(&refs), pos: 0, step };
+            let mut framer = StreamFramer::default().with_read_chunk(step.max(2));
+            let got = drain(&mut framer, &mut src);
+            assert_eq!(got, payloads, "step {step}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_yields_no_partial_frame() {
+        let mut wire = encode(&[b"whole"]);
+        let cut = wire.len() - 2;
+        wire.extend_from_slice(&encode(&[b"torn-off"])[..cut.min(6)]);
+        let mut framer = StreamFramer::default();
+        let mut src = Drip { bytes: wire, pos: 0, step: 3 };
+        let got = drain(&mut framer, &mut src);
+        assert_eq!(got, vec![b"whole".to_vec()], "only the complete frame surfaces");
+        assert!(framer.buffered() > 0, "the torn tail stays pending, never delivered");
+    }
+
+    /// The attack the ceiling exists for: a 4-byte header claiming a
+    /// multi-gigabyte payload must be rejected before any allocation.
+    #[test]
+    fn oversize_prefix_rejected_before_allocating() {
+        let mut framer = StreamFramer::new(1024);
+        let mut wire = (u32::MAX).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0xAB; 8]);
+        framer.push_bytes(&wire);
+        assert_eq!(
+            framer.next_frame(),
+            Err(FrameError::Oversize { len: u32::MAX as usize, max: 1024 })
+        );
+        // Same check on the stitch path (header arrives one byte at a
+        // time, so the length is only known mid-stitch).
+        let mut framer = StreamFramer::new(1024).with_read_chunk(1);
+        let mut src = Drip { bytes: (1_000_000u32).to_le_bytes().to_vec(), pos: 0, step: 1 };
+        let err = loop {
+            match framer.next_frame() {
+                Ok(Some(_)) => panic!("no frame can complete"),
+                Ok(None) => {
+                    if framer.refill(&mut src).unwrap() == 0 {
+                        panic!("stream ended before the oversize header completed");
+                    }
+                }
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, FrameError::Oversize { len: 1_000_000, max: 1024 });
+    }
+
+    #[test]
+    fn boundary_lengths_exact_max_ok_one_over_rejected() {
+        let max = 64;
+        let payload = vec![7u8; max];
+        let mut framer = StreamFramer::new(max);
+        framer.push_bytes(&encode(&[payload.as_slice()]));
+        assert_eq!(framer.next_frame().unwrap().expect("at-max frame").len(), max);
+        let over = vec![7u8; max + 1];
+        framer.push_bytes(&encode(&[over.as_slice()]));
+        assert_eq!(framer.next_frame(), Err(FrameError::Oversize { len: max + 1, max }));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut framer = StreamFramer::default();
+        framer.push_bytes(&0u32.to_le_bytes());
+        assert_eq!(framer.next_frame(), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn push_bytes_then_refill_keeps_order() {
+        let wire = encode(&[b"first", b"second", b"third"]);
+        let (head, tail) = wire.split_at(7);
+        let mut framer = StreamFramer::default();
+        framer.push_bytes(head);
+        let mut src = Drip { bytes: tail.to_vec(), pos: 0, step: 4 };
+        let got = drain(&mut framer, &mut src);
+        assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+    }
+
+    #[test]
+    fn write_frame_concatenates_parts_under_one_length() {
+        let mut out = Vec::new();
+        let n = write_frame(&mut out, &[b"head", b"body"]).unwrap();
+        assert_eq!(n, out.len());
+        assert_eq!(&out[..4], &8u32.to_le_bytes());
+        assert_eq!(&out[4..], b"headbody");
+    }
+}

@@ -1,0 +1,141 @@
+//! The transport abstraction the fabric runtime is generic over.
+//!
+//! A [`Hub`] is one node's view of the cluster network: replicas and
+//! clients register inbound endpoints on it and push encoded
+//! [`WireBytes`] frames through it. The in-process substrate
+//! ([`crate::InprocHub`]) implements it with crossbeam channels (every
+//! node shares one hub); the socket substrate ([`crate::TcpHub`]) gives
+//! each process its own hub whose sends cross real TCP streams.
+//!
+//! The contract mirrors what the fabric always assumed of `InprocHub`:
+//!
+//! * `register` endpoints are single-consumer receivers; re-registering
+//!   a node replaces the previous endpoint.
+//! * `send` is fire-and-forget: `false` means the destination is
+//!   *locally* unknown or its queue rejected the frame — a socket hub
+//!   returns `true` once the frame is queued toward a peer, delivery
+//!   being the network's (and the protocol's retransmission machinery's)
+//!   problem, exactly like UDP-ish datacenter fabric semantics.
+//! * `broadcast` reaches every *replica* except `from` and reports how
+//!   many outbound queues accepted the frame. The frame is passed by
+//!   reference so a shared encode-once buffer stays shared wherever the
+//!   substrate permits (in-proc always; TCP when link auth allows).
+
+use crossbeam::channel::Receiver;
+use poe_kernel::ids::NodeId;
+use poe_kernel::wire::WireBytes;
+
+/// Per-link supervision counters a transport can report.
+///
+/// The in-proc hub has no links and reports none; the TCP hub reports
+/// one entry per supervised connection (outbound peer links and learned
+/// client routes).
+#[derive(Clone, Debug, Default)]
+pub struct LinkReport {
+    /// Human-readable peer label (`"r2"` for a replica link, `"c0+512"`
+    /// for a client-group route).
+    pub peer: String,
+    /// Successful connection establishments (handshake completed).
+    pub connects: u64,
+    /// Re-establishments after a loss — `connects` minus the first.
+    pub reconnects: u64,
+    /// Frames written to this link.
+    pub frames_out: u64,
+    /// Payload bytes written (frame headers included).
+    pub bytes_out: u64,
+    /// Frames read from this link.
+    pub frames_in: u64,
+    /// Payload bytes read (frame headers included).
+    pub bytes_in: u64,
+    /// Peak depth of the bounded send queue.
+    pub queue_peak: u64,
+    /// Frames dropped because the send queue was full (shed-policy
+    /// links: client replies and driver requests; consensus links
+    /// backpressure instead).
+    pub shed: u64,
+    /// Inbound frames or handshakes rejected by framing or
+    /// authentication (hostile/torn input, wrong cluster, bad MAC).
+    pub rejected_in: u64,
+}
+
+impl LinkReport {
+    /// Sums every counter of `reports` into one aggregate (peer label
+    /// `"total"`), for one-line summaries.
+    pub fn total(reports: &[LinkReport]) -> LinkReport {
+        let mut t = LinkReport { peer: "total".into(), ..LinkReport::default() };
+        for r in reports {
+            t.connects += r.connects;
+            t.reconnects += r.reconnects;
+            t.frames_out += r.frames_out;
+            t.bytes_out += r.bytes_out;
+            t.frames_in += r.frames_in;
+            t.bytes_in += r.bytes_in;
+            t.queue_peak = t.queue_peak.max(r.queue_peak);
+            t.shed += r.shed;
+            t.rejected_in += r.rejected_in;
+        }
+        t
+    }
+}
+
+/// One node's interface to the cluster network. See the module docs for
+/// the semantics each implementation must honor.
+pub trait Hub: Clone + Send + Sync + 'static {
+    /// Registers `node`, returning its inbound frame queue.
+    /// Re-registering replaces the previous endpoint.
+    fn register(&self, node: NodeId) -> Receiver<WireBytes>;
+
+    /// Registers the client-id block `base .. base + count` onto one
+    /// shared queue (open-loop drivers multiplex 10⁵ sessions; exact
+    /// registrations take precedence).
+    fn register_client_group(&self, base: u32, count: u32) -> Receiver<WireBytes>;
+
+    /// Removes a node's endpoint.
+    fn deregister(&self, node: NodeId);
+
+    /// Removes the client group starting at `base`.
+    fn deregister_client_group(&self, base: u32);
+
+    /// Sends an encoded frame toward `to`. See the module docs for what
+    /// `false` means per substrate.
+    fn send(&self, to: NodeId, frame: WireBytes) -> bool;
+
+    /// Delivers one encoded frame toward every replica except `from`,
+    /// returning the number of queues that accepted it.
+    fn broadcast(&self, from: NodeId, frame: &WireBytes) -> usize;
+
+    /// Per-link supervision counters (empty for link-less substrates).
+    fn link_reports(&self) -> Vec<LinkReport> {
+        Vec::new()
+    }
+
+    /// Tears down any background machinery (listener/reader/writer
+    /// threads). Idempotent; a no-op for thread-less substrates.
+    fn shutdown(&self) {}
+}
+
+impl Hub for crate::InprocHub {
+    fn register(&self, node: NodeId) -> Receiver<WireBytes> {
+        crate::InprocHub::register(self, node)
+    }
+
+    fn register_client_group(&self, base: u32, count: u32) -> Receiver<WireBytes> {
+        crate::InprocHub::register_client_group(self, base, count)
+    }
+
+    fn deregister(&self, node: NodeId) {
+        crate::InprocHub::deregister(self, node)
+    }
+
+    fn deregister_client_group(&self, base: u32) {
+        crate::InprocHub::deregister_client_group(self, base)
+    }
+
+    fn send(&self, to: NodeId, frame: WireBytes) -> bool {
+        crate::InprocHub::send(self, to, frame)
+    }
+
+    fn broadcast(&self, from: NodeId, frame: &WireBytes) -> usize {
+        crate::InprocHub::broadcast(self, from, frame)
+    }
+}

@@ -1,6 +1,6 @@
 //! # poe-net
 //!
-//! Network substrates for the two runtimes:
+//! Network substrates for the runtimes:
 //!
 //! * [`model`] — the *simulated* network: per-link delay distributions,
 //!   probabilistic drops, directed link blocking and group partitions.
@@ -13,12 +13,27 @@
 //!   of the fabric runtime (paper §III's multi-threaded pipelined
 //!   architecture), exercising the real wire codec. Broadcasts encode
 //!   once and share the frame across every recipient queue.
+//! * [`tcp`] — the *socket* transport: the same [`Hub`] surface carried
+//!   over supervised per-peer TCP streams ([`frame`] does the length-
+//!   prefixed zero-copy framing, [`supervise`] the backoff/handshake/
+//!   outbox machinery), so replicas run as real networked processes.
+//!
+//! The [`hub::Hub`] trait is the seam: the fabric runtime is generic
+//! over it and cannot tell the substrates apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
+pub mod hub;
 pub mod inproc;
 pub mod model;
+pub mod supervise;
+pub mod tcp;
 
+pub use frame::{FrameError, StreamFramer, DEFAULT_MAX_FRAME_LEN};
+pub use hub::{Hub, LinkReport};
 pub use inproc::InprocHub;
 pub use model::{DelayModel, NetworkModel};
+pub use supervise::PeerIdentity;
+pub use tcp::{TcpConfig, TcpHub};

@@ -1,0 +1,546 @@
+//! Connection supervision primitives for socket transports.
+//!
+//! A supervised link is a state machine, not an error path: it dials
+//! with **capped exponential backoff + jitter** ([`Backoff`]), proves
+//! both endpoints' identities with an authenticated handshake
+//! ([`Hello`]), drains a **bounded outbox** ([`Outbox`]) whose overflow
+//! policy depends on what the frames are (consensus traffic waits —
+//! backpressure; client replies shed), and counts everything
+//! ([`LinkStats`]) so a report can show exactly what each link did.
+
+use crate::hub::LinkReport;
+use poe_crypto::provider::{AuthTag, CryptoProvider};
+use poe_kernel::ids::NodeId;
+use poe_kernel::wire::WireBytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- counters
+
+/// Shared atomic counters of one supervised link (writer, reader, and
+/// senders all update the same instance).
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Successful handshakes.
+    pub connects: AtomicU64,
+    /// Frames written.
+    pub frames_out: AtomicU64,
+    /// Bytes written (frame headers included).
+    pub bytes_out: AtomicU64,
+    /// Frames read.
+    pub frames_in: AtomicU64,
+    /// Bytes read (frame headers included).
+    pub bytes_in: AtomicU64,
+    /// Frames dropped at a full outbox (or after exhausting the
+    /// backpressure patience on a consensus link).
+    pub shed: AtomicU64,
+    /// Inbound rejections: framing violations, handshake failures.
+    pub rejected_in: AtomicU64,
+}
+
+impl LinkStats {
+    /// Snapshot into a [`LinkReport`]; `reconnects` is every successful
+    /// handshake after the first.
+    pub fn report(&self, peer: String, queue_peak: u64) -> LinkReport {
+        let connects = self.connects.load(Ordering::Relaxed);
+        LinkReport {
+            peer,
+            connects,
+            reconnects: connects.saturating_sub(1),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            queue_peak,
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected_in: self.rejected_in.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one written frame of `bytes` bytes.
+    pub fn note_out(&self, bytes: usize) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one read frame of `bytes` payload bytes (+ header).
+    pub fn note_in(&self, bytes: usize) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in
+            .fetch_add(bytes as u64 + crate::frame::FRAME_HEADER_LEN as u64, Ordering::Relaxed);
+    }
+}
+
+// -------------------------------------------------------------- backoff
+
+/// Capped exponential backoff with uniform jitter. Jitter is drawn from
+/// a per-link seeded stream, so a cluster-wide connection storm does
+/// not re-dial in lockstep.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    cur: Duration,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, doubling to at most `max`.
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
+        Backoff { base, max, cur: base, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The next delay to sleep before re-dialing: the current step plus
+    /// up to 50% jitter. Doubles the step, capped.
+    pub fn next_delay(&mut self) -> Duration {
+        let step_us = self.cur.as_micros() as u64;
+        let jitter_us = self.rng.gen_range(0..step_us.max(2) / 2 + 1);
+        let delay = Duration::from_micros(step_us + jitter_us);
+        self.cur = (self.cur * 2).min(self.max);
+        delay
+    }
+
+    /// Resets to the base step (call after a successful handshake).
+    pub fn reset(&mut self) {
+        self.cur = self.base;
+    }
+
+    /// The current (un-jittered) step.
+    pub fn current(&self) -> Duration {
+        self.cur
+    }
+}
+
+// --------------------------------------------------------------- outbox
+
+/// A bounded MPSC queue of destination-tagged frames feeding one writer
+/// thread, with both overflow disciplines the slow-peer policy needs:
+/// [`Outbox::try_push`] (shed) and [`Outbox::push_wait`] (bounded-
+/// patience backpressure).
+#[derive(Debug)]
+pub struct Outbox {
+    cap: usize,
+    state: Mutex<OutboxState>,
+    /// Signals consumers (writer thread) that an item or close arrived.
+    pop_cv: Condvar,
+    /// Signals producers that room opened up.
+    push_cv: Condvar,
+}
+
+#[derive(Debug)]
+struct OutboxState {
+    q: VecDeque<(NodeId, WireBytes)>,
+    closed: bool,
+    peak: u64,
+}
+
+impl Outbox {
+    /// An open outbox holding at most `cap` frames.
+    pub fn new(cap: usize) -> Outbox {
+        assert!(cap >= 1, "outbox capacity must be positive");
+        Outbox {
+            cap,
+            state: Mutex::new(OutboxState { q: VecDeque::new(), closed: false, peak: 0 }),
+            pop_cv: Condvar::new(),
+            push_cv: Condvar::new(),
+        }
+    }
+
+    /// Queues a frame unless the outbox is full or closed.
+    pub fn try_push(&self, dest: NodeId, frame: WireBytes) -> bool {
+        let mut s = self.state.lock().expect("outbox poisoned");
+        if s.closed || s.q.len() >= self.cap {
+            return false;
+        }
+        s.q.push_back((dest, frame));
+        s.peak = s.peak.max(s.q.len() as u64);
+        drop(s);
+        self.pop_cv.notify_one();
+        true
+    }
+
+    /// Queues a frame, waiting up to `patience` for room when full —
+    /// the consensus-link discipline: a slow peer backpressures the
+    /// sender before anything is dropped. Returns false if the outbox
+    /// closed or patience ran out (the caller counts the shed).
+    pub fn push_wait(&self, dest: NodeId, frame: WireBytes, patience: Duration) -> bool {
+        let deadline = Instant::now() + patience;
+        let mut s = self.state.lock().expect("outbox poisoned");
+        while !s.closed && s.q.len() >= self.cap {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (next, timed_out) = self.push_cv.wait_timeout(s, left).expect("outbox poisoned");
+            s = next;
+            if timed_out.timed_out() && s.q.len() >= self.cap {
+                return false;
+            }
+        }
+        if s.closed {
+            return false;
+        }
+        s.q.push_back((dest, frame));
+        s.peak = s.peak.max(s.q.len() as u64);
+        drop(s);
+        self.pop_cv.notify_one();
+        true
+    }
+
+    /// Dequeues one frame, waiting up to `timeout`. `None` on timeout
+    /// or when closed-and-empty (check [`Outbox::is_closed`]).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(NodeId, WireBytes)> {
+        let mut s = self.state.lock().expect("outbox poisoned");
+        if s.q.is_empty() && !s.closed {
+            let (next, _) = self.pop_cv.wait_timeout(s, timeout).expect("outbox poisoned");
+            s = next;
+        }
+        let item = s.q.pop_front();
+        if item.is_some() {
+            drop(s);
+            self.push_cv.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues one frame without waiting.
+    pub fn try_pop(&self) -> Option<(NodeId, WireBytes)> {
+        let mut s = self.state.lock().expect("outbox poisoned");
+        let item = s.q.pop_front();
+        if item.is_some() {
+            drop(s);
+            self.push_cv.notify_one();
+        }
+        item
+    }
+
+    /// Closes the outbox: pushes fail, waiters wake, the writer drains
+    /// what is queued and exits.
+    pub fn close(&self) {
+        self.state.lock().expect("outbox poisoned").closed = true;
+        self.pop_cv.notify_all();
+        self.push_cv.notify_all();
+    }
+
+    /// Whether [`Outbox::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("outbox poisoned").closed
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("outbox poisoned").q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak depth ever reached.
+    pub fn peak(&self) -> u64 {
+        self.state.lock().expect("outbox poisoned").peak
+    }
+}
+
+// ------------------------------------------------------------ handshake
+
+/// Handshake frame magic.
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"POE1";
+/// Handshake wire version.
+pub const HANDSHAKE_VERSION: u8 = 1;
+/// Ceiling on the encoded auth tag (the largest real tag is 65 bytes).
+const MAX_TAG_LEN: usize = 128;
+/// Fixed size of the identity core every tag covers.
+pub const HELLO_CORE_LEN: usize = 22;
+
+/// Who a link endpoint claims to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerIdentity {
+    /// Replica `id`.
+    Replica(u32),
+    /// A client-side hub multiplexing the client-id block
+    /// `base .. base + count`.
+    Clients {
+        /// First client id.
+        base: u32,
+        /// Number of client ids.
+        count: u32,
+    },
+}
+
+impl PeerIdentity {
+    /// The key-material index this identity authenticates with
+    /// (replicas `0..n`, then clients).
+    pub fn global_index(&self, n_replicas: usize) -> u32 {
+        match *self {
+            PeerIdentity::Replica(r) => r,
+            PeerIdentity::Clients { base, .. } => n_replicas as u32 + base,
+        }
+    }
+
+    /// Short display label (`r2`, `c100+512`).
+    pub fn label(&self) -> String {
+        match *self {
+            PeerIdentity::Replica(r) => format!("r{r}"),
+            PeerIdentity::Clients { base, count } => format!("c{base}+{count}"),
+        }
+    }
+}
+
+/// The identity half of the handshake: each endpoint sends one `Hello`
+/// (magic, version, cluster id, claimed identity) plus an [`AuthTag`]
+/// over the identity core — the dialer tags its own core, the acceptor
+/// tags dialer-core ‖ acceptor-core, binding both directions. With
+/// authentication disabled both tags are [`AuthTag::None`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Cluster instance id (derived from the shared seed): two clusters
+    /// on one host cannot cross-connect.
+    pub cluster_id: u64,
+    /// The sender's claimed identity.
+    pub identity: PeerIdentity,
+}
+
+impl Hello {
+    /// The fixed-size byte core the handshake tags cover.
+    pub fn core(&self) -> [u8; HELLO_CORE_LEN] {
+        let mut out = [0u8; HELLO_CORE_LEN];
+        out[..4].copy_from_slice(&HANDSHAKE_MAGIC);
+        out[4] = HANDSHAKE_VERSION;
+        out[5..13].copy_from_slice(&self.cluster_id.to_le_bytes());
+        let (kind, id, count) = match self.identity {
+            PeerIdentity::Replica(r) => (0u8, r, 1u32),
+            PeerIdentity::Clients { base, count } => (1u8, base, count),
+        };
+        out[13] = kind;
+        out[14..18].copy_from_slice(&id.to_le_bytes());
+        out[18..22].copy_from_slice(&count.to_le_bytes());
+        out
+    }
+
+    /// Writes core + length-prefixed tag.
+    pub fn write<W: Write>(&self, w: &mut W, tag: &AuthTag) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(HELLO_CORE_LEN + 4 + tag.encoded_len());
+        buf.extend_from_slice(&self.core());
+        buf.extend_from_slice(&(tag.encoded_len() as u32).to_le_bytes());
+        tag.encode(&mut buf);
+        w.write_all(&buf)
+    }
+
+    /// Reads and structurally validates one hello. Magic/version/tag
+    /// violations surface as `InvalidData`; identity and tag *checking*
+    /// is the caller's job (it knows the key material).
+    pub fn read<R: Read>(r: &mut R) -> std::io::Result<(Hello, AuthTag)> {
+        let bad = |what: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("handshake: {what}"))
+        };
+        let mut core = [0u8; HELLO_CORE_LEN];
+        r.read_exact(&mut core)?;
+        if core[..4] != HANDSHAKE_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if core[4] != HANDSHAKE_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let cluster_id = u64::from_le_bytes(core[5..13].try_into().expect("len 8"));
+        let id = u32::from_le_bytes(core[14..18].try_into().expect("len 4"));
+        let count = u32::from_le_bytes(core[18..22].try_into().expect("len 4"));
+        let identity = match core[13] {
+            0 => PeerIdentity::Replica(id),
+            1 if count >= 1 => PeerIdentity::Clients { base: id, count },
+            _ => return Err(bad("bad identity kind")),
+        };
+        let mut len4 = [0u8; 4];
+        r.read_exact(&mut len4)?;
+        let tag_len = u32::from_le_bytes(len4) as usize;
+        if tag_len > MAX_TAG_LEN {
+            return Err(bad("oversize auth tag"));
+        }
+        let mut tag_buf = vec![0u8; tag_len];
+        r.read_exact(&mut tag_buf)?;
+        let (tag, used) = AuthTag::decode(&tag_buf).ok_or_else(|| bad("malformed auth tag"))?;
+        if used != tag_len {
+            return Err(bad("auth tag padding"));
+        }
+        Ok((Hello { cluster_id, identity }, tag))
+    }
+}
+
+/// Computes the tag a dialer sends: over its own hello core, keyed to
+/// the acceptor. `None` provider ⇒ unauthenticated links.
+pub fn dial_tag(auth: Option<&CryptoProvider>, hello: &Hello, acceptor_index: u32) -> AuthTag {
+    match auth {
+        Some(p) => p.authenticate(acceptor_index, &hello.core()),
+        None => AuthTag::None,
+    }
+}
+
+/// Computes the tag an acceptor answers with: over dialer-core ‖
+/// acceptor-core, keyed to the dialer.
+pub fn accept_tag(
+    auth: Option<&CryptoProvider>,
+    dialer_hello: &Hello,
+    acceptor_hello: &Hello,
+    dialer_index: u32,
+) -> AuthTag {
+    match auth {
+        Some(p) => {
+            let mut msg = Vec::with_capacity(2 * HELLO_CORE_LEN);
+            msg.extend_from_slice(&dialer_hello.core());
+            msg.extend_from_slice(&acceptor_hello.core());
+            p.authenticate(dialer_index, &msg)
+        }
+        None => AuthTag::None,
+    }
+}
+
+/// Verifies a dialer's tag (acceptor side). A `None` provider trusts
+/// everything (the in-datacenter model).
+pub fn check_dial_tag(
+    auth: Option<&CryptoProvider>,
+    hello: &Hello,
+    dialer_index: u32,
+    tag: &AuthTag,
+) -> bool {
+    match auth {
+        Some(p) => p.check(dialer_index, &hello.core(), tag),
+        None => true,
+    }
+}
+
+/// Verifies an acceptor's tag (dialer side).
+pub fn check_accept_tag(
+    auth: Option<&CryptoProvider>,
+    dialer_hello: &Hello,
+    acceptor_hello: &Hello,
+    acceptor_index: u32,
+    tag: &AuthTag,
+) -> bool {
+    match auth {
+        Some(p) => {
+            let mut msg = Vec::with_capacity(2 * HELLO_CORE_LEN);
+            msg.extend_from_slice(&dialer_hello.core());
+            msg.extend_from_slice(&acceptor_hello.core());
+            p.check(acceptor_index, &msg, tag)
+        }
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+    use poe_kernel::ids::{NodeId, ReplicaId};
+
+    fn frame(b: &[u8]) -> WireBytes {
+        WireBytes::copy_from(b)
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let mut b = Backoff::new(base, max, 7);
+        let mut step = base;
+        for _ in 0..6 {
+            let d = b.next_delay();
+            assert!(
+                d >= step && d <= step + step / 2 + Duration::from_micros(1),
+                "{d:?} vs {step:?}"
+            );
+            step = (step * 2).min(max);
+        }
+        assert_eq!(b.current(), max, "capped");
+        b.reset();
+        assert_eq!(b.current(), base);
+    }
+
+    #[test]
+    fn outbox_try_push_sheds_at_capacity() {
+        let ob = Outbox::new(2);
+        let dest = NodeId::Replica(ReplicaId(1));
+        assert!(ob.try_push(dest, frame(b"a")));
+        assert!(ob.try_push(dest, frame(b"b")));
+        assert!(!ob.try_push(dest, frame(b"c")), "full sheds");
+        assert_eq!(ob.peak(), 2);
+        assert_eq!(ob.try_pop().unwrap().1.as_slice(), b"a");
+        assert!(ob.try_push(dest, frame(b"c")), "room reopened");
+    }
+
+    #[test]
+    fn outbox_push_wait_backpressures_until_room() {
+        let ob = std::sync::Arc::new(Outbox::new(1));
+        let dest = NodeId::Replica(ReplicaId(0));
+        assert!(ob.try_push(dest, frame(b"first")));
+        let consumer = {
+            let ob = ob.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                ob.pop_timeout(Duration::from_secs(1)).expect("item queued")
+            })
+        };
+        let t0 = Instant::now();
+        assert!(ob.push_wait(dest, frame(b"second"), Duration::from_secs(2)), "waited for room");
+        assert!(t0.elapsed() >= Duration::from_millis(20), "actually blocked");
+        assert_eq!(consumer.join().unwrap().1.as_slice(), b"first");
+        // Patience exhausted: the queue stays full, push_wait gives up.
+        assert!(!ob.push_wait(dest, frame(b"third"), Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn outbox_close_wakes_and_rejects() {
+        let ob = std::sync::Arc::new(Outbox::new(1));
+        let waiter = {
+            let ob = ob.clone();
+            std::thread::spawn(move || ob.pop_timeout(Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        ob.close();
+        assert_eq!(waiter.join().unwrap(), None, "close wakes a blocked pop");
+        assert!(!ob.try_push(NodeId::Replica(ReplicaId(0)), frame(b"x")));
+        assert!(ob.is_closed());
+    }
+
+    #[test]
+    fn hello_roundtrips_and_rejects_garbage() {
+        for identity in [PeerIdentity::Replica(3), PeerIdentity::Clients { base: 100, count: 512 }]
+        {
+            let hello = Hello { cluster_id: 0xDEAD_BEEF, identity };
+            let mut wire = Vec::new();
+            hello.write(&mut wire, &AuthTag::None).unwrap();
+            let (back, tag) = Hello::read(&mut wire.as_slice()).unwrap();
+            assert_eq!(back, hello);
+            assert_eq!(tag, AuthTag::None);
+        }
+        assert!(Hello::read(&mut &b"NOPE############################"[..]).is_err());
+    }
+
+    #[test]
+    fn handshake_tags_bind_both_identities() {
+        let km = KeyMaterial::generate(4, 2, 3, CryptoMode::Cmac, CertScheme::Simulated, 9);
+        let dialer = Hello { cluster_id: 7, identity: PeerIdentity::Replica(0) };
+        let acceptor = Hello { cluster_id: 7, identity: PeerIdentity::Replica(2) };
+        let p0 = km.replica(0);
+        let p2 = km.replica(2);
+        let t = dial_tag(Some(&p0), &dialer, 2);
+        assert!(check_dial_tag(Some(&p2), &dialer, 0, &t));
+        let mut forged = dialer;
+        forged.identity = PeerIdentity::Replica(1);
+        assert!(!check_dial_tag(Some(&p2), &forged, 1, &t), "identity swap breaks the tag");
+        let a = accept_tag(Some(&p2), &dialer, &acceptor, 0);
+        assert!(check_accept_tag(Some(&p0), &dialer, &acceptor, 2, &a));
+        assert!(!check_accept_tag(Some(&p0), &forged, &acceptor, 2, &a));
+        // Clients authenticate with their key-material index too.
+        let c = Hello { cluster_id: 7, identity: PeerIdentity::Clients { base: 0, count: 2 } };
+        let pc = km.client(0);
+        let ct = dial_tag(Some(&pc), &c, 2);
+        assert!(check_dial_tag(Some(&p2), &c, c.identity.global_index(4), &ct));
+    }
+}

@@ -1,0 +1,981 @@
+//! `TcpHub`: the socket substrate — the [`Hub`] surface carried over
+//! per-peer TCP streams.
+//!
+//! Topology: every replica hub binds a listener and dials one
+//! **simplex** outbound link to each peer replica (A→B traffic rides
+//! A's dialed connection; the accepted side only reads). Client-side
+//! hubs dial every replica **duplex**: requests flow out and replies
+//! come back on the same stream, the replica learning the client-id
+//! block behind the connection from the handshake and routing replies
+//! onto it.
+//!
+//! Wire format after the [`Hello`] handshake: each frame is
+//! `[u32 len][u8 dest kind][u32 dest id][envelope]`. The 5-byte
+//! destination header lets the receiving hub route without decoding
+//! envelopes, and — because [`frame::write_frame`] gathers it with the
+//! payload under one length prefix — an encode-once broadcast buffer
+//! stays refcounted-shared across every outbox it sits in.
+//!
+//! Slow-peer policy (per the fabric's contract): frames queued toward a
+//! replica on a replica hub use bounded-patience backpressure; client
+//! replies and client-side requests shed at a full outbox. All of it is
+//! counted per link and surfaced via [`Hub::link_reports`].
+
+use crate::frame::{self, StreamFramer};
+use crate::hub::{Hub, LinkReport};
+use crate::supervise::{
+    accept_tag, check_accept_tag, check_dial_tag, dial_tag, Backoff, Hello, LinkStats, Outbox,
+    PeerIdentity,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use poe_crypto::provider::CryptoProvider;
+use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
+use poe_kernel::wire::WireBytes;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Poll interval for stop-flag checks in blocking loops.
+const TICK: Duration = Duration::from_millis(10);
+/// `[dest kind u8][dest id u32]` prepended to every envelope.
+const DEST_HEADER_LEN: usize = 5;
+/// Most frames a writer drains per flush.
+const WRITE_BURST: usize = 128;
+
+/// Configuration of one [`TcpHub`].
+#[derive(Clone)]
+pub struct TcpConfig {
+    /// Who this hub is on the wire.
+    pub identity: PeerIdentity,
+    /// Cluster instance id; both handshake sides must agree.
+    pub cluster_id: u64,
+    /// Cluster size (for key-material indexing of client identities).
+    pub n_replicas: usize,
+    /// Link-authentication provider; `None` disables handshake MACs.
+    pub auth: Option<CryptoProvider>,
+    /// Framer bound on inbound frame length.
+    pub max_frame_len: usize,
+    /// Outbox capacity of replica→replica links.
+    pub replica_outbox: usize,
+    /// Outbox capacity of client routes and client-side links.
+    pub client_outbox: usize,
+    /// How long a consensus-link send backpressures before shedding.
+    pub send_patience: Duration,
+    /// First reconnect delay.
+    pub backoff_base: Duration,
+    /// Reconnect delay cap.
+    pub backoff_max: Duration,
+    /// Dial timeout.
+    pub connect_timeout: Duration,
+    /// Read timeout while completing a handshake.
+    pub handshake_timeout: Duration,
+}
+
+impl TcpConfig {
+    fn defaults(identity: PeerIdentity, cluster_id: u64, n_replicas: usize) -> TcpConfig {
+        TcpConfig {
+            identity,
+            cluster_id,
+            n_replicas,
+            auth: None,
+            max_frame_len: frame::DEFAULT_MAX_FRAME_LEN,
+            replica_outbox: 8192,
+            client_outbox: 4096,
+            send_patience: Duration::from_millis(25),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Config for replica `id` of an `n_replicas` cluster.
+    pub fn replica(id: u32, n_replicas: usize, cluster_id: u64) -> TcpConfig {
+        TcpConfig::defaults(PeerIdentity::Replica(id), cluster_id, n_replicas)
+    }
+
+    /// Config for a client-side hub owning ids `base .. base + count`.
+    pub fn clients(base: u32, count: u32, n_replicas: usize, cluster_id: u64) -> TcpConfig {
+        TcpConfig::defaults(PeerIdentity::Clients { base, count }, cluster_id, n_replicas)
+    }
+
+    /// Enables link authentication with this hub's provider.
+    pub fn with_auth(mut self, provider: CryptoProvider) -> TcpConfig {
+        self.auth = Some(provider);
+        self
+    }
+
+    /// Overrides the inbound frame-length bound.
+    pub fn with_max_frame_len(mut self, max: usize) -> TcpConfig {
+        self.max_frame_len = max;
+        self
+    }
+}
+
+/// One outbound supervised link to a peer replica.
+struct PeerLink {
+    peer: u32,
+    addr: SocketAddr,
+    outbox: Arc<Outbox>,
+    stats: Arc<LinkStats>,
+}
+
+/// A learned reply route: the client-id block behind one accepted
+/// client connection.
+struct ClientRoute {
+    base: u32,
+    end: u32,
+    outbox: Arc<Outbox>,
+    stats: Arc<LinkStats>,
+    seq: u64,
+}
+
+/// A locally registered client-group endpoint (mirrors `InprocHub`).
+struct LocalGroup {
+    base: u32,
+    end: u32,
+    tx: Sender<WireBytes>,
+}
+
+struct Inner {
+    cfg: TcpConfig,
+    stop: AtomicBool,
+    /// Bumped by [`TcpHub::drop_links`]; writers holding an older
+    /// generation abandon their connection and redial.
+    conn_gen: AtomicU64,
+    listen_addr: Option<SocketAddr>,
+    local: RwLock<HashMap<NodeId, Sender<WireBytes>>>,
+    local_groups: RwLock<Vec<LocalGroup>>,
+    links: RwLock<BTreeMap<u32, Arc<PeerLink>>>,
+    routes: RwLock<Vec<ClientRoute>>,
+    /// Accepted sockets, kept so kill/shutdown can sever them.
+    accepted: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Handshakes rejected before any link existed to charge them to.
+    listener_rejects: AtomicU64,
+    route_seq: AtomicU64,
+}
+
+/// The socket-substrate [`Hub`]. Cheap to clone; all clones share the
+/// same links, routes, and supervision threads.
+#[derive(Clone)]
+pub struct TcpHub {
+    inner: Arc<Inner>,
+}
+
+impl TcpHub {
+    fn new(cfg: TcpConfig, listen_addr: Option<SocketAddr>) -> TcpHub {
+        TcpHub {
+            inner: Arc::new(Inner {
+                cfg,
+                stop: AtomicBool::new(false),
+                conn_gen: AtomicU64::new(0),
+                listen_addr,
+                local: RwLock::new(HashMap::new()),
+                local_groups: RwLock::new(Vec::new()),
+                links: RwLock::new(BTreeMap::new()),
+                routes: RwLock::new(Vec::new()),
+                accepted: Mutex::new(Vec::new()),
+                threads: Mutex::new(Vec::new()),
+                listener_rejects: AtomicU64::new(0),
+                route_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Binds a listening hub (replicas). Use `port 0` to let the OS
+    /// pick; [`TcpHub::local_addr`] reports the result.
+    pub fn bind(cfg: TcpConfig, listen: SocketAddr) -> std::io::Result<TcpHub> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let hub = TcpHub::new(cfg, Some(addr));
+        let h = hub.clone();
+        let t = thread::Builder::new()
+            .name(format!("tcp-accept-{}", hub.inner.cfg.identity.label()))
+            .spawn(move || h.accept_loop(listener))
+            .expect("spawn acceptor");
+        hub.inner.threads.lock().push(t);
+        Ok(hub)
+    }
+
+    /// A dial-only hub (client side): no listener; replies return on
+    /// the dialed connections.
+    pub fn connect_only(cfg: TcpConfig) -> TcpHub {
+        TcpHub::new(cfg, None)
+    }
+
+    /// The bound listener address, if any.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.inner.listen_addr
+    }
+
+    /// Declares the peer replicas and starts one supervised writer per
+    /// peer (own id skipped; already-known peers ignored).
+    pub fn set_peers(&self, peers: &[(u32, SocketAddr)]) {
+        for &(peer, addr) in peers {
+            if self.inner.cfg.identity == PeerIdentity::Replica(peer) {
+                continue;
+            }
+            let link = {
+                let mut links = self.inner.links.write();
+                if links.contains_key(&peer) {
+                    continue;
+                }
+                let link = Arc::new(PeerLink {
+                    peer,
+                    addr,
+                    outbox: Arc::new(Outbox::new(self.inner.cfg.replica_outbox)),
+                    stats: Arc::new(LinkStats::default()),
+                });
+                links.insert(peer, link.clone());
+                link
+            };
+            let h = self.clone();
+            let t = thread::Builder::new()
+                .name(format!("tcp-link-{}-r{peer}", self.inner.cfg.identity.label()))
+                .spawn(move || h.writer_loop(link))
+                .expect("spawn link writer");
+            self.inner.threads.lock().push(t);
+        }
+    }
+
+    /// Scripted connection kill: severs every established connection
+    /// (accepted sockets and outbound links). Supervision redials with
+    /// backoff; counters record the reconnects.
+    pub fn drop_links(&self) {
+        self.inner.conn_gen.fetch_add(1, Ordering::SeqCst);
+        for s in self.inner.accepted.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.inner.stop.load(Ordering::Relaxed)
+    }
+
+    /// Sleeps `total` in stop-aware slices.
+    fn sleep_supervised(&self, total: Duration) {
+        let mut left = total;
+        while !left.is_zero() && !self.stopped() {
+            let step = left.min(TICK);
+            thread::sleep(step);
+            left -= step;
+        }
+    }
+
+    // ------------------------------------------------------ accept side
+
+    fn accept_loop(&self, listener: TcpListener) {
+        while !self.stopped() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let h = self.clone();
+                    let t = thread::Builder::new()
+                        .name(format!("tcp-conn-{}", self.inner.cfg.identity.label()))
+                        .spawn(move || h.serve_conn(stream))
+                        .expect("spawn conn handler");
+                    self.inner.threads.lock().push(t);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(TICK);
+                }
+                Err(_) => thread::sleep(TICK),
+            }
+        }
+    }
+
+    /// Handshakes an inbound connection, then reads frames off it until
+    /// it dies. Client connections also get a route + reply writer.
+    fn serve_conn(&self, stream: TcpStream) {
+        let cfg = &self.inner.cfg;
+        let reject = || {
+            self.inner.listener_rejects.fetch_add(1, Ordering::Relaxed);
+        };
+        if stream.set_read_timeout(Some(cfg.handshake_timeout)).is_err() {
+            return;
+        }
+        let mut rd = &stream;
+        let (hello, tag) = match Hello::read(&mut rd) {
+            Ok(h) => h,
+            Err(_) => return reject(),
+        };
+        if hello.cluster_id != cfg.cluster_id {
+            return reject();
+        }
+        match hello.identity {
+            PeerIdentity::Replica(r) => {
+                if r as usize >= cfg.n_replicas || PeerIdentity::Replica(r) == cfg.identity {
+                    return reject();
+                }
+            }
+            PeerIdentity::Clients { count, .. } => {
+                if count == 0 || count > 1 << 24 {
+                    return reject();
+                }
+            }
+        }
+        let dialer_index = hello.identity.global_index(cfg.n_replicas);
+        // Replica links prove identity with the handshake tag. Client
+        // links don't MAC (their authenticity rides on per-request
+        // signatures checked at admission), so a client hello is only
+        // structurally validated.
+        let authentic = match hello.identity {
+            PeerIdentity::Replica(_) => {
+                check_dial_tag(cfg.auth.as_ref(), &hello, dialer_index, &tag)
+            }
+            PeerIdentity::Clients { .. } => true,
+        };
+        if !authentic {
+            return reject();
+        }
+        let my_hello = Hello { cluster_id: cfg.cluster_id, identity: cfg.identity };
+        let answer = accept_tag(cfg.auth.as_ref(), &hello, &my_hello, dialer_index);
+        {
+            let mut wr = &stream;
+            if my_hello.write(&mut wr, &answer).is_err() {
+                return;
+            }
+        }
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(TICK)).is_err() {
+            return;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            self.inner.accepted.lock().push(clone);
+        }
+        let stats = match hello.identity {
+            // Inbound replica traffic shares the outbound link's
+            // counters, giving one report line per peer pair.
+            PeerIdentity::Replica(r) => match self.inner.links.read().get(&r) {
+                Some(link) => link.stats.clone(),
+                None => Arc::new(LinkStats::default()),
+            },
+            PeerIdentity::Clients { base, count } => {
+                self.install_client_route(&stream, base, count)
+            }
+        };
+        self.read_frames(stream, stats);
+    }
+
+    /// Registers (or replaces) the reply route for an accepted client
+    /// connection and spawns its writer. Returns the route's stats for
+    /// the reader side.
+    fn install_client_route(&self, stream: &TcpStream, base: u32, count: u32) -> Arc<LinkStats> {
+        let stats = Arc::new(LinkStats::default());
+        stats.connects.fetch_add(1, Ordering::Relaxed);
+        let outbox = Arc::new(Outbox::new(self.inner.cfg.client_outbox));
+        let seq = self.inner.route_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut routes = self.inner.routes.write();
+            // A redial replaces the previous route for the same block:
+            // its writer wakes on the closed outbox and exits.
+            routes.retain(|r| {
+                if r.base == base {
+                    r.outbox.close();
+                    false
+                } else {
+                    true
+                }
+            });
+            routes.push(ClientRoute {
+                base,
+                end: base + count,
+                outbox: outbox.clone(),
+                stats: stats.clone(),
+                seq,
+            });
+        }
+        if let Ok(wstream) = stream.try_clone() {
+            let h = self.clone();
+            let ob = outbox.clone();
+            let st = stats.clone();
+            let t = thread::Builder::new()
+                .name(format!("tcp-route-c{base}"))
+                .spawn(move || h.route_writer(wstream, ob, st, seq))
+                .expect("spawn route writer");
+            self.inner.threads.lock().push(t);
+        }
+        stats
+    }
+
+    /// Drains a client route's outbox onto its accepted socket until
+    /// the route dies (socket error, replacement, shutdown).
+    fn route_writer(
+        &self,
+        stream: TcpStream,
+        outbox: Arc<Outbox>,
+        stats: Arc<LinkStats>,
+        seq: u64,
+    ) {
+        let mut w = BufWriter::new(&stream);
+        loop {
+            if self.stopped() {
+                break;
+            }
+            match outbox.pop_timeout(TICK) {
+                Some((dest, frame)) => {
+                    if write_dest_frame(&mut w, dest, &frame, &stats).is_err() {
+                        break;
+                    }
+                    let mut burst = 1;
+                    let mut failed = false;
+                    while burst < WRITE_BURST {
+                        match outbox.try_pop() {
+                            Some((d, f)) => {
+                                if write_dest_frame(&mut w, d, &f, &stats).is_err() {
+                                    failed = true;
+                                    break;
+                                }
+                                burst += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if failed || w.flush().is_err() {
+                        break;
+                    }
+                }
+                None => {
+                    if outbox.is_closed() {
+                        break;
+                    }
+                    let _ = w.flush();
+                }
+            }
+        }
+        outbox.close();
+        let _ = stream.shutdown(Shutdown::Both);
+        self.inner.routes.write().retain(|r| r.seq != seq);
+    }
+
+    // -------------------------------------------------------- dial side
+
+    /// Supervised outbound link: dial → handshake → drain outbox, and
+    /// on any loss redial with capped exponential backoff + jitter.
+    fn writer_loop(&self, link: Arc<PeerLink>) {
+        let cfg = &self.inner.cfg;
+        let my_index = cfg.identity.global_index(cfg.n_replicas);
+        let seed = cfg.cluster_id ^ ((my_index as u64) << 32) ^ link.peer as u64;
+        let mut backoff = Backoff::new(cfg.backoff_base, cfg.backoff_max, seed);
+        while !self.stopped() {
+            if link.outbox.is_closed() {
+                return;
+            }
+            let gen = self.inner.conn_gen.load(Ordering::SeqCst);
+            let stream = match TcpStream::connect_timeout(&link.addr, cfg.connect_timeout) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.sleep_supervised(backoff.next_delay());
+                    continue;
+                }
+            };
+            if !self.dial_handshake(&stream, &link) {
+                self.sleep_supervised(backoff.next_delay());
+                continue;
+            }
+            backoff.reset();
+            link.stats.connects.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_nodelay(true);
+            // Client-side links are duplex: replies ride back on this
+            // connection, a reader per established connection.
+            if matches!(cfg.identity, PeerIdentity::Clients { .. }) {
+                if let Ok(rstream) = stream.try_clone() {
+                    let _ = rstream.set_read_timeout(Some(TICK));
+                    let h = self.clone();
+                    let st = link.stats.clone();
+                    let t = thread::Builder::new()
+                        .name(format!("tcp-rx-{}-r{}", cfg.identity.label(), link.peer))
+                        .spawn(move || h.read_frames(rstream, st))
+                        .expect("spawn link reader");
+                    self.inner.threads.lock().push(t);
+                }
+            }
+            self.drain_connection(&stream, &link, gen);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Runs the dialer side of the handshake; false on any mismatch.
+    fn dial_handshake(&self, stream: &TcpStream, link: &PeerLink) -> bool {
+        let cfg = &self.inner.cfg;
+        if stream.set_read_timeout(Some(cfg.handshake_timeout)).is_err() {
+            return false;
+        }
+        let my_hello = Hello { cluster_id: cfg.cluster_id, identity: cfg.identity };
+        let tag = dial_tag(cfg.auth.as_ref(), &my_hello, link.peer);
+        {
+            let mut wr = stream;
+            if my_hello.write(&mut wr, &tag).is_err() {
+                return false;
+            }
+        }
+        let mut rd = stream;
+        let (theirs, answer) = match Hello::read(&mut rd) {
+            Ok(h) => h,
+            Err(_) => return false,
+        };
+        theirs.cluster_id == cfg.cluster_id
+            && theirs.identity == PeerIdentity::Replica(link.peer)
+            && check_accept_tag(cfg.auth.as_ref(), &my_hello, &theirs, link.peer, &answer)
+    }
+
+    /// Writes outbox frames onto one established connection until it
+    /// fails, the hub stops, or [`TcpHub::drop_links`] bumps the
+    /// generation.
+    fn drain_connection(&self, stream: &TcpStream, link: &PeerLink, gen: u64) {
+        let mut w = BufWriter::new(stream);
+        loop {
+            if self.stopped() || link.outbox.is_closed() {
+                let _ = w.flush();
+                return;
+            }
+            if self.inner.conn_gen.load(Ordering::SeqCst) != gen {
+                let _ = w.flush();
+                return;
+            }
+            match link.outbox.pop_timeout(TICK) {
+                Some((dest, frame)) => {
+                    if write_dest_frame(&mut w, dest, &frame, &link.stats).is_err() {
+                        return;
+                    }
+                    let mut burst = 1;
+                    while burst < WRITE_BURST {
+                        match link.outbox.try_pop() {
+                            Some((d, f)) => {
+                                if write_dest_frame(&mut w, d, &f, &link.stats).is_err() {
+                                    return;
+                                }
+                                burst += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if w.flush().is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------- read path
+
+    /// Reads length-prefixed frames off a connection into local
+    /// endpoints until EOF, a framing violation, stop, or a dead socket.
+    fn read_frames(&self, mut stream: TcpStream, stats: Arc<LinkStats>) {
+        let mut framer = StreamFramer::new(self.inner.cfg.max_frame_len);
+        loop {
+            loop {
+                match framer.next_frame() {
+                    Ok(Some(f)) => {
+                        stats.note_in(f.len());
+                        if !self.route_inbound(f) {
+                            stats.rejected_in.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Hostile or corrupt framing: kill the
+                        // connection, supervision redials.
+                        stats.rejected_in.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+            }
+            if self.stopped() {
+                return;
+            }
+            match framer.refill(&mut stream) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Parses a dest header and hands the envelope to the addressed
+    /// local endpoint. False only on a malformed header; an unknown
+    /// (e.g. deregistered) destination drops silently like `InprocHub`.
+    fn route_inbound(&self, f: WireBytes) -> bool {
+        let b = f.as_slice();
+        if b.len() < DEST_HEADER_LEN || b[0] > 1 {
+            return false;
+        }
+        let id = u32::from_le_bytes(b[1..5].try_into().expect("len 4"));
+        let dest =
+            if b[0] == 0 { NodeId::Replica(ReplicaId(id)) } else { NodeId::Client(ClientId(id)) };
+        self.deliver_local(dest, f.slice(DEST_HEADER_LEN..f.len()));
+        true
+    }
+
+    /// Delivers to an exact local registration, else a covering local
+    /// client group. True if an endpoint took the frame.
+    fn deliver_local(&self, dest: NodeId, frame: WireBytes) -> bool {
+        if let Some(tx) = self.inner.local.read().get(&dest) {
+            return tx.send(frame).is_ok();
+        }
+        if let NodeId::Client(c) = dest {
+            for g in self.inner.local_groups.read().iter() {
+                if g.base <= c.0 && c.0 < g.end {
+                    return g.tx.send(frame).is_ok();
+                }
+            }
+        }
+        false
+    }
+
+    /// Queues a frame toward a peer replica, applying the slow-peer
+    /// policy for this hub's identity: replica hubs backpressure
+    /// (consensus traffic), client hubs shed (open-loop requests).
+    fn queue_to_replica(&self, link: &PeerLink, dest: NodeId, frame: WireBytes) -> bool {
+        let ok = match self.inner.cfg.identity {
+            PeerIdentity::Replica(_) => {
+                link.outbox.push_wait(dest, frame, self.inner.cfg.send_patience)
+            }
+            PeerIdentity::Clients { .. } => link.outbox.try_push(dest, frame),
+        };
+        if !ok {
+            link.stats.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// Writes one `[len][dest][envelope]` frame; the shared payload buffer
+/// is gathered, never copied into a combined allocation.
+fn write_dest_frame<W: Write>(
+    w: &mut W,
+    dest: NodeId,
+    frame: &WireBytes,
+    stats: &LinkStats,
+) -> std::io::Result<()> {
+    let mut hdr = [0u8; DEST_HEADER_LEN];
+    match dest {
+        NodeId::Replica(r) => {
+            hdr[0] = 0;
+            hdr[1..5].copy_from_slice(&r.0.to_le_bytes());
+        }
+        NodeId::Client(c) => {
+            hdr[0] = 1;
+            hdr[1..5].copy_from_slice(&c.0.to_le_bytes());
+        }
+    }
+    let n = frame::write_frame(w, &[&hdr, frame.as_slice()])?;
+    stats.note_out(n);
+    Ok(())
+}
+
+impl Hub for TcpHub {
+    fn register(&self, node: NodeId) -> Receiver<WireBytes> {
+        let (tx, rx) = unbounded();
+        self.inner.local.write().insert(node, tx);
+        rx
+    }
+
+    fn register_client_group(&self, base: u32, count: u32) -> Receiver<WireBytes> {
+        let (tx, rx) = unbounded();
+        let mut groups = self.inner.local_groups.write();
+        groups.retain(|g| g.base != base);
+        groups.push(LocalGroup { base, end: base + count, tx });
+        rx
+    }
+
+    fn deregister(&self, node: NodeId) {
+        self.inner.local.write().remove(&node);
+    }
+
+    fn deregister_client_group(&self, base: u32) {
+        self.inner.local_groups.write().retain(|g| g.base != base);
+    }
+
+    fn send(&self, to: NodeId, frame: WireBytes) -> bool {
+        if self.inner.local.read().contains_key(&to) {
+            return self.deliver_local(to, frame);
+        }
+        match to {
+            NodeId::Replica(r) => {
+                let link = self.inner.links.read().get(&r.0).cloned();
+                match link {
+                    Some(link) => self.queue_to_replica(&link, to, frame),
+                    None => false,
+                }
+            }
+            NodeId::Client(c) => {
+                if self.deliver_local(to, frame.clone()) {
+                    return true;
+                }
+                let routes = self.inner.routes.read();
+                match routes.iter().find(|rt| rt.base <= c.0 && c.0 < rt.end) {
+                    Some(rt) => {
+                        // Reply path: shed, never stall consensus.
+                        let ok = rt.outbox.try_push(to, frame);
+                        if !ok {
+                            rt.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ok
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    fn broadcast(&self, from: NodeId, frame: &WireBytes) -> usize {
+        let mut reached = 0;
+        {
+            let local = self.inner.local.read();
+            for (&node, tx) in local.iter() {
+                if matches!(node, NodeId::Replica(_))
+                    && node != from
+                    && tx.send(frame.clone()).is_ok()
+                {
+                    reached += 1;
+                }
+            }
+        }
+        let links: Vec<Arc<PeerLink>> = self.inner.links.read().values().cloned().collect();
+        for link in links {
+            if from == NodeId::Replica(ReplicaId(link.peer)) {
+                continue;
+            }
+            if self.queue_to_replica(&link, NodeId::Replica(ReplicaId(link.peer)), frame.clone()) {
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    fn link_reports(&self) -> Vec<LinkReport> {
+        let mut out = Vec::new();
+        for link in self.inner.links.read().values() {
+            out.push(link.stats.report(format!("r{}", link.peer), link.outbox.peak()));
+        }
+        for rt in self.inner.routes.read().iter() {
+            out.push(
+                rt.stats.report(format!("c{}+{}", rt.base, rt.end - rt.base), rt.outbox.peak()),
+            );
+        }
+        let rejects = self.inner.listener_rejects.load(Ordering::Relaxed);
+        if rejects > 0 {
+            out.push(LinkReport {
+                peer: "listener".into(),
+                rejected_in: rejects,
+                ..LinkReport::default()
+            });
+        }
+        out
+    }
+
+    fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in self.inner.links.read().values() {
+            link.outbox.close();
+        }
+        for rt in self.inner.routes.read().iter() {
+            rt.outbox.close();
+        }
+        for s in self.inner.accepted.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Handler threads may still be registering while we join; drain
+        // until the list stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut g = self.inner.threads.lock();
+                g.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poe_crypto::{CertScheme, CryptoMode, KeyMaterial};
+    use std::io::Read;
+    use std::time::Instant;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("addr")
+    }
+
+    /// Binds `n` replica hubs on loopback and fully meshes them.
+    fn mesh(n: usize, cluster_id: u64, auth: Option<&Arc<KeyMaterial>>) -> Vec<TcpHub> {
+        let hubs: Vec<TcpHub> = (0..n)
+            .map(|i| {
+                let mut cfg = TcpConfig::replica(i as u32, n, cluster_id);
+                if let Some(km) = auth {
+                    cfg = cfg.with_auth(km.replica(i));
+                }
+                TcpHub::bind(cfg, loopback()).expect("bind")
+            })
+            .collect();
+        let peers: Vec<(u32, SocketAddr)> = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i as u32, h.local_addr().expect("addr")))
+            .collect();
+        for h in &hubs {
+            h.set_peers(&peers);
+        }
+        hubs
+    }
+
+    fn recv_payload(rx: &Receiver<WireBytes>, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Ok(f) = rx.try_recv() {
+                return Some(f.as_slice().to_vec());
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn frames_cross_replica_links_and_broadcast_fans_out() {
+        let hubs = mesh(3, 0xA1, None);
+        let rx: Vec<_> = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, h)| h.register(NodeId::Replica(ReplicaId(i as u32))))
+            .collect();
+        assert!(hubs[0].send(NodeId::Replica(ReplicaId(1)), WireBytes::copy_from(b"direct")));
+        assert_eq!(recv_payload(&rx[1], Duration::from_secs(5)).as_deref(), Some(&b"direct"[..]));
+        let shared = WireBytes::copy_from(b"everyone");
+        assert_eq!(hubs[2].broadcast(NodeId::Replica(ReplicaId(2)), &shared), 2);
+        assert_eq!(recv_payload(&rx[0], Duration::from_secs(5)).as_deref(), Some(&b"everyone"[..]));
+        assert_eq!(recv_payload(&rx[1], Duration::from_secs(5)).as_deref(), Some(&b"everyone"[..]));
+        let total = LinkReport::total(&hubs[0].link_reports());
+        assert!(total.connects >= 1 && total.frames_out >= 1);
+        for h in &hubs {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn client_hub_requests_out_replies_back() {
+        let hubs = mesh(2, 0xB2, None);
+        let r0 = hubs[0].register(NodeId::Replica(ReplicaId(0)));
+        let chub = TcpHub::connect_only(TcpConfig::clients(10, 4, 2, 0xB2));
+        let peers: Vec<(u32, SocketAddr)> =
+            (0..2).map(|i| (i as u32, hubs[i].local_addr().expect("addr"))).collect();
+        chub.set_peers(&peers);
+        let crx = chub.register_client_group(10, 4);
+        assert!(chub.send(NodeId::Replica(ReplicaId(0)), WireBytes::copy_from(b"request")));
+        assert_eq!(recv_payload(&r0, Duration::from_secs(5)).as_deref(), Some(&b"request"[..]));
+        // The replica hub learned the c10+4 route; replies go back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hubs[0].link_reports().iter().all(|r| !r.peer.starts_with('c')) {
+            assert!(Instant::now() < deadline, "route learned");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(hubs[0].send(NodeId::Client(ClientId(12)), WireBytes::copy_from(b"reply")));
+        assert_eq!(recv_payload(&crx, Duration::from_secs(5)).as_deref(), Some(&b"reply"[..]));
+        chub.shutdown();
+        for h in &hubs {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn authenticated_mesh_rejects_wrong_cluster_and_carries_frames() {
+        let km = KeyMaterial::generate(2, 1, 2, CryptoMode::Cmac, CertScheme::Simulated, 5);
+        let hubs = mesh(2, 0xC3, Some(&km));
+        let r1 = hubs[1].register(NodeId::Replica(ReplicaId(1)));
+        assert!(hubs[0].send(NodeId::Replica(ReplicaId(1)), WireBytes::copy_from(b"macd")));
+        assert_eq!(recv_payload(&r1, Duration::from_secs(5)).as_deref(), Some(&b"macd"[..]));
+        // A dialer from a different cluster id (= different key space)
+        // must be refused even though it speaks the protocol.
+        let alien_km = KeyMaterial::generate(2, 1, 2, CryptoMode::Cmac, CertScheme::Simulated, 6);
+        let alien =
+            TcpHub::bind(TcpConfig::replica(0, 2, 0xC3).with_auth(alien_km.replica(0)), loopback())
+                .expect("bind");
+        alien.set_peers(&[(1, hubs[1].local_addr().expect("addr"))]);
+        thread::sleep(Duration::from_millis(100));
+        let rejected: u64 = hubs[1].link_reports().iter().map(|r| r.rejected_in).sum();
+        assert!(rejected >= 1, "forged handshake rejected, got {rejected}");
+        alien.shutdown();
+        for h in &hubs {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn drop_links_reconnects_with_counters() {
+        let hubs = mesh(2, 0xD4, None);
+        let r1 = hubs[1].register(NodeId::Replica(ReplicaId(1)));
+        assert!(hubs[0].send(NodeId::Replica(ReplicaId(1)), WireBytes::copy_from(b"before")));
+        assert_eq!(recv_payload(&r1, Duration::from_secs(5)).as_deref(), Some(&b"before"[..]));
+        hubs[0].drop_links();
+        hubs[1].drop_links();
+        // Supervision redials; a post-kill frame still arrives.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let _ = hubs[0].send(NodeId::Replica(ReplicaId(1)), WireBytes::copy_from(b"after"));
+            if let Some(p) = recv_payload(&r1, Duration::from_millis(100)) {
+                assert_eq!(p, b"after");
+                break;
+            }
+            assert!(Instant::now() < deadline, "reconnect delivered a frame");
+        }
+        let total = LinkReport::total(&hubs[0].link_reports());
+        assert!(total.reconnects >= 1, "reconnect counted: {total:?}");
+        for h in &hubs {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn oversize_frame_kills_connection_but_not_the_hub() {
+        let hubs = mesh(2, 0xE5, None);
+        let _r1 = hubs[1].register(NodeId::Replica(ReplicaId(1)));
+        // Speak a valid handshake, then a hostile length prefix.
+        let addr = hubs[1].local_addr().expect("addr");
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let hello = Hello { cluster_id: 0xE5, identity: PeerIdentity::Replica(0) };
+        hello.write(&mut s, &poe_crypto::provider::AuthTag::None).expect("hello");
+        let mut buf = [0u8; 64];
+        let _ = s.read(&mut buf).expect("welcome");
+        s.write_all(&u32::MAX.to_le_bytes()).expect("hostile prefix");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let rejected: u64 = hubs[1].link_reports().iter().map(|r| r.rejected_in).sum();
+            if rejected >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "hostile frame rejected");
+            thread::sleep(Duration::from_millis(5));
+        }
+        // The hub still serves legitimate peers afterwards.
+        let r1b = hubs[1].register(NodeId::Replica(ReplicaId(1)));
+        assert!(hubs[0].send(NodeId::Replica(ReplicaId(1)), WireBytes::copy_from(b"alive")));
+        assert_eq!(recv_payload(&r1b, Duration::from_secs(5)).as_deref(), Some(&b"alive"[..]));
+        for h in &hubs {
+            h.shutdown();
+        }
+    }
+}

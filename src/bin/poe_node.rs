@@ -1,0 +1,149 @@
+//! `poe-node`: one PoE replica per OS process, meshed over TCP.
+//!
+//! Cluster shape comes from the environment (every process of one
+//! cluster must agree — key material, link MACs, and the handshake
+//! cluster id all derive from the shared seed):
+//!
+//! | var               | meaning                                    | default       |
+//! |-------------------|--------------------------------------------|---------------|
+//! | `POE_ID`          | replica id (0-based)                       | required      |
+//! | `POE_N`           | cluster size                               | `4`           |
+//! | `POE_LISTEN`      | listen address                             | `127.0.0.1:0` |
+//! | `POE_SUPPORT`     | `ts` (threshold) \| `mac` (vote) SUPPORT   | `ts`          |
+//! | `POE_CRYPTO`      | client request signatures: `none`\|`hmac`\|`cmac`\|`ed25519` | `none` |
+//! | `POE_LINK_AUTH`   | replica link MACs: `none`\|`hmac`\|`cmac`\|`ed25519` | `none` |
+//! | `POE_SEED`        | cluster seed                               | `42`          |
+//! | `POE_CLIENT_KEYS` | client key-material population             | `1`           |
+//! | `POE_BATCH`       | batch size                                 | `20`          |
+//!
+//! The process then speaks a line protocol on stdio (a harness drives a
+//! whole cluster of these through pipes):
+//!
+//! ```text
+//! -> listen <addr>              printed once the hub is bound
+//! <- peers <id>=<addr>,...      mesh with the cluster; replies "ready"
+//! <- drop-links                 sever every live link; replies "dropped"
+//! <- progress                   replies "progress view=.. exec=.. commit=.. events=.."
+//! <- stop                       quiesce locally, join, print the report, exit
+//! -> report id=.. view=.. exec=.. ledger=.. history=<hex> state=<hex> auth_failures=..
+//! -> link peer=.. connects=.. reconnects=.. frames_out=.. bytes_out=.. frames_in=.. bytes_in=.. queue_peak=.. shed=.. rejected_in=..
+//! -> bye
+//! ```
+
+use poe_consensus::SupportMode;
+use poe_crypto::CryptoMode;
+use poe_fabric::{FabricConfig, ReplicaNode};
+use poe_kernel::ids::ReplicaId;
+use std::io::{BufRead, Write};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn parse_crypto(s: &str) -> CryptoMode {
+    match s {
+        "none" => CryptoMode::None,
+        "hmac" => CryptoMode::Hmac,
+        "cmac" => CryptoMode::Cmac,
+        "ed25519" => CryptoMode::Ed25519,
+        other => panic!("unknown crypto mode {other:?} (none|hmac|cmac|ed25519)"),
+    }
+}
+
+fn parse_peers(spec: &str) -> Vec<(u32, SocketAddr)> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (id, addr) = pair.split_once('=').expect("peer spec is id=addr");
+            (id.parse().expect("peer id"), addr.parse().expect("peer addr"))
+        })
+        .collect()
+}
+
+fn main() {
+    let id: u32 = env_or("POE_ID", "").parse().expect("POE_ID is required (replica id)");
+    let n: usize = env_or("POE_N", "4").parse().expect("POE_N");
+    let listen: SocketAddr = env_or("POE_LISTEN", "127.0.0.1:0").parse().expect("POE_LISTEN");
+    let support = match env_or("POE_SUPPORT", "ts").as_str() {
+        "ts" => SupportMode::Threshold,
+        "mac" => SupportMode::Mac,
+        other => panic!("unknown support mode {other:?} (ts|mac)"),
+    };
+    let crypto = parse_crypto(&env_or("POE_CRYPTO", "none"));
+    let link_auth = parse_crypto(&env_or("POE_LINK_AUTH", "none"));
+    let seed: u64 = env_or("POE_SEED", "42").parse().expect("POE_SEED");
+    let client_keys: usize = env_or("POE_CLIENT_KEYS", "1").parse().expect("POE_CLIENT_KEYS");
+    let batch: usize = env_or("POE_BATCH", "20").parse().expect("POE_BATCH");
+
+    let mut cfg = FabricConfig::new(n, support).with_link_auth(link_auth);
+    cfg.cluster = cfg.cluster.with_crypto_mode(crypto).with_seed(seed).with_batch_size(batch);
+    cfg.n_clients = client_keys;
+
+    let node = ReplicaNode::bind(&cfg, ReplicaId(id), listen).expect("bind replica hub");
+    let stdout = std::io::stdout();
+    let say = |line: String| {
+        let mut out = stdout.lock();
+        writeln!(out, "{line}").expect("stdout");
+        out.flush().expect("stdout flush");
+    };
+    say(format!("listen {}", node.local_addr().expect("bound hub has an address")));
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin");
+        let cmd = line.trim();
+        if let Some(spec) = cmd.strip_prefix("peers ") {
+            node.connect(&parse_peers(spec));
+            say("ready".to_string());
+        } else if cmd == "drop-links" {
+            node.drop_links();
+            say("dropped".to_string());
+        } else if cmd == "progress" {
+            let p = node.progress();
+            say(format!(
+                "progress view={} exec={} commit={} events={}",
+                p.view, p.exec, p.commit, p.events
+            ));
+        } else if cmd == "stop" || cmd.is_empty() {
+            break;
+        } else {
+            say(format!("error unknown command {cmd:?}"));
+        }
+    }
+
+    // Local quiescence: the harness has stopped the load on every node;
+    // wait for this replica's own event counter to go flat so in-flight
+    // consensus (CERTIFYs, checkpoints, repairs) settles before the
+    // digest is reported.
+    node.wait_quiesce(Duration::from_millis(400), Duration::from_secs(20));
+    let report = node.stop();
+    say(format!(
+        "report id={} view={} exec={} ledger={} history={} state={} auth_failures={}",
+        report.id.0,
+        report.view.0,
+        report.exec_frontier.0,
+        report.ledger_len,
+        report.history_digest.to_hex(),
+        report.state_digest.to_hex(),
+        report.ingress.auth_failures,
+    ));
+    for l in &report.links {
+        say(format!(
+            "link peer={} connects={} reconnects={} frames_out={} bytes_out={} frames_in={} \
+             bytes_in={} queue_peak={} shed={} rejected_in={}",
+            l.peer,
+            l.connects,
+            l.reconnects,
+            l.frames_out,
+            l.bytes_out,
+            l.frames_in,
+            l.bytes_in,
+            l.queue_peak,
+            l.shed,
+            l.rejected_in,
+        ));
+    }
+    say("bye".to_string());
+}

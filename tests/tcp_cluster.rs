@@ -1,0 +1,167 @@
+//! Multi-process loopback TCP cluster harness: four `poe-node`
+//! processes (one replica each) meshed over real sockets via the stdio
+//! line protocol, served by the open-loop engine running in *this*
+//! process as the client substrate — including one scripted connection
+//! kill (`drop-links`) inside the measured window. The run must
+//! reconnect, keep serving, and converge to byte-identical
+//! `history_digest`s across all four processes.
+
+use poe_consensus::SupportMode;
+use poe_fabric::{drive_external, FabricConfig, OpenLoopConfig};
+use poe_workload::ArrivalProcess;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 7;
+const N: usize = 4;
+
+struct Node {
+    id: u32,
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Node {
+    fn spawn(id: u32) -> Node {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_poe_node"))
+            .env("POE_ID", id.to_string())
+            .env("POE_N", N.to_string())
+            .env("POE_SEED", SEED.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn poe-node");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Node { id, child, stdin, stdout }
+    }
+
+    fn send(&mut self, cmd: &str) {
+        writeln!(self.stdin, "{cmd}").expect("node stdin");
+        self.stdin.flush().expect("node stdin flush");
+    }
+
+    /// Reads lines until one starts with `prefix`; returns its tail.
+    fn await_line(&mut self, prefix: &str) -> String {
+        loop {
+            let mut line = String::new();
+            let read = self.stdout.read_line(&mut line).expect("node stdout");
+            assert!(read > 0, "node {} exited before {prefix:?}", self.id);
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix(prefix) {
+                return rest.trim().to_string();
+            }
+        }
+    }
+}
+
+fn parse_kv(s: &str) -> HashMap<String, String> {
+    s.split_whitespace()
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn four_processes_converge_through_a_connection_kill() {
+    let mut nodes: Vec<Node> = (0..N as u32).map(Node::spawn).collect();
+    let peers: Vec<(u32, SocketAddr)> = nodes
+        .iter_mut()
+        .map(|n| (n.id, n.await_line("listen").parse().expect("listen addr")))
+        .collect();
+    let spec = peers.iter().map(|(id, a)| format!("{id}={a}")).collect::<Vec<_>>().join(",");
+    for n in &mut nodes {
+        n.send(&format!("peers {spec}"));
+        n.await_line("ready");
+    }
+
+    // Open-loop drive from this process; modest rate, bounded windows.
+    let fabric = {
+        let mut cfg = FabricConfig::new(N, SupportMode::Threshold);
+        cfg.cluster = cfg.cluster.with_seed(SEED);
+        cfg
+    };
+    let mut olc = OpenLoopConfig::new(fabric, 400.0);
+    olc.sessions = 64;
+    olc.drivers = 1;
+    olc.warmup = Duration::from_millis(300);
+    olc.measure = Duration::from_millis(1500);
+    olc.abandon_after = Duration::from_millis(600);
+    olc.process = ArrivalProcess::Fixed;
+    olc.seed = SEED;
+
+    // The scripted kill: sever replica 1's links in the middle of the
+    // measured window, while the drive thread keeps offering load.
+    let drive = std::thread::spawn({
+        let olc = olc.clone();
+        let peers = peers.clone();
+        move || drive_external(&olc, &peers)
+    });
+    std::thread::sleep(olc.warmup + olc.measure / 2);
+    nodes[1].send("drop-links");
+    nodes[1].await_line("dropped");
+    let report = drive.join().expect("drive thread");
+    assert!(
+        report.measured_completed > 0,
+        "open-loop drive completed nothing over TCP: {report:?}"
+    );
+
+    // Load is off; poll every node's progress until the execution
+    // frontiers agree twice in a row (the cross-process quiesce check),
+    // then stop them all and collect reports.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut agreed_rounds = 0;
+    while agreed_rounds < 2 {
+        assert!(Instant::now() < deadline, "frontiers never agreed across processes");
+        std::thread::sleep(Duration::from_millis(100));
+        let execs: Vec<String> = nodes
+            .iter_mut()
+            .map(|n| {
+                n.send("progress");
+                let kv = parse_kv(&n.await_line("progress"));
+                format!("{}/{}", kv["exec"], kv["commit"])
+            })
+            .collect();
+        agreed_rounds = if execs.iter().all(|e| *e == execs[0]) { agreed_rounds + 1 } else { 0 };
+    }
+    for n in &mut nodes {
+        n.send("stop");
+    }
+
+    let mut digests = Vec::new();
+    let mut reconnects_node1 = 0u64;
+    for n in &mut nodes {
+        let report = parse_kv(&n.await_line("report"));
+        assert!(report["ledger"].parse::<u64>().unwrap() > 0, "node committed nothing");
+        assert_eq!(report["auth_failures"], "0");
+        digests.push(report["history"].clone());
+        loop {
+            let mut line = String::new();
+            assert!(n.stdout.read_line(&mut line).expect("node stdout") > 0);
+            let line = line.trim();
+            if line == "bye" {
+                break;
+            }
+            if n.id == 1 {
+                if let Some(rest) = line.strip_prefix("link ") {
+                    let kv = parse_kv(rest);
+                    if kv["peer"].starts_with('r') {
+                        reconnects_node1 += kv["reconnects"].parse::<u64>().unwrap();
+                    }
+                }
+            }
+        }
+        let status = n.child.wait().expect("node exit");
+        assert!(status.success(), "node {} exited with {status}", n.id);
+    }
+    assert!(
+        digests.iter().all(|d| *d == digests[0]),
+        "history digests diverged across processes: {digests:?}"
+    );
+    assert!(reconnects_node1 >= 1, "drop-links on node 1 must have forced at least one reconnect");
+}
