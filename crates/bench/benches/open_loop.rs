@@ -177,6 +177,36 @@ fn csv(points: &[Point]) -> String {
     s
 }
 
+/// The in-run scrapes of every point, one row per sampler tick —
+/// achieved rate, interval latency quantiles, queue depths, and the
+/// cumulative shed count over the life of each run.
+fn timeseries_csv(points: &[Point]) -> String {
+    let mut s = String::from(
+        "phase,target_rps,t_ms,submitted,completed,tick_rps,p50_us,p99_us,\
+         batch_depth,cons_depth,shed\n",
+    );
+    for p in points {
+        for t in &p.report.timeseries {
+            let _ = writeln!(
+                s,
+                "{},{:.0},{},{},{},{:.1},{},{},{},{},{}",
+                p.phase,
+                p.report.target_rps,
+                t.t_ms,
+                t.submitted,
+                t.completed,
+                t.tick_rps,
+                t.p50_us,
+                t.p99_us,
+                t.batch_depth,
+                t.cons_depth,
+                t.shed,
+            );
+        }
+    }
+    s
+}
+
 fn json_point(r: &OpenLoopReport) -> String {
     format!(
         "{{\"target_rps\":{:.0},\"achieved_rps\":{:.1},\"completion_ratio\":{:.4},\
@@ -295,6 +325,11 @@ fn main() {
     match std::fs::write(&csv_path, csv(&points)) {
         Ok(()) => println!("wrote {}", csv_path.display()),
         Err(e) => eprintln!("open_loop: write {} failed: {e}", csv_path.display()),
+    }
+    let ts_path = dir.join("open_loop_timeseries.csv");
+    match std::fs::write(&ts_path, timeseries_csv(&points)) {
+        Ok(()) => println!("wrote {}", ts_path.display()),
+        Err(e) => eprintln!("open_loop: write {} failed: {e}", ts_path.display()),
     }
     let mut json = String::from("{\n  \"bench\": \"open_loop\",\n");
     let _ = write!(

@@ -16,6 +16,7 @@ use poe_kernel::codec::{decode_envelope_shared, ScratchPool};
 use poe_kernel::ids::NodeId;
 use poe_kernel::wire::WireBytes;
 use poe_net::Hub;
+use poe_telemetry::Histogram;
 use poe_workload::WorkloadClient;
 use std::sync::Arc;
 
@@ -24,8 +25,9 @@ use std::sync::Arc;
 pub(crate) struct ClientStats {
     /// Requests completed (quorum of matching replies collected).
     pub completed: u64,
-    /// Per-request end-to-end latency in nanoseconds, completion order.
-    pub latencies_ns: Vec<u64>,
+    /// End-to-end latency histogram in nanoseconds (bounded memory; the
+    /// cluster merges all clients' histograms into one summary).
+    pub latencies: Histogram,
 }
 
 pub(crate) fn client_loop<H: Hub>(
@@ -62,7 +64,7 @@ pub(crate) fn client_loop<H: Hub>(
                 Action::SetTimer { kind, delay } => wheel.arm(kind, now + delay),
                 Action::CancelTimer { kind } => wheel.cancel(&kind),
                 Action::Notify(Notification::RequestComplete { submitted_at, .. }) => {
-                    stats.latencies_ns.push(now.since(submitted_at).as_nanos());
+                    stats.latencies.record(now.since(submitted_at).as_nanos());
                 }
                 Action::Notify(_) => {}
             }

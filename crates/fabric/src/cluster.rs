@@ -11,6 +11,7 @@ use crate::stage::{
     BatchingStats, ConsensusStats, EgressStats, FabricTuning, ProbeSnapshot, ReplicaHandle,
     ReplicaJoin, ReplicaSpawn,
 };
+use crate::telemetry::ReplicaTelemetry;
 use crate::transport::{link_key_material, InprocTransport, Transport};
 use crate::IngressStats;
 use poe_consensus::{RepairStats, SupportMode};
@@ -19,6 +20,7 @@ use poe_kernel::automaton::ReplicaAutomaton;
 use poe_kernel::config::ClusterConfig;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId, SeqNum, View};
 use poe_net::{Hub, InprocHub, LinkReport};
+use poe_telemetry::{Histogram, TimeBase};
 use poe_workload::{ClientConfig, WorkloadClient, YcsbConfig, YcsbWorkload};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -191,23 +193,22 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    pub(crate) fn from_ns(mut samples: Vec<u64>) -> LatencySummary {
-        if samples.is_empty() {
+    /// Summarizes a nanosecond latency histogram in microseconds.
+    ///
+    /// This replaced the original sort-all-samples quantile pick: the
+    /// log-linear histogram holds quantile error under 1 % from a fixed
+    /// ~58 KiB table, so hour-long open-loop windows no longer grow a
+    /// raw sample vector without bound.
+    pub(crate) fn from_hist(hist: &Histogram) -> LatencySummary {
+        if hist.is_empty() {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let count = samples.len() as u64;
-        let pick = |q_num: usize, q_den: usize| {
-            let idx = (samples.len() - 1) * q_num / q_den;
-            samples[idx] / 1_000
-        };
-        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
         LatencySummary {
-            count,
-            p50_us: pick(1, 2),
-            p99_us: pick(99, 100),
-            max_us: samples[samples.len() - 1] / 1_000,
-            mean_us: (sum / count as u128 / 1_000) as u64,
+            count: hist.count(),
+            p50_us: hist.quantile(0.5) / 1_000,
+            p99_us: hist.quantile(0.99) / 1_000,
+            max_us: hist.max() / 1_000,
+            mean_us: (hist.mean() / 1_000.0) as u64,
         }
     }
 }
@@ -285,6 +286,10 @@ pub struct FabricCluster<H: Hub = InprocHub> {
     replicas: Vec<Option<ReplicaHandle>>,
     downed: BTreeMap<usize, ReplicaJoin>,
     clients: Vec<JoinHandle<ClientStats>>,
+    /// Per-replica metrics + flight recorder. Outlives crash/restart:
+    /// the restarted stages write into the same recorder, so one
+    /// timeline spans the fault.
+    telemetries: Vec<Arc<ReplicaTelemetry>>,
 }
 
 impl FabricCluster<InprocHub> {
@@ -374,6 +379,8 @@ impl<H: Hub> FabricCluster<H> {
                 ClusterShared::with_ctl(transport.replica_hub(ReplicaId(i as u32)), ctl.clone())
             })
             .collect();
+        let telemetries: Vec<Arc<ReplicaTelemetry>> =
+            (0..cluster.n).map(|i| ReplicaTelemetry::new(i as u32, TimeBase::Wall)).collect();
         let replicas: Vec<Option<ReplicaHandle>> = (0..cluster.n)
             .map(|i| {
                 Some(ReplicaHandle::spawn(ReplicaSpawn {
@@ -384,6 +391,7 @@ impl<H: Hub> FabricCluster<H> {
                     id: ReplicaId(i as u32),
                     tuning: cfg.tuning.clone(),
                     link_auth: link_auth_for(&link_km, i),
+                    telemetry: telemetries[i].clone(),
                 }))
             })
             .collect();
@@ -398,7 +406,18 @@ impl<H: Hub> FabricCluster<H> {
             replicas,
             downed: BTreeMap::new(),
             clients: Vec::new(),
+            telemetries,
         }
+    }
+
+    /// Replica `i`'s metrics + flight recorder.
+    pub fn telemetry(&self, i: usize) -> &Arc<ReplicaTelemetry> {
+        &self.telemetries[i]
+    }
+
+    /// All replicas' telemetry, cluster order.
+    pub fn telemetries(&self) -> &[Arc<ReplicaTelemetry>] {
+        &self.telemetries
     }
 
     /// The cluster control block (clock + stop flag) — for driver
@@ -427,6 +446,7 @@ impl<H: Hub> FabricCluster<H> {
     pub fn crash_replica(&mut self, i: usize) {
         let handle = self.replicas[i].take().expect("replica is running");
         handle.halt();
+        self.telemetries[i].recorder().record(self.ctl.now().0, poe_telemetry::ProtoEvent::Crashed);
         self.downed.insert(i, handle.join());
     }
 
@@ -440,6 +460,9 @@ impl<H: Hub> FabricCluster<H> {
     pub fn restart_replica(&mut self, i: usize) {
         let join = self.downed.remove(&i).expect("replica is down");
         let replica = Box::new((*join.replica).into_restarted());
+        self.telemetries[i]
+            .recorder()
+            .record(self.ctl.now().0, poe_telemetry::ProtoEvent::Restarted);
         self.replicas[i] = Some(ReplicaHandle::spawn_with(
             ReplicaSpawn {
                 shared: self.replica_shared[i].clone(),
@@ -449,6 +472,7 @@ impl<H: Hub> FabricCluster<H> {
                 id: ReplicaId(i as u32),
                 tuning: self.cfg.tuning.clone(),
                 link_auth: link_auth_for(&self.link_km, i),
+                telemetry: self.telemetries[i].clone(),
             },
             replica,
         ));
@@ -516,12 +540,12 @@ impl<H: Hub> FabricCluster<H> {
             replica_shared, client_hubs, started, replicas, downed, clients, ..
         } = self;
         let mut threads_joined = 0;
-        let mut latencies = Vec::new();
+        let mut latencies = Histogram::new();
         let mut completed = 0;
         for (i, handle) in clients.into_iter().enumerate() {
             let stats = handle.join().unwrap_or_else(|_| panic!("client {i} panicked"));
             completed += stats.completed;
-            latencies.extend(stats.latencies_ns);
+            latencies.merge(&stats.latencies);
             threads_joined += 1;
         }
         let mut reports = Vec::new();
@@ -549,15 +573,18 @@ impl<H: Hub> FabricCluster<H> {
         FabricReport {
             wall: started.elapsed(),
             completed_requests: completed,
-            latency: LatencySummary::from_ns(latencies),
+            latency: LatencySummary::from_hist(&latencies),
             replicas: reports,
             threads_joined,
         }
     }
 
-    /// Human-readable probe dump for error diagnostics.
+    /// Human-readable probe dump for error diagnostics, with the tail
+    /// of every replica's protocol timeline so a failed run is
+    /// diagnosable from its error message alone.
     fn probe_dump(&self) -> String {
-        self.replicas
+        let probes = self
+            .replicas
             .iter()
             .flatten()
             .map(|r| {
@@ -568,7 +595,10 @@ impl<H: Hub> FabricCluster<H> {
                 )
             })
             .collect::<Vec<_>>()
-            .join("; ")
+            .join("; ");
+        let timelines =
+            self.telemetries.iter().map(|t| t.timeline_tail(12)).collect::<Vec<_>>().join("");
+        format!("{probes}\nrecorder tails:\n{timelines}")
     }
 }
 

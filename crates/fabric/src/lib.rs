@@ -44,6 +44,26 @@
 //! allocator). The pool is refilled where batches actually die:
 //! checkpoint GC ([`PoeReplica::take_retired_batches`]).
 //!
+//! ## Observability
+//!
+//! Every replica carries a [`ReplicaTelemetry`] handle
+//! (`poe-telemetry` underneath): the four stage threads bump lock-free
+//! counters and record into log-linear bounded-error histograms on the
+//! hot path (a counting-allocator test proves counter bumps and
+//! histogram records stay **0-alloc**), and protocol transitions —
+//! batch cuts, executions, view changes, checkpoint stabilization, the
+//! FellBehind→repair→CaughtUp cycle, shed/deferral episodes, link
+//! drops and reconnects — land in a fixed-capacity **flight recorder**
+//! ring stamped with wall time. [`ReplicaTelemetry::render`] emits the
+//! whole registry as Prometheus text (scrape it live over the
+//! `poe-node` `metrics` stdio command), `timeline()` dumps the
+//! recorder as a human-readable per-replica timeline (`dump-trace` on
+//! `poe-node`; the fabric harness appends recorder tails to its stall
+//! diagnostics), and the open-loop engine samples queue depths, shed
+//! totals, and per-tick latency quantiles in-window into
+//! [`openloop::TickSample`] rows — the time-series CSV the bench
+//! writes next to its saturation curve.
+//!
 //! ## Shutdown
 //!
 //! Three phases, all bounded: clients exit when their workload budget is
@@ -79,6 +99,7 @@ pub mod cluster;
 pub mod ingress;
 pub mod node;
 pub mod openloop;
+pub mod telemetry;
 pub mod transport;
 pub mod wheel;
 
@@ -100,10 +121,12 @@ pub use ingress::{IngressDecoder, IngressStats};
 pub use node::{NodeProgress, ReplicaNode};
 pub use openloop::{
     drive_external, run_open_loop, run_open_loop_with, DriveReport, OpenLoopConfig, OpenLoopReport,
+    TickSample,
 };
 pub use poe_net::LinkReport;
 pub use session::SessionStats;
 pub use stage::{BatchingStats, ConsensusStats, EgressStats, FabricTuning};
+pub use telemetry::ReplicaTelemetry;
 pub use transport::{
     cluster_instance_id, link_key_material, InprocTransport, TcpTransport, Transport,
 };

@@ -14,10 +14,12 @@
 use crate::cluster::{report_replica, FabricConfig, ReplicaReport};
 use crate::runtime::{ClusterCtl, ClusterShared, LinkAuth};
 use crate::stage::{ReplicaHandle, ReplicaSpawn};
+use crate::telemetry::ReplicaTelemetry;
 use crate::transport::{cluster_instance_id, link_key_material};
 use poe_crypto::KeyMaterial;
 use poe_kernel::ids::ReplicaId;
-use poe_net::{Hub, TcpConfig, TcpHub};
+use poe_net::{Hub, LinkRecorder, TcpConfig, TcpHub};
+use poe_telemetry::TimeBase;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,6 +42,7 @@ pub struct NodeProgress {
 pub struct ReplicaNode {
     shared: Arc<ClusterShared<TcpHub>>,
     handle: ReplicaHandle,
+    telemetry: Arc<ReplicaTelemetry>,
 }
 
 impl ReplicaNode {
@@ -75,8 +78,17 @@ impl ReplicaNode {
         if let Some(provider) = hub_auth {
             tcp = tcp.with_auth(provider);
         }
+        let telemetry = ReplicaTelemetry::new(id.0, TimeBase::Wall);
+        let ctl = ClusterCtl::new();
+        // Link supervision events share the stage threads' clock, so
+        // the dump interleaves protocol and transport events coherently.
+        let clock_ctl = ctl.clone();
+        tcp = tcp.with_recorder(LinkRecorder::new(
+            telemetry.recorder().clone(),
+            Arc::new(move || clock_ctl.now().0),
+        ));
         let hub = TcpHub::bind(tcp, listen)?;
-        let shared = ClusterShared::with_ctl(hub, ClusterCtl::new());
+        let shared = ClusterShared::with_ctl(hub, ctl);
         let handle = ReplicaHandle::spawn(ReplicaSpawn {
             shared: shared.clone(),
             cluster: cluster.clone(),
@@ -85,8 +97,9 @@ impl ReplicaNode {
             id,
             tuning: cfg.tuning.clone(),
             link_auth,
+            telemetry: telemetry.clone(),
         });
-        Ok(ReplicaNode { shared, handle })
+        Ok(ReplicaNode { shared, handle, telemetry })
     }
 
     /// The bound listen address (port-0 binds resolve here).
@@ -104,6 +117,23 @@ impl ReplicaNode {
     /// drill: writers redial with backoff, peers reconnect).
     pub fn drop_links(&self) {
         self.shared.hub.drop_links();
+    }
+
+    /// This node's telemetry (metrics registry + flight recorder).
+    pub fn telemetry(&self) -> &Arc<ReplicaTelemetry> {
+        &self.telemetry
+    }
+
+    /// Prometheus text exposition of this node's metrics, refreshed at
+    /// call time (the `metrics` stdio command of `poe-node`).
+    pub fn metrics_text(&self) -> String {
+        self.telemetry.render()
+    }
+
+    /// Human-readable protocol timeline from this node's flight
+    /// recorder (the `dump-trace` stdio command of `poe-node`).
+    pub fn trace_dump(&self) -> String {
+        self.telemetry.timeline()
     }
 
     /// Point-in-time progress snapshot.

@@ -41,8 +41,10 @@ use poe_kernel::request::ClientRequest;
 use poe_kernel::time::Time;
 use poe_kernel::wire::WireBytes;
 use poe_net::{Hub, TcpConfig, TcpHub};
+use poe_telemetry::{AtomicHistogram, Histogram};
 use poe_workload::{ArrivalGen, ArrivalProcess, MuxStats, SessionMux, YcsbConfig, YcsbWorkload};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -76,6 +78,10 @@ pub struct OpenLoopConfig {
     pub abandon_after: Duration,
     /// Seed for arrival schedules and workload streams.
     pub seed: u64,
+    /// In-run scrape cadence for the time-series samples
+    /// ([`OpenLoopReport::timeseries`]); `Duration::ZERO` disables the
+    /// sampler entirely.
+    pub sample_every: Duration,
 }
 
 impl OpenLoopConfig {
@@ -93,6 +99,7 @@ impl OpenLoopConfig {
             measure: Duration::from_secs(4),
             abandon_after: Duration::from_secs(2),
             seed: 42,
+            sample_every: Duration::from_millis(250),
         }
     }
 }
@@ -101,11 +108,48 @@ impl OpenLoopConfig {
 #[derive(Default)]
 struct DriverOut {
     mux: MuxStats,
-    /// Latency samples (ns) for requests both submitted and completed
-    /// inside the measured window.
-    latencies_ns: Vec<u64>,
+    /// Latency histogram (ns) for requests both submitted and completed
+    /// inside the measured window — bounded memory no matter how long
+    /// or hot the run is.
+    latencies: Histogram,
     measured_submitted: u64,
     measured_completed: u64,
+}
+
+/// Live run state shared between the drivers and the in-run sampler:
+/// cumulative all-window counts plus an all-window latency histogram,
+/// so the sampler can derive per-tick rates and interval quantiles via
+/// [`Histogram::delta_since`] without perturbing the drivers.
+#[derive(Default)]
+struct LiveCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    latency: AtomicHistogram,
+}
+
+/// One in-run scrape of the whole engine: driver-side progress plus the
+/// replicas' queue depths and shed counters at that instant. Rendered
+/// into the open-loop time-series CSV by the benches.
+#[derive(Clone, Copy, Debug)]
+pub struct TickSample {
+    /// Milliseconds since the run epoch (warmup included).
+    pub t_ms: u64,
+    /// Cumulative submissions (all windows) at sample time.
+    pub submitted: u64,
+    /// Cumulative completions (all windows) at sample time.
+    pub completed: u64,
+    /// Completions per second over this tick alone.
+    pub tick_rps: f64,
+    /// p50 latency (µs) over completions in this tick alone.
+    pub p50_us: u64,
+    /// p99 latency (µs) over completions in this tick alone.
+    pub p99_us: u64,
+    /// Deepest batching-stage queue across replicas at sample time.
+    pub batch_depth: u64,
+    /// Deepest consensus-stage queue across replicas at sample time.
+    pub cons_depth: u64,
+    /// Cumulative shed client requests across replicas at sample time.
+    pub shed: u64,
 }
 
 /// The outcome of one open-loop run.
@@ -127,6 +171,10 @@ pub struct OpenLoopReport {
     pub measure: Duration,
     /// The underlying cluster report (replica stats, convergence).
     pub fabric: FabricReport,
+    /// In-run scrapes at [`OpenLoopConfig::sample_every`] cadence
+    /// (empty when the sampler is disabled or the transport is
+    /// external).
+    pub timeseries: Vec<TickSample>,
 }
 
 impl OpenLoopReport {
@@ -199,6 +247,7 @@ pub fn run_open_loop_with<H: Hub, T: Transport<Hub = H>>(
     // Shard the session population: driver d owns `base .. base+count`.
     let per = cfg.sessions / cfg.drivers as u32;
     let extra = cfg.sessions % cfg.drivers as u32;
+    let live = Arc::new(LiveCounters::default());
     let mut base = 0u32;
     let handles: Vec<std::thread::JoinHandle<DriverOut>> = (0..cfg.drivers)
         .map(|d| {
@@ -226,6 +275,7 @@ pub fn run_open_loop_with<H: Hub, T: Transport<Hub = H>>(
                 warmup_end_ns,
                 measure_end_ns,
                 abandon_after: cfg.abandon_after,
+                live: live.clone(),
             };
             base += count;
             std::thread::Builder::new()
@@ -234,6 +284,50 @@ pub fn run_open_loop_with<H: Hub, T: Transport<Hub = H>>(
                 .expect("spawn driver")
         })
         .collect();
+
+    // In-run sampler: while the drivers push load, the launcher thread
+    // periodically scrapes the live counters and every replica's
+    // telemetry into one time-series row. Interval quantiles come from
+    // histogram snapshot deltas, so each tick stands on its own.
+    let mut timeseries = Vec::new();
+    if cfg.sample_every > Duration::ZERO {
+        let mut prev_hist = Histogram::new();
+        let mut prev_completed = 0u64;
+        let mut prev_ns = ctl.now().0;
+        loop {
+            let now0 = ctl.now().0;
+            if now0 >= measure_end_ns {
+                break;
+            }
+            std::thread::sleep(cfg.sample_every.min(Duration::from_nanos(measure_end_ns - now0)));
+            let now_ns = ctl.now().0;
+            let cur_hist = live.latency.snapshot();
+            let tick = cur_hist.delta_since(&prev_hist);
+            let completed = live.completed.load(Ordering::Relaxed);
+            let dt_s = (now_ns - prev_ns) as f64 / 1e9;
+            let (mut batch_depth, mut cons_depth, mut shed) = (0u64, 0u64, 0u64);
+            for t in cluster.telemetries() {
+                let (b, c) = t.queue_depths();
+                batch_depth = batch_depth.max(b);
+                cons_depth = cons_depth.max(c);
+                shed += t.shed_total();
+            }
+            timeseries.push(TickSample {
+                t_ms: (now_ns - epoch_ns) / 1_000_000,
+                submitted: live.submitted.load(Ordering::Relaxed),
+                completed,
+                tick_rps: (completed - prev_completed) as f64 / dt_s.max(1e-9),
+                p50_us: if tick.count() == 0 { 0 } else { tick.quantile(0.5) / 1_000 },
+                p99_us: if tick.count() == 0 { 0 } else { tick.quantile(0.99) / 1_000 },
+                batch_depth,
+                cons_depth,
+                shed,
+            });
+            prev_hist = cur_hist;
+            prev_completed = completed;
+            prev_ns = now_ns;
+        }
+    }
 
     let mut out = DriverOut::default();
     for (d, h) in handles.into_iter().enumerate() {
@@ -250,10 +344,11 @@ pub fn run_open_loop_with<H: Hub, T: Transport<Hub = H>>(
         achieved_rps,
         measured_submitted: out.measured_submitted,
         measured_completed: out.measured_completed,
-        latency: LatencySummary::from_ns(out.latencies_ns),
+        latency: LatencySummary::from_hist(&out.latencies),
         mux: out.mux,
         measure: cfg.measure,
         fabric,
+        timeseries,
     })
 }
 
@@ -308,6 +403,7 @@ pub fn drive_external(cfg: &OpenLoopConfig, peers: &[(u32, SocketAddr)]) -> Driv
 
     let per = cfg.sessions / cfg.drivers as u32;
     let extra = cfg.sessions % cfg.drivers as u32;
+    let live = Arc::new(LiveCounters::default());
     let mut base = 0u32;
     let mut hubs: Vec<TcpHub> = Vec::new();
     let handles: Vec<std::thread::JoinHandle<DriverOut>> = (0..cfg.drivers)
@@ -337,6 +433,7 @@ pub fn drive_external(cfg: &OpenLoopConfig, peers: &[(u32, SocketAddr)]) -> Driv
                 warmup_end_ns,
                 measure_end_ns,
                 abandon_after: cfg.abandon_after,
+                live: live.clone(),
             };
             base += count;
             std::thread::Builder::new()
@@ -359,7 +456,7 @@ pub fn drive_external(cfg: &OpenLoopConfig, peers: &[(u32, SocketAddr)]) -> Driv
         achieved_rps: out.measured_completed as f64 / cfg.measure.as_secs_f64().max(1e-9),
         measured_submitted: out.measured_submitted,
         measured_completed: out.measured_completed,
-        latency: LatencySummary::from_ns(out.latencies_ns),
+        latency: LatencySummary::from_hist(&out.latencies),
         mux: out.mux,
         measure: cfg.measure,
     }
@@ -372,7 +469,7 @@ fn merge_driver_out(out: &mut DriverOut, one: DriverOut) {
     out.mux.abandoned += one.mux.abandoned;
     out.measured_submitted += one.measured_submitted;
     out.measured_completed += one.measured_completed;
-    out.latencies_ns.extend(one.latencies_ns);
+    out.latencies.merge(&one.latencies);
 }
 
 struct Driver<H: Hub> {
@@ -389,6 +486,8 @@ struct Driver<H: Hub> {
     warmup_end_ns: u64,
     measure_end_ns: u64,
     abandon_after: Duration,
+    /// Shared with the in-run sampler (all-window counts + histogram).
+    live: Arc<LiveCounters>,
 }
 
 impl<H: Hub> Driver<H> {
@@ -417,6 +516,7 @@ impl<H: Hub> Driver<H> {
                 if now_ns >= self.warmup_end_ns {
                     out.measured_submitted += 1;
                 }
+                self.live.submitted.fetch_add(1, Ordering::Relaxed);
                 let client = req.client;
                 let target = self.mux.view_hint().primary(self.n);
                 let frame =
@@ -468,9 +568,12 @@ impl<H: Hub> Driver<H> {
         let Ok(env) = decode_envelope_shared(frame) else { return };
         let ProtocolMsg::Reply(reply) = env.msg else { return };
         if let Some(submitted_at) = self.mux.on_reply(&reply) {
+            let lat_ns = self.shared.now().0.saturating_sub(submitted_at.0);
+            self.live.completed.fetch_add(1, Ordering::Relaxed);
+            self.live.latency.record(lat_ns);
             if submitted_at.0 >= self.warmup_end_ns && submitted_at.0 < self.measure_end_ns {
                 out.measured_completed += 1;
-                out.latencies_ns.push(self.shared.now().0.saturating_sub(submitted_at.0));
+                out.latencies.record(lat_ns);
             }
         }
     }

@@ -58,6 +58,9 @@ struct Shared<T> {
     q: Mutex<Inner<T>>,
     avail: Condvar,
     cap: usize,
+    /// Live depth mirror, readable without the queue lock (telemetry
+    /// samplers poll it while the channel halves live in stage threads).
+    gauge: Arc<DepthGauge>,
 }
 
 /// Producer half of a bounded queue. Cloneable (MPSC).
@@ -83,6 +86,7 @@ pub(crate) fn bounded<T>(cap: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
         }),
         avail: Condvar::new(),
         cap,
+        gauge: DepthGauge::new(),
     });
     (BoundedSender { shared: shared.clone() }, BoundedReceiver { shared })
 }
@@ -104,9 +108,17 @@ impl<T> BoundedSender<T> {
         if depth > q.peak {
             q.peak = depth;
         }
+        // Inc under the lock: a post-unlock inc could lose the race
+        // against the receiver's dec and wrap the mirror to u64::MAX.
+        self.shared.gauge.inc();
         drop(q);
         self.shared.avail.notify_one();
         Ok(())
+    }
+
+    /// Live depth/peak mirror that outlives the channel halves.
+    pub fn gauge(&self) -> Arc<DepthGauge> {
+        self.shared.gauge.clone()
     }
 
     /// Current occupancy (racy by nature; used for high-water checks).
@@ -147,6 +159,8 @@ impl<T> BoundedReceiver<T> {
         let mut q = self.shared.q.lock().expect("queue poisoned");
         loop {
             if let Some(item) = q.buf.pop_front() {
+                self.shared.gauge.dec();
+                drop(q);
                 return Ok(item);
             }
             if q.senders == 0 {
@@ -163,7 +177,12 @@ impl<T> BoundedReceiver<T> {
 
     /// Dequeues without waiting.
     pub fn try_recv(&self) -> Option<T> {
-        self.shared.q.lock().expect("queue poisoned").buf.pop_front()
+        let mut q = self.shared.q.lock().expect("queue poisoned");
+        let item = q.buf.pop_front();
+        if item.is_some() {
+            self.shared.gauge.dec();
+        }
+        item
     }
 
     /// `(peak depth, items ever enqueued)` — the occupancy counters the

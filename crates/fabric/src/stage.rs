@@ -50,6 +50,7 @@ use crate::ingress::{IngressDecoder, IngressStats};
 use crate::queue::{bounded, BoundedReceiver, BoundedSender, DepthGauge, RecvError, TrySendError};
 use crate::runtime::{encode_frame, ClusterShared, LinkAuth, TICK};
 use crate::session::{Admit, SessionStats, SessionTable};
+use crate::telemetry::{ReplicaTelemetry, TelemetrySources};
 use crate::wheel::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use poe_consensus::{PoeReplica, SupportMode};
@@ -63,6 +64,7 @@ use poe_kernel::request::{Batch, Batcher, ClientRequest};
 use poe_kernel::wire::WireBytes;
 use poe_net::Hub;
 use poe_store::SpeculativeStore;
+use poe_telemetry::ProtoEvent;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -289,6 +291,9 @@ pub(crate) struct ReplicaSpawn<H: Hub> {
     /// Per-peer tagging of replica→replica frames (socket substrates);
     /// [`LinkAuth::disabled`] on trusted in-process hubs.
     pub link_auth: LinkAuth,
+    /// Shared metrics + flight recorder; outlives crash/restart so the
+    /// protocol timeline spans the fault.
+    pub telemetry: Arc<ReplicaTelemetry>,
 }
 
 /// Join handles + probe of one running replica.
@@ -337,7 +342,8 @@ impl ReplicaHandle {
     /// durable state ([`PoeReplica::into_restarted`]) and re-registering
     /// on the hub replaces the dead endpoint, so traffic flows again.
     pub fn spawn_with<H: Hub>(spec: ReplicaSpawn<H>, replica: Box<PoeReplica>) -> ReplicaHandle {
-        let ReplicaSpawn { shared, cluster, support: _, km, id, tuning, link_auth } = spec;
+        let ReplicaSpawn { shared, cluster, support: _, km, id, tuning, link_auth, telemetry } =
+            spec;
         let hub_rx = shared.hub.register(NodeId::Replica(id));
         let (cons_tx, cons_rx) = unbounded::<ConsensusJob>();
         let cons_tx = Gauged { tx: cons_tx, gauge: DepthGauge::new() };
@@ -349,6 +355,12 @@ impl ReplicaHandle {
         let halt = Arc::new(AtomicBool::new(false));
         let session =
             Arc::new(Mutex::new(SessionTable::new(tuning.reply_cache_bytes, tuning.session_grace)));
+        telemetry.attach_sources(TelemetrySources {
+            probe: probe.clone(),
+            batch_depth: batch_tx.gauge(),
+            cons_depth: cons_tx.gauge.clone(),
+            reply_depth: reply_tx.gauge.clone(),
+        });
 
         let name = |stage: &str| format!("r{}-{stage}", id.0);
 
@@ -357,11 +369,14 @@ impl ReplicaHandle {
             let cons_tx = cons_tx.clone();
             let halt = halt.clone();
             let link_auth = link_auth.clone();
+            let tel = telemetry.clone();
             let n = cluster.n;
             std::thread::Builder::new()
                 .name(name("ingress"))
                 .spawn(move || {
-                    ingress_loop(shared, halt, hub_rx, recycle_rx, batch_tx, cons_tx, link_auth, n)
+                    ingress_loop(
+                        shared, halt, hub_rx, recycle_rx, batch_tx, cons_tx, link_auth, tel, n,
+                    )
                 })
                 .expect("spawn ingress")
         };
@@ -380,6 +395,7 @@ impl ReplicaHandle {
                 workers: tuning.admission_workers.unwrap_or_else(default_workers),
                 defer_depth: tuning.consensus_defer_depth,
                 id,
+                tel: telemetry.clone(),
             };
             std::thread::Builder::new()
                 .name(name("batching"))
@@ -393,13 +409,14 @@ impl ReplicaHandle {
             let halt = halt.clone();
             let gauge = cons_tx.gauge.clone();
             let link_auth = link_auth.clone();
+            let tel = telemetry.clone();
             let n = cluster.n;
             std::thread::Builder::new()
                 .name(name("consensus"))
                 .spawn(move || {
                     consensus_loop(
                         shared, halt, cons_rx, gauge, reply_tx, recycle_tx, probe, replica,
-                        link_auth, n,
+                        link_auth, tel, n,
                     )
                 })
                 .expect("spawn consensus")
@@ -408,9 +425,10 @@ impl ReplicaHandle {
             let shared = shared.clone();
             let halt = halt.clone();
             let session = session.clone();
+            let tel = telemetry.clone();
             std::thread::Builder::new()
                 .name(name("egress"))
-                .spawn(move || egress_loop(shared, halt, reply_rx, reply_gauge, id, session))
+                .spawn(move || egress_loop(shared, halt, reply_rx, reply_gauge, id, session, tel))
                 .expect("spawn egress")
         };
         ReplicaHandle { id, probe, halt, session, ingress, batching, consensus, egress }
@@ -476,6 +494,11 @@ fn frame_authentic(
     }
 }
 
+/// How long a shed-free stretch closes a coalesced shed episode: one
+/// recorder event summarizes a burst instead of one event per dropped
+/// frame (overload would otherwise evict the interesting history).
+const SHED_EPISODE_GAP: std::time::Duration = std::time::Duration::from_millis(100);
+
 #[allow(clippy::too_many_arguments)]
 fn ingress_loop<H: Hub>(
     shared: Arc<ClusterShared<H>>,
@@ -485,6 +508,7 @@ fn ingress_loop<H: Hub>(
     batch_tx: BoundedSender<(NodeId, ProtocolMsg)>,
     cons_tx: Gauged<ConsensusJob>,
     link_auth: LinkAuth,
+    tel: Arc<ReplicaTelemetry>,
     n: usize,
 ) -> IngressStats {
     let mut decoder = IngressDecoder::new();
@@ -494,6 +518,10 @@ fn ingress_loop<H: Hub>(
     let mut shed_full = 0u64;
     let mut auth_failures = 0u64;
     let high_water = batch_tx.capacity() / 2;
+    let batch_depth = batch_tx.gauge();
+    // Coalesced shed episode: counts at episode start + last shed time.
+    let mut shed_mark: (u64, u64) = (0, 0);
+    let mut last_shed: Option<Instant> = None;
     loop {
         // Refill the pool with containers GC retired, so subsequent
         // batch decodes reuse instead of allocating.
@@ -502,6 +530,7 @@ fn ingress_loop<H: Hub>(
         }
         match hub_rx.recv_timeout(TICK) {
             Ok(frame) => {
+                tel.frames.inc();
                 let env = match decoder.decode(&frame) {
                     Some(env) if frame_authentic(&link_auth, &frame, &env, n) => Some(env),
                     Some(_) => {
@@ -524,10 +553,19 @@ fn ingress_loop<H: Hub>(
                                 && batch_tx.len() >= high_water
                             {
                                 shed_retransmits += 1;
+                                tel.shed_retransmits.inc();
+                                last_shed = Some(Instant::now());
                             } else {
                                 match batch_tx.try_send((env.from, msg)) {
-                                    Ok(()) => to_batching += 1,
-                                    Err(TrySendError::Full(_)) => shed_full += 1,
+                                    Ok(()) => {
+                                        to_batching += 1;
+                                        tel.batch_depth_hist.record(batch_depth.depth());
+                                    }
+                                    Err(TrySendError::Full(_)) => {
+                                        shed_full += 1;
+                                        tel.shed_full.inc();
+                                        last_shed = Some(Instant::now());
+                                    }
                                     Err(TrySendError::Disconnected(_)) => {}
                                 }
                             }
@@ -542,9 +580,18 @@ fn ingress_loop<H: Hub>(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        // Close a coalesced shed episode once the burst has been quiet
+        // for a beat: one timeline event summarizes the whole burst.
+        if last_shed.is_some_and(|t| t.elapsed() >= SHED_EPISODE_GAP) {
+            record_shed_episode(&tel, &shared, &mut shed_mark, shed_retransmits, shed_full);
+            last_shed = None;
+        }
         if winding_down(&shared, &halt) {
             break;
         }
+    }
+    if last_shed.is_some() {
+        record_shed_episode(&tel, &shared, &mut shed_mark, shed_retransmits, shed_full);
     }
     let mut stats = decoder.stats();
     stats.to_batching = to_batching;
@@ -554,6 +601,27 @@ fn ingress_loop<H: Hub>(
     stats.auth_failures = auth_failures;
     stats.cpu_ns = thread_cpu_ns();
     stats
+}
+
+/// Flushes one coalesced shed episode into the flight recorder.
+fn record_shed_episode<H: Hub>(
+    tel: &ReplicaTelemetry,
+    shared: &ClusterShared<H>,
+    mark: &mut (u64, u64),
+    retransmits: u64,
+    full: u64,
+) {
+    let (dr, df) = (retransmits - mark.0, full - mark.1);
+    if dr + df > 0 {
+        tel.recorder().record(
+            shared.now().0,
+            ProtoEvent::Shed {
+                retransmits: dr.min(u32::MAX as u64) as u32,
+                full: df.min(u32::MAX as u64) as u32,
+            },
+        );
+    }
+    *mark = (retransmits, full);
 }
 
 // ------------------------------------------------------------ batching
@@ -572,6 +640,7 @@ struct BatchingDeps<H: Hub> {
     workers: usize,
     defer_depth: u64,
     id: ReplicaId,
+    tel: Arc<ReplicaTelemetry>,
 }
 
 fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
@@ -589,6 +658,7 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
         workers,
         defer_depth,
         id,
+        tel,
     } = deps;
     let mut stats = BatchingStats::default();
     let mut batcher = Batcher::new(batch_size);
@@ -598,6 +668,7 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
     let mut chunk: Vec<(NodeId, ProtocolMsg)> = Vec::with_capacity(ADMIT_CHUNK);
     let mut verify_set: Vec<ClientRequest> = Vec::with_capacity(ADMIT_CHUNK);
     let mut chunk_seen: HashSet<(u32, u64)> = HashSet::with_capacity(ADMIT_CHUNK);
+    let mut defer_run: u32 = 0;
     loop {
         // Backpressure valve: while the consensus queue is deep, stop
         // pulling admissions — the bounded batch queue fills up and
@@ -605,8 +676,16 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
         // instead of ballooning the consensus queue.
         if cons_tx.gauge.depth() > defer_depth && !disconnected && !winding_down(&shared, &halt) {
             stats.deferrals += 1;
+            tel.deferrals.inc();
+            defer_run += 1;
             std::thread::sleep(DEFER_PAUSE);
         } else {
+            // A deferral episode just ended: one timeline event per
+            // backpressure burst, not one per 1 ms pause.
+            if defer_run > 0 {
+                tel.recorder().record(shared.now().0, ProtoEvent::Deferred { count: defer_run });
+                defer_run = 0;
+            }
             let wait = match deadline {
                 Some(d) => d.saturating_duration_since(Instant::now()).min(TICK),
                 None => TICK,
@@ -638,6 +717,7 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
                     &mut chunk,
                     &mut verify_set,
                     &mut chunk_seen,
+                    &tel,
                 );
             }
         }
@@ -653,6 +733,7 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
         if cut {
             if let Some(batch) = batcher.flush() {
                 stats.batches_cut += 1;
+                note_batch_cut(&tel, &shared, batch.len());
                 cons_tx.send(ConsensusJob::LocalBatch(batch));
             }
             deadline = None;
@@ -660,6 +741,9 @@ fn batching_loop<H: Hub>(deps: BatchingDeps<H>) -> BatchingStats {
         if disconnected || winding_down(&shared, &halt) {
             break;
         }
+    }
+    if defer_run > 0 {
+        tel.recorder().record(shared.now().0, ProtoEvent::Deferred { count: defer_run });
     }
     if let Some(pool) = pool {
         stats.admission_cpu_ns = pool.shutdown();
@@ -689,6 +773,7 @@ fn admit_chunk<H: Hub>(
     chunk: &mut Vec<(NodeId, ProtocolMsg)>,
     verify_set: &mut Vec<ClientRequest>,
     chunk_seen: &mut HashSet<(u32, u64)>,
+    tel: &ReplicaTelemetry,
 ) {
     stats.requests_seen += chunk.len() as u64;
     let now_ns = shared.now().0;
@@ -767,12 +852,20 @@ fn admit_chunk<H: Hub>(
         let _ = req.digest();
         if let Some(batch) = batcher.push(req) {
             stats.batches_cut += 1;
+            note_batch_cut(tel, shared, batch.len());
             cons_tx.send(ConsensusJob::LocalBatch(batch));
             *deadline = None;
         } else if deadline.is_none() {
             *deadline = Some(Instant::now() + cut_delay);
         }
     }
+}
+
+/// Counts a cut batch and drops it on the timeline.
+fn note_batch_cut<H: Hub>(tel: &ReplicaTelemetry, shared: &ClusterShared<H>, len: usize) {
+    tel.batches_cut.inc();
+    tel.batch_len.record(len as u64);
+    tel.recorder().record(shared.now().0, ProtoEvent::BatchCut { len: len as u32 });
 }
 
 // ----------------------------------------------------------- consensus
@@ -789,6 +882,7 @@ struct ConsensusCtx<H: Hub> {
     stats: ConsensusStats,
     my_node: NodeId,
     link_auth: LinkAuth,
+    tel: Arc<ReplicaTelemetry>,
     n: usize,
 }
 
@@ -881,14 +975,47 @@ impl<H: Hub> ConsensusCtx<H> {
     }
 
     fn note(&mut self, n: Notification) {
+        let t_ns = self.shared.now().0;
+        let rec = self.tel.recorder();
         match n {
-            Notification::Executed { .. } => self.stats.executed += 1,
-            Notification::Decided { .. } => self.stats.decided += 1,
-            Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
-            Notification::ViewChanged { .. } => self.stats.view_changes += 1,
-            Notification::RolledBack { .. } => self.stats.rollbacks += 1,
-            Notification::FellBehind { .. } => self.stats.fell_behind += 1,
-            Notification::CaughtUp { .. } => self.stats.caught_up += 1,
+            Notification::Executed { view, seq, .. } => {
+                self.stats.executed += 1;
+                self.tel.executed.inc();
+                rec.record(t_ns, ProtoEvent::Executed { view: view.0, seq: seq.0 });
+            }
+            Notification::Decided { seq } => {
+                self.stats.decided += 1;
+                self.tel.decided.inc();
+                rec.record(t_ns, ProtoEvent::Decided { seq: seq.0 });
+            }
+            Notification::CheckpointStable { seq } => {
+                self.stats.checkpoints += 1;
+                self.tel.checkpoints.inc();
+                rec.record(t_ns, ProtoEvent::CheckpointStable { seq: seq.0 });
+            }
+            Notification::ViewChanged { view } => {
+                self.stats.view_changes += 1;
+                self.tel.view_changes.inc();
+                rec.record(t_ns, ProtoEvent::ViewChanged { view: view.0 });
+            }
+            Notification::RolledBack { to } => {
+                self.stats.rollbacks += 1;
+                self.tel.rollbacks.inc();
+                rec.record(t_ns, ProtoEvent::RolledBack { to: to.map_or(0, |s| s.0) });
+            }
+            Notification::FellBehind { stable, exec_frontier, .. } => {
+                self.stats.fell_behind += 1;
+                self.tel.fell_behind.inc();
+                rec.record(
+                    t_ns,
+                    ProtoEvent::FellBehind { stable: stable.0, exec: exec_frontier.0 },
+                );
+            }
+            Notification::CaughtUp { stable, exec_frontier } => {
+                self.stats.caught_up += 1;
+                self.tel.caught_up.inc();
+                rec.record(t_ns, ProtoEvent::CaughtUp { stable: stable.0, exec: exec_frontier.0 });
+            }
             Notification::RequestComplete { .. } => {}
         }
     }
@@ -905,9 +1032,11 @@ fn consensus_loop<H: Hub>(
     probe: Arc<ReplicaProbe>,
     replica: Box<PoeReplica>,
     link_auth: LinkAuth,
+    tel: Arc<ReplicaTelemetry>,
     n: usize,
 ) -> (ConsensusStats, Box<PoeReplica>) {
     let my_node = NodeId::Replica(replica.id());
+    let cons_depth_hist = tel.cons_depth_hist.clone();
     let mut ctx = ConsensusCtx {
         shared,
         reply_tx,
@@ -920,6 +1049,7 @@ fn consensus_loop<H: Hub>(
         stats: ConsensusStats::default(),
         my_node,
         link_auth,
+        tel,
         n,
     };
     ctx.step_event(Event::Init);
@@ -934,6 +1064,7 @@ fn consensus_loop<H: Hub>(
         match cons_rx.recv_timeout(wait) {
             Ok(job) => {
                 gauge.dec();
+                cons_depth_hist.record(gauge.depth());
                 handle(&mut ctx, job);
                 // Opportunistic burst drain amortizes wakeups under load.
                 for _ in 0..128 {
@@ -980,6 +1111,7 @@ fn egress_loop<H: Hub>(
     gauge: Arc<DepthGauge>,
     id: ReplicaId,
     session: Arc<Mutex<SessionTable>>,
+    tel: Arc<ReplicaTelemetry>,
 ) -> EgressStats {
     let mut stats = EgressStats::default();
     let mut scratch = poe_kernel::codec::ScratchPool::new();
@@ -1003,6 +1135,7 @@ fn egress_loop<H: Hub>(
                 }
                 if shared.hub.send(NodeId::Client(client), frame) {
                     stats.replies_sent += 1;
+                    tel.replies_sent.inc();
                 } else {
                     stats.dropped += 1;
                 }

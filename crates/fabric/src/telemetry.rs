@@ -1,0 +1,275 @@
+//! Per-replica telemetry: the metric registry, hot-path counter
+//! handles, queue-depth histograms, and the flight recorder — one
+//! [`ReplicaTelemetry`] per replica, shared by all four stage threads.
+//!
+//! The split follows the cost model of `poe-telemetry`:
+//!
+//! * **Hot handles** (frame counter, shed counters, batch-cut counter,
+//!   queue-depth histograms) are `Arc`-cloned into the stage loops at
+//!   spawn; updating one is a relaxed atomic RMW.
+//! * **Scrape-refreshed gauges** (view/commit/exec frontiers, live
+//!   queue depths and peaks, recorder drops) are only written when
+//!   [`ReplicaTelemetry::render`] runs: the renderer pulls from the
+//!   [`ReplicaProbe`] and the queues' [`DepthGauge`] mirrors, so the
+//!   stage threads pay nothing for them.
+//! * **The flight recorder** is fed protocol events by the consensus
+//!   stage's notification path, coalesced shed/deferral episodes by
+//!   ingress/batching, and link transitions by the TCP supervisor.
+//!
+//! A [`ReplicaTelemetry`] survives crash/restart of its replica (the
+//! cluster hands the same `Arc` to the restarted stages), so a
+//! post-mortem timeline spans the fault.
+
+use crate::queue::DepthGauge;
+use crate::stage::ReplicaProbe;
+use poe_telemetry::{AtomicHistogram, Counter, FlightRecorder, Gauge, Registry, TimeBase};
+use std::sync::{Arc, Mutex};
+
+/// Live sources sampled at scrape time, attached when the stage
+/// threads spawn.
+pub(crate) struct TelemetrySources {
+    pub probe: Arc<ReplicaProbe>,
+    pub batch_depth: Arc<DepthGauge>,
+    pub cons_depth: Arc<DepthGauge>,
+    pub reply_depth: Arc<DepthGauge>,
+}
+
+/// One replica's metrics + flight recorder. Constructed by the cluster
+/// (or `poe-node`) *before* the stage threads spawn so the recorder can
+/// also be handed to the transport layer for link events.
+pub struct ReplicaTelemetry {
+    registry: Registry,
+    recorder: Arc<FlightRecorder>,
+    replica: u32,
+
+    // Hot handles, cloned into stage loops.
+    pub(crate) frames: Arc<Counter>,
+    pub(crate) shed_retransmits: Arc<Counter>,
+    pub(crate) shed_full: Arc<Counter>,
+    pub(crate) batches_cut: Arc<Counter>,
+    pub(crate) deferrals: Arc<Counter>,
+    pub(crate) replies_sent: Arc<Counter>,
+    pub(crate) executed: Arc<Counter>,
+    pub(crate) decided: Arc<Counter>,
+    pub(crate) checkpoints: Arc<Counter>,
+    pub(crate) view_changes: Arc<Counter>,
+    pub(crate) rollbacks: Arc<Counter>,
+    pub(crate) fell_behind: Arc<Counter>,
+    pub(crate) caught_up: Arc<Counter>,
+    /// Requests per cut batch.
+    pub(crate) batch_len: Arc<AtomicHistogram>,
+    /// Bounded ingress→batching queue depth, sampled per admitted frame.
+    pub(crate) batch_depth_hist: Arc<AtomicHistogram>,
+    /// Consensus queue depth, sampled per consumed job.
+    pub(crate) cons_depth_hist: Arc<AtomicHistogram>,
+
+    // Scrape-refreshed gauges.
+    view_g: Arc<Gauge>,
+    exec_g: Arc<Gauge>,
+    commit_g: Arc<Gauge>,
+    depth_batch_g: Arc<Gauge>,
+    depth_cons_g: Arc<Gauge>,
+    depth_reply_g: Arc<Gauge>,
+    peak_batch_g: Arc<Gauge>,
+    peak_cons_g: Arc<Gauge>,
+    peak_reply_g: Arc<Gauge>,
+    recorder_events_g: Arc<Gauge>,
+    recorder_dropped_g: Arc<Gauge>,
+
+    sources: Mutex<Option<TelemetrySources>>,
+}
+
+impl ReplicaTelemetry {
+    /// A fresh registry + recorder for replica `replica`, stamping
+    /// recorder events in `timebase`.
+    pub fn new(replica: u32, timebase: TimeBase) -> Arc<ReplicaTelemetry> {
+        let registry = Registry::new();
+        let rl = |extra: Vec<(&'static str, String)>| {
+            let mut labels = vec![("replica", replica.to_string())];
+            labels.extend(extra);
+            labels
+        };
+        let stage = |s: &str| rl(vec![("stage", s.to_string())]);
+        let frames = registry.counter_with(
+            "poe_ingress_frames_total",
+            "Hub frames decoded by the ingress stage",
+            rl(vec![]),
+        );
+        let shed_retransmits = registry.counter_with(
+            "poe_shed_total",
+            "Client messages shed at the bounded ingress queue",
+            rl(vec![("kind", "retransmit".to_string())]),
+        );
+        let shed_full = registry.counter_with(
+            "poe_shed_total",
+            "Client messages shed at the bounded ingress queue",
+            rl(vec![("kind", "full".to_string())]),
+        );
+        let batches_cut = registry.counter_with(
+            "poe_batches_cut_total",
+            "PROPOSE batches cut by the batching stage",
+            rl(vec![]),
+        );
+        let deferrals = registry.counter_with(
+            "poe_deferrals_total",
+            "Admission pauses while the consensus queue was deep",
+            rl(vec![]),
+        );
+        let replies_sent = registry.counter_with(
+            "poe_replies_sent_total",
+            "Client replies delivered by the egress stage",
+            rl(vec![]),
+        );
+        let notif = |kind: &str| {
+            registry.counter_with(
+                "poe_notifications_total",
+                "Protocol notifications surfaced by the automaton",
+                rl(vec![("kind", kind.to_string())]),
+            )
+        };
+        let executed = notif("executed");
+        let decided = notif("decided");
+        let checkpoints = notif("checkpoint_stable");
+        let view_changes = notif("view_changed");
+        let rollbacks = notif("rolled_back");
+        let fell_behind = notif("fell_behind");
+        let caught_up = notif("caught_up");
+        let batch_len =
+            registry.histogram_with("poe_batch_len", "Requests per cut batch", rl(vec![]));
+        let batch_depth_hist = registry.histogram_with(
+            "poe_queue_depth_samples",
+            "Queue depth distribution, sampled on the hot path",
+            stage("batching"),
+        );
+        let cons_depth_hist = registry.histogram_with(
+            "poe_queue_depth_samples",
+            "Queue depth distribution, sampled on the hot path",
+            stage("consensus"),
+        );
+        let view_g = registry.gauge_with("poe_view", "Current view number", rl(vec![]));
+        let exec_g =
+            registry.gauge_with("poe_exec_frontier", "Speculative execution frontier", rl(vec![]));
+        let commit_g = registry.gauge_with("poe_commit_frontier", "Commit frontier", rl(vec![]));
+        let depth = |s: &str| {
+            registry.gauge_with("poe_queue_depth", "Live queue depth at scrape time", stage(s))
+        };
+        let peak = |s: &str| {
+            registry.gauge_with("poe_queue_peak", "Deepest queue backlog observed", stage(s))
+        };
+        let depth_batch_g = depth("batching");
+        let depth_cons_g = depth("consensus");
+        let depth_reply_g = depth("reply");
+        let peak_batch_g = peak("batching");
+        let peak_cons_g = peak("consensus");
+        let peak_reply_g = peak("reply");
+        let recorder_events_g = registry.gauge_with(
+            "poe_recorder_events",
+            "Events retained in the flight recorder",
+            rl(vec![]),
+        );
+        let recorder_dropped_g = registry.gauge_with(
+            "poe_recorder_dropped_total",
+            "Flight-recorder events overwritten by newer ones",
+            rl(vec![]),
+        );
+        Arc::new(ReplicaTelemetry {
+            registry,
+            recorder: Arc::new(FlightRecorder::with_default_capacity(timebase)),
+            replica,
+            frames,
+            shed_retransmits,
+            shed_full,
+            batches_cut,
+            deferrals,
+            replies_sent,
+            executed,
+            decided,
+            checkpoints,
+            view_changes,
+            rollbacks,
+            fell_behind,
+            caught_up,
+            batch_len,
+            batch_depth_hist,
+            cons_depth_hist,
+            view_g,
+            exec_g,
+            commit_g,
+            depth_batch_g,
+            depth_cons_g,
+            depth_reply_g,
+            peak_batch_g,
+            peak_cons_g,
+            peak_reply_g,
+            recorder_events_g,
+            recorder_dropped_g,
+            sources: Mutex::new(None),
+        })
+    }
+
+    /// The replica this telemetry belongs to.
+    pub fn replica(&self) -> u32 {
+        self.replica
+    }
+
+    /// The flight recorder (shareable with the transport layer).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Wires the live sources the scrape-time refresh reads. Called at
+    /// stage spawn; a restart re-attaches the new generation's sources.
+    pub(crate) fn attach_sources(&self, sources: TelemetrySources) {
+        *self.sources.lock().expect("telemetry sources poisoned") = Some(sources);
+    }
+
+    /// Live queue depths `(batching, consensus)` for external samplers
+    /// (the open-loop tick sampler). Zero when not yet attached.
+    pub fn queue_depths(&self) -> (u64, u64) {
+        let sources = self.sources.lock().expect("telemetry sources poisoned");
+        match sources.as_ref() {
+            Some(s) => (s.batch_depth.depth(), s.cons_depth.depth()),
+            None => (0, 0),
+        }
+    }
+
+    /// Total client messages shed so far (retransmit + full).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_retransmits.get() + self.shed_full.get()
+    }
+
+    /// Renders the whole registry as Prometheus text, refreshing the
+    /// scrape-time gauges first.
+    pub fn render(&self) -> String {
+        self.refresh();
+        self.registry.render()
+    }
+
+    /// The flight-recorder timeline, labeled `r<id>`.
+    pub fn timeline(&self) -> String {
+        self.recorder.dump(&format!("r{}", self.replica))
+    }
+
+    /// The last `k` timeline lines (for failure dumps).
+    pub fn timeline_tail(&self, k: usize) -> String {
+        self.recorder.tail(&format!("r{}", self.replica), k)
+    }
+
+    fn refresh(&self) {
+        let sources = self.sources.lock().expect("telemetry sources poisoned");
+        if let Some(s) = sources.as_ref() {
+            let snap = s.probe.snapshot();
+            self.view_g.set(snap.view);
+            self.exec_g.set(snap.exec);
+            self.commit_g.set(snap.commit);
+            self.depth_batch_g.set(s.batch_depth.depth());
+            self.depth_cons_g.set(s.cons_depth.depth());
+            self.depth_reply_g.set(s.reply_depth.depth());
+            self.peak_batch_g.set(s.batch_depth.peak());
+            self.peak_cons_g.set(s.cons_depth.peak());
+            self.peak_reply_g.set(s.reply_depth.peak());
+        }
+        self.recorder_events_g.set(self.recorder.len() as u64);
+        self.recorder_dropped_g.set(self.recorder.dropped());
+    }
+}

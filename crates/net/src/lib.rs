@@ -36,4 +36,4 @@ pub use hub::{Hub, LinkReport};
 pub use inproc::InprocHub;
 pub use model::{DelayModel, NetworkModel};
 pub use supervise::PeerIdentity;
-pub use tcp::{TcpConfig, TcpHub};
+pub use tcp::{LinkRecorder, TcpConfig, TcpHub};

@@ -32,6 +32,7 @@ use parking_lot::{Mutex, RwLock};
 use poe_crypto::provider::CryptoProvider;
 use poe_kernel::ids::{ClientId, NodeId, ReplicaId};
 use poe_kernel::wire::WireBytes;
+use poe_telemetry::{FlightRecorder, LinkPeer, ProtoEvent};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -46,6 +47,33 @@ const TICK: Duration = Duration::from_millis(10);
 const DEST_HEADER_LEN: usize = 5;
 /// Most frames a writer drains per flush.
 const WRITE_BURST: usize = 128;
+
+/// A flight recorder plus the clock that stamps its link events, handed
+/// to the hub by its embedder so connection supervision lands on the
+/// *same timeline* as the replica's protocol events (`poe-node` passes
+/// its cluster clock; timestamps are then directly comparable).
+#[derive(Clone)]
+pub struct LinkRecorder {
+    recorder: Arc<FlightRecorder>,
+    clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl LinkRecorder {
+    /// Pairs `recorder` with the embedder's nanosecond clock.
+    pub fn new(recorder: Arc<FlightRecorder>, clock: Arc<dyn Fn() -> u64 + Send + Sync>) -> Self {
+        LinkRecorder { recorder, clock }
+    }
+
+    fn record(&self, event: ProtoEvent) {
+        self.recorder.record((self.clock)(), event);
+    }
+}
+
+impl std::fmt::Debug for LinkRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkRecorder").finish_non_exhaustive()
+    }
+}
 
 /// Configuration of one [`TcpHub`].
 #[derive(Clone)]
@@ -74,6 +102,8 @@ pub struct TcpConfig {
     pub connect_timeout: Duration,
     /// Read timeout while completing a handshake.
     pub handshake_timeout: Duration,
+    /// Optional flight recorder for link up/down events.
+    pub recorder: Option<LinkRecorder>,
 }
 
 impl TcpConfig {
@@ -91,6 +121,7 @@ impl TcpConfig {
             backoff_max: Duration::from_secs(1),
             connect_timeout: Duration::from_secs(1),
             handshake_timeout: Duration::from_secs(2),
+            recorder: None,
         }
     }
 
@@ -113,6 +144,13 @@ impl TcpConfig {
     /// Overrides the inbound frame-length bound.
     pub fn with_max_frame_len(mut self, max: usize) -> TcpConfig {
         self.max_frame_len = max;
+        self
+    }
+
+    /// Attaches a flight recorder: link losses and (re)connects are
+    /// recorded as [`ProtoEvent::LinkDown`] / [`ProtoEvent::LinkUp`].
+    pub fn with_recorder(mut self, recorder: LinkRecorder) -> TcpConfig {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -371,6 +409,7 @@ impl TcpHub {
         stats.connects.fetch_add(1, Ordering::Relaxed);
         let outbox = Arc::new(Outbox::new(self.inner.cfg.client_outbox));
         let seq = self.inner.route_seq.fetch_add(1, Ordering::Relaxed);
+        let mut replaced = false;
         {
             let mut routes = self.inner.routes.write();
             // A redial replaces the previous route for the same block:
@@ -378,6 +417,7 @@ impl TcpHub {
             routes.retain(|r| {
                 if r.base == base {
                     r.outbox.close();
+                    replaced = true;
                     false
                 } else {
                     true
@@ -391,13 +431,16 @@ impl TcpHub {
                 seq,
             });
         }
+        if let Some(rec) = &self.inner.cfg.recorder {
+            rec.record(ProtoEvent::LinkUp { peer: LinkPeer::Clients(base), reconnect: replaced });
+        }
         if let Ok(wstream) = stream.try_clone() {
             let h = self.clone();
             let ob = outbox.clone();
             let st = stats.clone();
             let t = thread::Builder::new()
                 .name(format!("tcp-route-c{base}"))
-                .spawn(move || h.route_writer(wstream, ob, st, seq))
+                .spawn(move || h.route_writer(wstream, ob, st, seq, base))
                 .expect("spawn route writer");
             self.inner.threads.lock().push(t);
         }
@@ -412,6 +455,7 @@ impl TcpHub {
         outbox: Arc<Outbox>,
         stats: Arc<LinkStats>,
         seq: u64,
+        base: u32,
     ) {
         let mut w = BufWriter::new(&stream);
         loop {
@@ -452,6 +496,11 @@ impl TcpHub {
         outbox.close();
         let _ = stream.shutdown(Shutdown::Both);
         self.inner.routes.write().retain(|r| r.seq != seq);
+        if !self.stopped() {
+            if let Some(rec) = &self.inner.cfg.recorder {
+                rec.record(ProtoEvent::LinkDown { peer: LinkPeer::Clients(base) });
+            }
+        }
     }
 
     // -------------------------------------------------------- dial side
@@ -480,7 +529,13 @@ impl TcpHub {
                 continue;
             }
             backoff.reset();
-            link.stats.connects.fetch_add(1, Ordering::Relaxed);
+            let prior = link.stats.connects.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = &cfg.recorder {
+                rec.record(ProtoEvent::LinkUp {
+                    peer: LinkPeer::Replica(link.peer),
+                    reconnect: prior > 0,
+                });
+            }
             let _ = stream.set_nodelay(true);
             // Client-side links are duplex: replies ride back on this
             // connection, a reader per established connection.
@@ -498,6 +553,11 @@ impl TcpHub {
             }
             self.drain_connection(&stream, &link, gen);
             let _ = stream.shutdown(Shutdown::Both);
+            if !self.stopped() {
+                if let Some(rec) = &cfg.recorder {
+                    rec.record(ProtoEvent::LinkDown { peer: LinkPeer::Replica(link.peer) });
+                }
+            }
         }
     }
 

@@ -31,6 +31,7 @@ use poe_kernel::time::{Duration, Time};
 use poe_kernel::timer::{TimerKind, TimerTable};
 use poe_kernel::wire::WireBytes;
 use poe_net::NetworkModel;
+use poe_telemetry::{FlightRecorder, ProtoEvent, TimeBase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
@@ -160,6 +161,11 @@ pub struct Simulator {
     muted: BTreeSet<NodeId>,
     trace: Vec<String>,
     stats: SimStats,
+    /// Per-replica flight recorders (virtual time base). Pure
+    /// observers: recording touches neither the RNG nor the event
+    /// queue, so the determinism contract (byte-identical traces per
+    /// seed) is unaffected.
+    recorders: Vec<Arc<FlightRecorder>>,
     /// Recycled across deliveries (capacity survives; see
     /// [`Outbox::drain_iter`]).
     outbox: poe_kernel::automaton::Outbox,
@@ -193,6 +199,10 @@ impl Simulator {
     ) -> Simulator {
         let replica_timers = replicas.iter().map(|_| TimerTable::new()).collect();
         let client_timers = clients.iter().map(|_| TimerTable::new()).collect();
+        let recorders = replicas
+            .iter()
+            .map(|_| Arc::new(FlightRecorder::with_default_capacity(TimeBase::Virtual)))
+            .collect();
         // Pre-size the event queue for the steady-state in-flight load:
         // every replica keeps a few broadcasts and timers queued at once,
         // so paper-scale runs (n = 91) do not spend their warm-up
@@ -213,6 +223,7 @@ impl Simulator {
             muted: BTreeSet::new(),
             trace: Vec::new(),
             stats: SimStats::default(),
+            recorders,
             outbox: poe_kernel::automaton::Outbox::new(),
             frame_scratch: Vec::new(),
         };
@@ -287,6 +298,22 @@ impl Simulator {
         self.crashed.contains(&node)
     }
 
+    /// Replica `i`'s flight recorder (virtual time base).
+    pub fn recorder(&self, i: usize) -> &Arc<FlightRecorder> {
+        &self.recorders[i]
+    }
+
+    /// Replica `i`'s protocol timeline, rendered human-readable.
+    pub fn timeline(&self, i: usize) -> String {
+        self.recorders[i].dump(&format!("r{i}"))
+    }
+
+    /// Every replica's timeline concatenated — the post-mortem dump a
+    /// failing chaos seed prints next to its repro line.
+    pub fn timelines(&self) -> String {
+        (0..self.recorders.len()).map(|i| self.timeline(i)).collect()
+    }
+
     /// Processes a single event; `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Scheduled { at, queued, .. }) = self.queue.pop() else {
@@ -336,26 +363,41 @@ impl Simulator {
         let line = match &fault {
             Fault::Crash(n) => {
                 self.crashed.insert(*n);
+                self.flight_record(*n, ProtoEvent::Crashed);
                 format!("fault crash {n:?}")
             }
             Fault::Mute(r) => {
                 self.muted.insert(NodeId::Replica(*r));
+                self.flight_record(NodeId::Replica(*r), ProtoEvent::Muted);
                 format!("fault mute {r:?}")
             }
             Fault::Unmute(r) => {
                 self.muted.remove(&NodeId::Replica(*r));
+                self.flight_record(NodeId::Replica(*r), ProtoEvent::Unmuted);
                 format!("fault unmute {r:?}")
             }
             Fault::Isolate(n) => {
                 self.net.isolate(*n);
+                self.flight_record(*n, ProtoEvent::Muted);
                 format!("fault isolate {n:?}")
             }
             Fault::Reconnect(n) => {
                 self.net.reconnect(*n);
+                self.flight_record(*n, ProtoEvent::Unmuted);
                 format!("fault reconnect {n:?}")
             }
         };
         self.trace.push(format!("{:>12} -- {line}", self.now.as_nanos()));
+    }
+
+    /// Records a flight-recorder event for `node` if it is a replica
+    /// (client nodes carry no recorder).
+    fn flight_record(&self, node: NodeId, event: ProtoEvent) {
+        if let NodeId::Replica(r) = node {
+            if let Some(rec) = self.recorders.get(r.index()) {
+                rec.record(self.now.as_nanos(), event);
+            }
+        }
     }
 
     fn deliver(&mut self, node: NodeId, event: Event) {
@@ -437,15 +479,42 @@ impl Simulator {
     }
 
     fn record(&mut self, node: NodeId, n: Notification) {
-        match &n {
-            Notification::RequestComplete { .. } => self.stats.completed_requests += 1,
-            Notification::Executed { .. } => self.stats.executed_batches += 1,
-            Notification::Decided { .. } => self.stats.decided += 1,
-            Notification::ViewChanged { .. } => self.stats.view_changes += 1,
-            Notification::RolledBack { .. } => self.stats.rollbacks += 1,
-            Notification::CheckpointStable { .. } => self.stats.checkpoints += 1,
-            Notification::FellBehind { .. } => self.stats.fell_behind += 1,
-            Notification::CaughtUp { .. } => self.stats.caught_up += 1,
+        let flight = match &n {
+            Notification::RequestComplete { .. } => {
+                self.stats.completed_requests += 1;
+                None
+            }
+            Notification::Executed { view, seq, .. } => {
+                self.stats.executed_batches += 1;
+                Some(ProtoEvent::Executed { view: view.0, seq: seq.0 })
+            }
+            Notification::Decided { seq } => {
+                self.stats.decided += 1;
+                Some(ProtoEvent::Decided { seq: seq.0 })
+            }
+            Notification::ViewChanged { view } => {
+                self.stats.view_changes += 1;
+                Some(ProtoEvent::ViewChanged { view: view.0 })
+            }
+            Notification::RolledBack { to } => {
+                self.stats.rollbacks += 1;
+                Some(ProtoEvent::RolledBack { to: to.map_or(0, |s| s.0) })
+            }
+            Notification::CheckpointStable { seq } => {
+                self.stats.checkpoints += 1;
+                Some(ProtoEvent::CheckpointStable { seq: seq.0 })
+            }
+            Notification::FellBehind { stable, exec_frontier, .. } => {
+                self.stats.fell_behind += 1;
+                Some(ProtoEvent::FellBehind { stable: stable.0, exec: exec_frontier.0 })
+            }
+            Notification::CaughtUp { stable, exec_frontier } => {
+                self.stats.caught_up += 1;
+                Some(ProtoEvent::CaughtUp { stable: stable.0, exec: exec_frontier.0 })
+            }
+        };
+        if let Some(event) = flight {
+            self.flight_record(node, event);
         }
         self.trace.push(format!("{:>12} {node:?} {}", self.now.as_nanos(), n.trace_line()));
     }

@@ -90,6 +90,11 @@ fn isolated_replica_repairs_past_checkpoint_gc() {
         sim.trace().iter().any(|l| l.contains("caughtup")),
         "trace records the repair completion"
     );
+    // The victim's flight recorder tells the same story in virtual
+    // time: isolation, the fell-behind discovery, and the repair.
+    let tl = sim.timeline(3);
+    assert!(tl.contains("muted"), "isolation recorded: {tl}");
+    assert!(tl.contains("caught-up"), "repair completion recorded: {tl}");
 }
 
 /// Same scenario in MAC support mode (Appendix A): with no transferable
@@ -262,10 +267,11 @@ fn chaos_case(seed: u64) -> Result<(), String> {
             let tail: Vec<&str> =
                 sim.trace().iter().rev().take(tail_len).rev().map(String::as_str).collect();
             return Err(format!(
-                "stalled during fault window at {}/{total}; {}\n{}",
+                "stalled during fault window at {}/{total}; {}\n{}\nper-replica timelines:\n{}",
                 sim.completed_requests(),
                 snap.join(" "),
-                tail.join("\n")
+                tail.join("\n"),
+                sim.timelines()
             ));
         }
     }
@@ -281,7 +287,11 @@ fn chaos_case(seed: u64) -> Result<(), String> {
         _ => {} // a crash is permanent in the simulator
     }
     if !sim.run_until_completed(total, secs(120)) {
-        return Err(format!("only {}/{total} requests completed", sim.completed_requests()));
+        return Err(format!(
+            "only {}/{total} requests completed\nper-replica timelines:\n{}",
+            sim.completed_requests(),
+            sim.timelines()
+        ));
     }
     sim.run_for(Duration::from_secs(10));
 
@@ -296,7 +306,10 @@ fn chaos_case(seed: u64) -> Result<(), String> {
             None => reference = Some(tuple),
             Some(expect) if *expect == tuple => {}
             Some(expect) => {
-                return Err(format!("replica {i} diverged: {tuple:?} != {expect:?}"));
+                return Err(format!(
+                    "replica {i} diverged: {tuple:?} != {expect:?}\nper-replica timelines:\n{}",
+                    sim.timelines()
+                ));
             }
         }
     }

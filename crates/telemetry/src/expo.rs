@@ -1,0 +1,122 @@
+//! Prometheus text exposition.
+//!
+//! Renders every series registered in a [`Registry`] in the
+//! [Prometheus text format]: counters and gauges as single sample
+//! lines, histograms as summaries (`{quantile="…"}` samples plus
+//! `_sum`/`_count`/`_min`/`_max`). `# HELP`/`# TYPE` headers are
+//! emitted once per metric name, in first-registration order, with all
+//! label variants grouped under them.
+//!
+//! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::{MetricKind, Registry};
+use std::fmt::Write;
+
+/// Quantiles rendered for every histogram series.
+const QUANTILES: [(f64, &str); 4] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (1.0, "1")];
+
+fn label_str(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+impl Registry {
+    /// Renders every registered series as Prometheus text.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !seen.contains(&e.name) {
+                seen.push(e.name);
+                let ty = match e.kind {
+                    MetricKind::Counter(_) => "counter",
+                    MetricKind::Gauge(_) => "gauge",
+                    MetricKind::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, ty);
+                // Group every same-named entry under one header.
+                for v in entries.iter().filter(|v| v.name == e.name) {
+                    render_one(&mut out, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_one(out: &mut String, e: &crate::metrics::Entry) {
+    match &e.kind {
+        MetricKind::Counter(c) => {
+            let _ = writeln!(out, "{}{} {}", e.name, label_str(&e.labels, None), c.get());
+        }
+        MetricKind::Gauge(g) => {
+            let _ = writeln!(out, "{}{} {}", e.name, label_str(&e.labels, None), g.get());
+        }
+        MetricKind::Histogram(h) => {
+            let snap = h.snapshot();
+            for (q, qs) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    e.name,
+                    label_str(&e.labels, Some(("quantile", qs))),
+                    snap.quantile(q)
+                );
+            }
+            let ls = label_str(&e.labels, None);
+            let _ = writeln!(out, "{}_sum{} {}", e.name, ls, snap.sum());
+            let _ = writeln!(out, "{}_count{} {}", e.name, ls, snap.count());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let reg = Registry::new();
+        let c = reg.counter("poe_frames_total", "Frames decoded");
+        let g =
+            reg.gauge_with("poe_queue_depth", "Queue depth", vec![("stage", "batch".to_string())]);
+        let h = reg.histogram("poe_latency_ns", "Request latency");
+        c.add(7);
+        g.set(3);
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE poe_frames_total counter"), "{text}");
+        assert!(text.contains("poe_frames_total 7"), "{text}");
+        assert!(text.contains("poe_queue_depth{stage=\"batch\"} 3"), "{text}");
+        assert!(text.contains("# TYPE poe_latency_ns summary"), "{text}");
+        assert!(text.contains("poe_latency_ns{quantile=\"0.5\"} 200"), "{text}");
+        assert!(text.contains("poe_latency_ns_count 3"), "{text}");
+        assert!(text.contains("poe_latency_ns_sum 600"), "{text}");
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_name() {
+        let reg = Registry::new();
+        for stage in ["ingress", "batching", "consensus"] {
+            reg.counter_with(
+                "poe_stage_events_total",
+                "Stage events",
+                vec![("stage", stage.to_string())],
+            );
+        }
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE poe_stage_events_total").count(), 1, "{text}");
+        assert_eq!(text.matches("stage=\"").count(), 3, "{text}");
+    }
+}

@@ -1,0 +1,44 @@
+//! `poe-telemetry` — observability primitives for the PoE stack:
+//! mergeable bounded-error histograms, lock-free counters/gauges with
+//! Prometheus text exposition, and a per-replica flight recorder of
+//! structured protocol events.
+//!
+//! # Metrics core
+//!
+//! [`Counter`] and [`Gauge`] are `Arc`-shared relaxed atomics — a bump
+//! is one RMW, no locks, no allocation, safe on the per-frame hot
+//! path. [`Histogram`] / [`AtomicHistogram`] are log-linear HDR-style
+//! histograms ([`hist`]): a fixed ~58 KiB bucket table whose relative
+//! quantile error is bounded by `2^-(GRID_BITS+1)` (≈ 0.4 %),
+//! regardless of sample count — latency series stay bounded-memory
+//! over hour-long open-loop windows. Snapshots are plain `Histogram`s
+//! that merge (across threads) and subtract ([`Histogram::delta_since`],
+//! for per-tick interval quantiles out of a cumulative series).
+//!
+//! A [`Registry`] names the live series and renders them all as
+//! Prometheus text via [`Registry::render`] ([`expo`]) — the payload
+//! behind the `poe-node` `metrics` stdio command and the open-loop
+//! engine's in-window sampler.
+//!
+//! # Flight recorder
+//!
+//! [`FlightRecorder`] ([`recorder`]) is a fixed-capacity,
+//! overwrite-oldest ring of [`ProtoEvent`]s (batch cuts, view changes,
+//! checkpoint stabilization, repair transitions, shed/deferral
+//! episodes, link drops/reconnects, injected faults) stamped in wall
+//! time (fabric) or virtual time (simulator). It answers "what did the
+//! protocol *do*" after a chaos seed fails or a node misbehaves:
+//! [`FlightRecorder::dump`] renders the retained timeline, and the
+//! `poe-node` binary exposes it over stdio as `dump-trace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod metrics;
+pub mod recorder;
+
+pub use hist::{AtomicHistogram, Histogram, GRID_BITS, NUM_BUCKETS};
+pub use metrics::{Counter, Gauge, Registry};
+pub use recorder::{FlightRecorder, LinkPeer, ProtoEvent, TimeBase, TimedEvent, DEFAULT_CAPACITY};

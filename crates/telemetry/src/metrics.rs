@@ -1,0 +1,195 @@
+//! Counters, gauges, and the metric registry.
+//!
+//! Handles are `Arc`-shared atomics: cloning a handle is cheap, bumping
+//! one is a single relaxed RMW with no locks and no allocation, so hot
+//! paths (ingress frame counting, queue-depth tracking) can hold a
+//! handle per thread. The [`Registry`] owns the name → handle mapping
+//! and renders every registered series as Prometheus text (see
+//! [`Registry::render`] in `expo.rs`).
+
+use crate::hist::AtomicHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, view number).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating via wrapping contract: callers keep
+    /// inc/dec balanced).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a registered series points at.
+pub(crate) enum MetricKind {
+    /// Monotone counter.
+    Counter(Arc<Counter>),
+    /// Up/down gauge.
+    Gauge(Arc<Gauge>),
+    /// Log-linear histogram, rendered as a Prometheus summary.
+    Histogram(Arc<AtomicHistogram>),
+}
+
+/// One registered series: a metric name, optional label pairs, help
+/// text, and the live handle.
+pub(crate) struct Entry {
+    pub(crate) name: &'static str,
+    pub(crate) help: &'static str,
+    pub(crate) labels: Vec<(&'static str, String)>,
+    pub(crate) kind: MetricKind,
+}
+
+/// A registry of named metric series.
+///
+/// Registration takes a lock and allocates; reads and renders walk the
+/// entry list. The handles the registry gives out are plain atomics —
+/// updating them never touches the registry again.
+#[derive(Default)]
+pub struct Registry {
+    pub(crate) entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a counter series and returns its handle.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, Vec::new())
+    }
+
+    /// Registers a counter series with label pairs.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        let h = Arc::new(Counter::new());
+        self.push(name, help, labels, MetricKind::Counter(h.clone()));
+        h
+    }
+
+    /// Registers a gauge series and returns its handle.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, Vec::new())
+    }
+
+    /// Registers a gauge series with label pairs.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Gauge> {
+        let h = Arc::new(Gauge::new());
+        self.push(name, help, labels, MetricKind::Gauge(h.clone()));
+        h
+    }
+
+    /// Registers an externally created gauge (e.g. a queue's depth
+    /// gauge that must live inside the queue) under a series name.
+    pub fn register_gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        h: Arc<Gauge>,
+    ) {
+        self.push(name, help, labels, MetricKind::Gauge(h));
+    }
+
+    /// Registers a histogram series and returns its handle.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<AtomicHistogram> {
+        self.histogram_with(name, help, Vec::new())
+    }
+
+    /// Registers a histogram series with label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<AtomicHistogram> {
+        let h = Arc::new(AtomicHistogram::new());
+        self.push(name, help, labels, MetricKind::Histogram(h.clone()));
+        h
+    }
+
+    /// Registers an externally created histogram under a series name.
+    pub fn register_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        h: Arc<AtomicHistogram>,
+    ) {
+        self.push(name, help, labels, MetricKind::Histogram(h));
+    }
+
+    fn push(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        kind: MetricKind,
+    ) {
+        self.entries.lock().expect("registry poisoned").push(Entry { name, help, labels, kind });
+    }
+}

@@ -1,0 +1,334 @@
+//! The flight recorder: a fixed-capacity ring buffer of structured
+//! protocol events.
+//!
+//! Each replica owns one [`FlightRecorder`]. Protocol-significant
+//! transitions (batch cuts, view changes, checkpoint stabilization,
+//! `FellBehind` → repair → `CaughtUp`, shed/deferral episodes, link
+//! drops and reconnects, injected faults) are recorded as compact
+//! [`ProtoEvent`] values stamped with a timestamp — wall time in the
+//! fabric ([`TimeBase::Wall`]), virtual time in the simulator
+//! ([`TimeBase::Virtual`]). When the ring is full the *oldest* events
+//! are overwritten (the newest are what a post-mortem needs) and a
+//! drop counter keeps the tally honest. [`FlightRecorder::dump`]
+//! renders a human-readable timeline for chaos-seed repro lines, test
+//! failures, and the `poe-node` `dump-trace` stdio command.
+//!
+//! Recording takes a `Mutex` for a handful of nanoseconds; events are
+//! rare (per batch / per protocol transition, not per request), and the
+//! hot per-request paths use the lock-free counters and histograms
+//! from the metrics core instead.
+
+use std::sync::Mutex;
+
+/// Default event capacity per recorder (~100 KiB).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The far side of a link event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkPeer {
+    /// A replica peer, by replica id.
+    Replica(u32),
+    /// A client hub group, by group index.
+    Clients(u32),
+}
+
+impl std::fmt::Display for LinkPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkPeer::Replica(id) => write!(f, "r{id}"),
+            LinkPeer::Clients(g) => write!(f, "c{g}"),
+        }
+    }
+}
+
+/// One structured protocol event. `Copy` and fixed-size so recording
+/// never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// The batching stage cut a batch of `len` requests.
+    BatchCut {
+        /// Requests in the batch.
+        len: u32,
+    },
+    /// A batch was speculatively executed at `seq` in `view`.
+    Executed {
+        /// View the execution happened in.
+        view: u64,
+        /// Sequence number executed.
+        seq: u64,
+    },
+    /// A batch reached commit quorum at `seq`.
+    Decided {
+        /// Sequence number decided.
+        seq: u64,
+    },
+    /// The replica moved to `view`.
+    ViewChanged {
+        /// The new view number.
+        view: u64,
+    },
+    /// A checkpoint stabilized at `seq`.
+    CheckpointStable {
+        /// The stable sequence number.
+        seq: u64,
+    },
+    /// Speculative execution rolled back to `to`.
+    RolledBack {
+        /// Frontier after the rollback.
+        to: u64,
+    },
+    /// The replica noticed it fell behind the cluster.
+    FellBehind {
+        /// Cluster stable frontier observed.
+        stable: u64,
+        /// Local execution frontier.
+        exec: u64,
+    },
+    /// State repair finished; the replica caught up.
+    CaughtUp {
+        /// Stable frontier reached.
+        stable: u64,
+        /// Execution frontier reached.
+        exec: u64,
+    },
+    /// Ingress shed a window of client traffic (coalesced episode).
+    Shed {
+        /// Retransmits shed under the high-water policy.
+        retransmits: u32,
+        /// Fresh requests shed because the queue was full.
+        full: u32,
+    },
+    /// Batching deferred to a deep consensus queue (coalesced episode).
+    Deferred {
+        /// Deferral pauses in the episode.
+        count: u32,
+    },
+    /// A transport link went down.
+    LinkDown {
+        /// The peer whose link dropped.
+        peer: LinkPeer,
+    },
+    /// A transport link (re)connected.
+    LinkUp {
+        /// The peer that connected.
+        peer: LinkPeer,
+        /// Whether this was a reconnect (not the first connect).
+        reconnect: bool,
+    },
+    /// Fault injection: the replica was crashed.
+    Crashed,
+    /// Fault injection: the replica restarted / rejoined.
+    Restarted,
+    /// Fault injection: the replica was muted (isolated).
+    Muted,
+    /// Fault injection: the replica was unmuted.
+    Unmuted,
+}
+
+impl std::fmt::Display for ProtoEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoEvent::BatchCut { len } => write!(f, "batch-cut len={len}"),
+            ProtoEvent::Executed { view, seq } => write!(f, "executed view={view} seq={seq}"),
+            ProtoEvent::Decided { seq } => write!(f, "decided seq={seq}"),
+            ProtoEvent::ViewChanged { view } => write!(f, "view-changed view={view}"),
+            ProtoEvent::CheckpointStable { seq } => write!(f, "checkpoint-stable seq={seq}"),
+            ProtoEvent::RolledBack { to } => write!(f, "rolled-back to={to}"),
+            ProtoEvent::FellBehind { stable, exec } => {
+                write!(f, "fell-behind stable={stable} exec={exec}")
+            }
+            ProtoEvent::CaughtUp { stable, exec } => {
+                write!(f, "caught-up stable={stable} exec={exec}")
+            }
+            ProtoEvent::Shed { retransmits, full } => {
+                write!(f, "shed retransmits={retransmits} full={full}")
+            }
+            ProtoEvent::Deferred { count } => write!(f, "deferred count={count}"),
+            ProtoEvent::LinkDown { peer } => write!(f, "link-down peer={peer}"),
+            ProtoEvent::LinkUp { peer, reconnect } => {
+                write!(f, "link-up peer={peer} reconnect={reconnect}")
+            }
+            ProtoEvent::Crashed => write!(f, "crashed"),
+            ProtoEvent::Restarted => write!(f, "restarted"),
+            ProtoEvent::Muted => write!(f, "muted"),
+            ProtoEvent::Unmuted => write!(f, "unmuted"),
+        }
+    }
+}
+
+/// What the recorder's timestamps mean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeBase {
+    /// Wall-clock nanoseconds since cluster start (the fabric).
+    Wall,
+    /// Virtual nanoseconds of the deterministic simulator.
+    Virtual,
+}
+
+/// A recorded event with its timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Nanoseconds in the recorder's [`TimeBase`].
+    pub t_ns: u64,
+    /// The event.
+    pub event: ProtoEvent,
+}
+
+struct Ring {
+    buf: Vec<TimedEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+/// A fixed-capacity, overwrite-oldest ring of [`TimedEvent`]s.
+///
+/// Concurrent writers serialize on a short mutex hold; events are
+/// never torn (a reader sees each event entirely or not at all) and
+/// recording never allocates after construction.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    cap: usize,
+    timebase: TimeBase,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (`cap >= 1`).
+    pub fn new(timebase: TimeBase, cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(cap), head: 0, dropped: 0 }),
+            cap,
+            timebase,
+        }
+    }
+
+    /// A recorder with [`DEFAULT_CAPACITY`].
+    pub fn with_default_capacity(timebase: TimeBase) -> FlightRecorder {
+        FlightRecorder::new(timebase, DEFAULT_CAPACITY)
+    }
+
+    /// The recorder's time base.
+    pub fn timebase(&self) -> TimeBase {
+        self.timebase
+    }
+
+    /// Event capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records one event at `t_ns`. Overwrites the oldest event when
+    /// full; never allocates (the buffer is pre-reserved).
+    pub fn record(&self, t_ns: u64, event: ProtoEvent) {
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        let ev = TimedEvent { t_ns, event };
+        if ring.buf.len() < self.cap {
+            ring.buf.push(ev);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % self.cap;
+            ring.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("recorder poisoned").buf.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("recorder poisoned").dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+
+    /// Renders the retained timeline, one event per line, prefixed
+    /// with `label`. Timestamps are seconds with microsecond precision
+    /// in the recorder's time base.
+    pub fn dump(&self, label: &str) -> String {
+        let events = self.events();
+        let dropped = self.dropped();
+        let base = match self.timebase {
+            TimeBase::Wall => "wall",
+            TimeBase::Virtual => "virtual",
+        };
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "-- {label}: {} events ({base} time, {dropped} older dropped) --",
+            events.len()
+        );
+        for ev in &events {
+            let secs = ev.t_ns / 1_000_000_000;
+            let micros = (ev.t_ns % 1_000_000_000) / 1_000;
+            let _ = writeln!(out, "{label} {secs:>5}.{micros:06} {}", ev.event);
+        }
+        out
+    }
+
+    /// The last `k` events rendered as with [`dump`](Self::dump).
+    pub fn tail(&self, label: &str, k: usize) -> String {
+        let events = self.events();
+        let skip = events.len().saturating_sub(k);
+        let mut out = String::new();
+        use std::fmt::Write;
+        for ev in &events[skip..] {
+            let secs = ev.t_ns / 1_000_000_000;
+            let micros = (ev.t_ns % 1_000_000_000) / 1_000;
+            let _ = writeln!(out, "{label} {secs:>5}.{micros:06} {}", ev.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_newest_and_counts_drops() {
+        let rec = FlightRecorder::new(TimeBase::Wall, 4);
+        for i in 0..10u64 {
+            rec.record(i, ProtoEvent::Decided { seq: i });
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let seqs: Vec<u64> = evs
+            .iter()
+            .map(|e| match e.event {
+                ProtoEvent::Decided { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(evs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn dump_is_human_readable() {
+        let rec = FlightRecorder::new(TimeBase::Virtual, 16);
+        rec.record(1_500_000, ProtoEvent::BatchCut { len: 5 });
+        rec.record(2_000_000, ProtoEvent::ViewChanged { view: 1 });
+        let dump = rec.dump("r0");
+        assert!(dump.contains("virtual time"), "{dump}");
+        assert!(dump.contains("r0     0.001500 batch-cut len=5"), "{dump}");
+        assert!(dump.contains("view-changed view=1"), "{dump}");
+    }
+}

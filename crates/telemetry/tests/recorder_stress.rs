@@ -1,0 +1,75 @@
+//! Satellite: flight-recorder ring semantics under pressure.
+//!
+//! - Overflow keeps the *newest* events and counts every drop.
+//! - Concurrent writers never tear an event: each recorded event
+//!   carries a self-consistent (writer, payload) pair, and the ring
+//!   retains exactly `capacity` of the most recent writes with the
+//!   drop counter accounting for the rest.
+
+use poe_telemetry::{FlightRecorder, ProtoEvent, TimeBase};
+use std::sync::Arc;
+
+#[test]
+fn overflow_keeps_newest_and_counts_every_drop() {
+    let cap = 64;
+    let rec = FlightRecorder::new(TimeBase::Wall, cap);
+    let total = 1000u64;
+    for i in 0..total {
+        rec.record(i, ProtoEvent::Executed { view: i / 10, seq: i });
+    }
+    let events = rec.events();
+    assert_eq!(events.len(), cap);
+    assert_eq!(rec.dropped(), total - cap as u64);
+    // Oldest-first, contiguous, ending at the last write.
+    for (k, ev) in events.iter().enumerate() {
+        let expect = total - cap as u64 + k as u64;
+        assert_eq!(ev.t_ns, expect);
+        assert_eq!(ev.event, ProtoEvent::Executed { view: expect / 10, seq: expect });
+    }
+}
+
+#[test]
+fn concurrent_writers_never_tear_an_event() {
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 5_000;
+    let cap = 256;
+    let rec = Arc::new(FlightRecorder::new(TimeBase::Wall, cap));
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Encode (writer, i) redundantly across the fields:
+                    // `t_ns` and the event payload must stay consistent
+                    // or the event was torn.
+                    let tag = w * PER_WRITER + i;
+                    rec.record(tag, ProtoEvent::FellBehind { stable: w, exec: i });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    let events = rec.events();
+    assert_eq!(events.len(), cap);
+    assert_eq!(rec.dropped(), WRITERS * PER_WRITER - cap as u64);
+    for ev in &events {
+        match ev.event {
+            ProtoEvent::FellBehind { stable: w, exec: i } => {
+                assert!(w < WRITERS && i < PER_WRITER, "impossible payload {:?}", ev.event);
+                assert_eq!(ev.t_ns, w * PER_WRITER + i, "torn event: {ev:?}");
+            }
+            other => panic!("foreign event appeared: {other:?}"),
+        }
+    }
+    // Every writer's final event is "recent"; at least the single very
+    // last write in global mutex order must be retained. Weaker but
+    // deterministic: every retained tag must be unique.
+    let mut tags: Vec<u64> = events.iter().map(|e| e.t_ns).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), cap, "duplicate retained events");
+}

@@ -24,6 +24,8 @@
 //! <- peers <id>=<addr>,...      mesh with the cluster; replies "ready"
 //! <- drop-links                 sever every live link; replies "dropped"
 //! <- progress                   replies "progress view=.. exec=.. commit=.. events=.."
+//! <- metrics                    Prometheus text exposition, then "metrics-end"
+//! <- dump-trace                 flight-recorder timeline, then "trace-end"
 //! <- stop                       quiesce locally, join, print the report, exit
 //! -> report id=.. view=.. exec=.. ledger=.. history=<hex> state=<hex> auth_failures=..
 //! -> link peer=.. connects=.. reconnects=.. frames_out=.. bytes_out=.. frames_in=.. bytes_in=.. queue_peak=.. shed=.. rejected_in=..
@@ -106,6 +108,12 @@ fn main() {
                 "progress view={} exec={} commit={} events={}",
                 p.view, p.exec, p.commit, p.events
             ));
+        } else if cmd == "metrics" {
+            // Multi-line reply; the terminator lets a harness (or the
+            // CI smoke job) read the whole exposition off the pipe.
+            say(format!("{}metrics-end", node.metrics_text()));
+        } else if cmd == "dump-trace" {
+            say(format!("{}trace-end", node.trace_dump()));
         } else if cmd == "stop" || cmd.is_empty() {
             break;
         } else {

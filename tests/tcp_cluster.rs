@@ -58,6 +58,51 @@ impl Node {
             }
         }
     }
+
+    /// Reads everything up to (excluding) the `terminator` line.
+    fn read_until(&mut self, terminator: &str) -> String {
+        let mut body = String::new();
+        loop {
+            let mut line = String::new();
+            let read = self.stdout.read_line(&mut line).expect("node stdout");
+            assert!(read > 0, "node {} exited before {terminator:?}", self.id);
+            if line.trim() == terminator {
+                return body;
+            }
+            body.push_str(&line);
+        }
+    }
+}
+
+/// A Prometheus text exposition is well-formed when every sample line
+/// is `name{labels} value` with a parseable value, and every series is
+/// preceded by `# HELP` / `# TYPE` headers for its family.
+fn assert_well_formed_exposition(text: &str) {
+    let mut samples = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            let mut parts = meta.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            assert!(kind == "HELP" || kind == "TYPE", "unknown comment {line:?}");
+            assert!(parts.next().is_some(), "header without a metric name: {line:?}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line:?}"));
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        let family = series.split('{').next().unwrap();
+        let base = family.strip_suffix("_sum").or_else(|| family.strip_suffix("_count"));
+        assert!(
+            text.contains(&format!("# TYPE {family} "))
+                || base.is_some_and(|b| text.contains(&format!("# TYPE {b} "))),
+            "series {series} has no TYPE header"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition is empty:\n{text}");
 }
 
 fn parse_kv(s: &str) -> HashMap<String, String> {
@@ -111,6 +156,23 @@ fn four_processes_converge_through_a_connection_kill() {
         "open-loop drive completed nothing over TCP: {report:?}"
     );
 
+    // Live metrics scrape while the cluster is still up: node 0's
+    // exposition must be well-formed Prometheus text with the key
+    // ingress / queue series reporting real traffic.
+    nodes[0].send("metrics");
+    let expo = nodes[0].read_until("metrics-end");
+    assert_well_formed_exposition(&expo);
+    for series in ["poe_ingress_frames_total", "poe_batches_cut_total", "poe_queue_depth"] {
+        assert!(expo.contains(series), "missing {series} in exposition:\n{expo}");
+    }
+    let frames: f64 = expo
+        .lines()
+        .find(|l| l.starts_with("poe_ingress_frames_total"))
+        .and_then(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse().expect("frame count"))
+        .expect("ingress frames series");
+    assert!(frames > 0.0, "node 0 saw no frames: {frames}");
+
     // Load is off; poll every node's progress until the execution
     // frontiers agree twice in a row (the cross-process quiesce check),
     // then stop them all and collect reports.
@@ -129,6 +191,14 @@ fn four_processes_converge_through_a_connection_kill() {
             .collect();
         agreed_rounds = if execs.iter().all(|e| *e == execs[0]) { agreed_rounds + 1 } else { 0 };
     }
+    // The killed node's flight recorder must have seen the protocol
+    // flow and the link supervision cycle (down → redial → reconnect).
+    // Node 1 is a view-0 backup, so it executes but never cuts batches.
+    nodes[1].send("dump-trace");
+    let trace = nodes[1].read_until("trace-end");
+    assert!(trace.contains("executed"), "no execution activity in trace:\n{trace}");
+    assert!(trace.contains("reconnect=true"), "no reconnect recorded:\n{trace}");
+
     for n in &mut nodes {
         n.send("stop");
     }
